@@ -1,0 +1,135 @@
+// Command bgpcollector runs the BGP route collector that feeds the BGP★
+// signal. In -demo mode it also spawns simulated peers that announce the
+// Kherson Table-5 prefixes, withdraw them during the Mykolaiv cable-cut
+// window, and re-announce them afterwards, printing RIB snapshots as the
+// event unfolds.
+//
+// Usage:
+//
+//	bgpcollector [-listen 127.0.0.1:1790] [-demo] [-snapshots 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"countrymon/internal/bgp"
+	"countrymon/internal/netmodel"
+	"countrymon/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	listen := flag.String("listen", "127.0.0.1:0", "collector listen address")
+	demo := flag.Bool("demo", true, "run the cable-cut demo with simulated peers")
+	snapshots := flag.Int("snapshots", 3, "demo RIB snapshots to print")
+	flag.Parse()
+
+	col, err := bgp.NewCollector(*listen, 65000, netmodel.MustParseAddr("192.0.2.100"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer col.Close()
+	log.Printf("collector listening on %v (AS65000)", col.Addr())
+
+	if !*demo {
+		select {} // serve until killed
+	}
+
+	sc := sim.MustBuild(sim.Config{Seed: 1, Scale: 0.02})
+	const russianUpstream = netmodel.ASN(12389) // Rostelecom
+	suspects := map[netmodel.ASN]bool{russianUpstream: true}
+
+	// One speaker per Kherson AS, announcing via a Ukrainian upstream.
+	var speakers []*bgp.Speaker
+	for i, asn := range sim.KhersonASNs() {
+		as := sc.Space.Lookup(asn)
+		if as == nil {
+			continue
+		}
+		sp, err := bgp.Dial(col.Addr().String(), netmodel.ASN(64512+i), netmodel.MustParseAddr("192.0.2.1"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sp.Close()
+		if err := sp.Announce(asn, nil, netmodel.MustParseAddr("192.0.2.1"), as.Prefixes...); err != nil {
+			log.Fatal(err)
+		}
+		speakers = append(speakers, sp)
+	}
+	waitRIB(col, len(speakers))
+	printSnapshot(col, suspects, "initial table")
+
+	// Cable cut: regional ASes withdraw.
+	log.Printf("\n== simulating the 2022-04-30 cable cut: withdrawing regional prefixes ==")
+	for i, asn := range sim.KhersonRegionalASNs() {
+		as := sc.Space.Lookup(asn)
+		if as == nil || i >= len(speakers) {
+			continue
+		}
+		if err := speakers[i].Withdraw(as.Prefixes...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+	printSnapshot(col, suspects, "during cable cut")
+
+	if *snapshots > 2 {
+		// Restoration via Russian upstream (the occupation rerouting).
+		log.Printf("\n== restoration via Russian upstream (occupation rerouting) ==")
+		for i, asn := range sim.KhersonRegionalASNs() {
+			as := sc.Space.Lookup(asn)
+			if as == nil || i >= len(speakers) {
+				continue
+			}
+			if err := speakers[i].Announce(asn, []netmodel.ASN{russianUpstream},
+				netmodel.MustParseAddr("192.0.2.9"), as.Prefixes...); err != nil {
+				log.Fatal(err)
+			}
+		}
+		waitRIB(col, len(speakers))
+		printSnapshot(col, suspects, "after rerouted restoration")
+	}
+}
+
+func waitRIB(col *bgp.Collector, minRoutes int) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if col.RIB().Len() >= minRoutes {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func printSnapshot(col *bgp.Collector, suspects map[netmodel.ASN]bool, label string) {
+	snap := col.RIB().Snapshot(suspects)
+	type row struct {
+		asn    netmodel.ASN
+		blocks int
+		rer    bool
+	}
+	var rows []row
+	for asn, n := range snap.PerAS {
+		rer := false
+		for blk, origin := range snap.BlockOrigin {
+			if origin == asn && snap.Rerouted[blk] {
+				rer = true
+				break
+			}
+		}
+		rows = append(rows, row{asn, n, rer})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].asn < rows[j].asn })
+	fmt.Printf("\n-- %s: %d routes, %d origin ASes --\n", label, col.RIB().Len(), len(rows))
+	for _, r := range rows {
+		flag := ""
+		if r.rer {
+			flag = "  [via Russian upstream]"
+		}
+		fmt.Printf("%-10v %3d routed /24s%s\n", r.asn, r.blocks, flag)
+	}
+}

@@ -1,0 +1,131 @@
+// Command fbscan is the standalone full-block scanner: probe a set of CIDR
+// targets once and print per-block responsiveness, ZMap-style.
+//
+// Two transports are available without privileges:
+//
+//	-mode sim   probe the simulated Ukraine scenario (default)
+//	-mode udp   probe through a UDP tunnel wire-server started in-process
+//	            (real sockets, real timing)
+//
+// Usage:
+//
+//	fbscan [-mode sim|udp] [-rate 8000] [-at 2022-05-01T12:00:00Z]
+//	       [-seed 1] [-scale 0.05] [cidr ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"countrymon/internal/netmodel"
+	"countrymon/internal/scanner"
+	"countrymon/internal/sim"
+	"countrymon/internal/simnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	mode := flag.String("mode", "sim", "transport: sim or udp")
+	rate := flag.Int("rate", scanner.DefaultRate, "probe rate (packets/second)")
+	atStr := flag.String("at", "2022-05-01T12:00:00Z", "simulated scan time (RFC 3339)")
+	seed := flag.Uint64("seed", 1, "scan + scenario seed")
+	scale := flag.Float64("scale", 0.05, "scenario scale")
+	blocklist := flag.String("blocklist", "", "ZMap-style exclusion file")
+	shard := flag.Int("shard", 0, "this vantage's shard index")
+	shards := flag.Int("shards", 1, "total shards")
+	probes := flag.Int("probes", 1, "probes per address (retransmissions)")
+	flag.Parse()
+
+	var exclude []netmodel.Prefix
+	if *blocklist != "" {
+		f, err := os.Open(*blocklist)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exclude, err = scanner.ParseBlocklist(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("excluding %d ranges from %s", len(exclude), *blocklist)
+	}
+
+	at, err := time.Parse(time.RFC3339, *atStr)
+	if err != nil {
+		log.Fatalf("bad -at: %v", err)
+	}
+
+	sc := sim.MustBuild(sim.Config{Seed: *seed, Scale: *scale})
+	var prefixes []netmodel.Prefix
+	if flag.NArg() > 0 {
+		for _, arg := range flag.Args() {
+			p, err := netmodel.ParsePrefix(arg)
+			if err != nil {
+				log.Fatalf("bad target %q: %v", arg, err)
+			}
+			prefixes = append(prefixes, p)
+		}
+	} else {
+		// Default: the Kherson Table-5 address space.
+		for _, asn := range sim.KhersonASNs() {
+			if as := sc.Space.Lookup(asn); as != nil {
+				prefixes = append(prefixes, as.Prefixes...)
+			}
+		}
+	}
+	targets, err := scanner.NewTargetSet(prefixes, exclude)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("scanning %d /24 blocks (%d addresses) at %v, %d pps, mode=%s",
+		targets.NumBlocks(), targets.Len(), at, *rate, *mode)
+
+	var rd *scanner.RoundData
+	switch *mode {
+	case "sim":
+		net := simnet.New(netmodel.MustParseAddr("198.51.100.1"), sc.Responder(), at)
+		s := scanner.New(net, scanner.Config{
+			Rate: *rate, Seed: *seed, Epoch: 1, Clock: net, Cooldown: 4 * time.Second,
+			Shard: *shard, Shards: *shards, ProbesPerAddr: *probes,
+		})
+		rd, err = s.Run(targets)
+	case "udp":
+		srv, serr := simnet.NewWireServer("127.0.0.1:0", sc.Responder())
+		if serr != nil {
+			log.Fatal(serr)
+		}
+		defer srv.Close()
+		tr, derr := simnet.DialUDP(srv.Addr(), netmodel.MustParseAddr("198.51.100.1"))
+		if derr != nil {
+			log.Fatal(derr)
+		}
+		defer tr.Close()
+		s := scanner.New(tr, scanner.Config{
+			Rate: *rate, Seed: *seed, Epoch: 1, Cooldown: 2 * time.Second,
+			Shard: *shard, Shards: *shards, ProbesPerAddr: *probes,
+		})
+		rd, err = s.Run(targets)
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-20s %6s %9s\n", "block", "resp", "mean RTT")
+	for i := range rd.Blocks {
+		br := &rd.Blocks[i]
+		if br.RespCount == 0 {
+			continue
+		}
+		fmt.Printf("%-20s %6d %9v\n", br.Block, br.RespCount, br.MeanRTT().Round(time.Millisecond))
+	}
+	st := rd.Stats
+	fmt.Printf("\nsent %d, valid %d (%.1f%%), dup %d, invalid %d, non-echo %d, elapsed %v\n",
+		st.Sent, st.Valid, 100*float64(st.Valid)/float64(st.Sent), st.Duplicates, st.Invalid, st.NonEcho,
+		st.Elapsed.Round(time.Millisecond))
+}

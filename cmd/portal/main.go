@@ -1,0 +1,73 @@
+// Command portal serves the campaign's public web presence: the measurement
+// information page, the self-service opt-out endpoint, and token-gated
+// access to block-level availability data and anonymized responsiveness
+// (Appendix A's ethics posture).
+//
+// Usage:
+//
+//	portal [-listen 127.0.0.1:8080] [-data data.cmds] [-token t1 -token t2]
+//	       [-scale 0.05]
+//
+// Without -data, a fresh simulated campaign provides the dataset.
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"countrymon/internal/dataset"
+	"countrymon/internal/portal"
+	"countrymon/internal/sim"
+)
+
+type tokenList []string
+
+func (t *tokenList) String() string     { return strings.Join(*t, ",") }
+func (t *tokenList) Set(v string) error { *t = append(*t, v); return nil }
+
+func main() {
+	log.SetFlags(0)
+	listen := flag.String("listen", "127.0.0.1:8080", "listen address")
+	data := flag.String("data", "", "dataset file (default: generate a simulated campaign)")
+	scale := flag.Float64("scale", 0.05, "scenario scale when generating")
+	var tokens tokenList
+	flag.Var(&tokens, "token", "approved research-access token (repeatable)")
+	flag.Parse()
+
+	var store *dataset.Store
+	if *data != "" {
+		var err error
+		store, err = dataset.Load(*data)
+		if err != nil {
+			log.Fatalf("load: %v", err)
+		}
+		log.Printf("serving %s: %d blocks × %d rounds", *data, store.NumBlocks(), store.Timeline().NumRounds())
+	} else {
+		log.Printf("generating simulated campaign (scale %.2f)...", *scale)
+		sc := sim.MustBuild(sim.Config{Seed: 1, Scale: *scale})
+		store = sc.GenerateStore(nil)
+	}
+
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		log.Fatal(err)
+	}
+	if len(tokens) == 0 {
+		t := make([]byte, 12)
+		if _, err := rand.Read(t); err != nil {
+			log.Fatal(err)
+		}
+		tokens = append(tokens, hex.EncodeToString(t))
+		log.Printf("generated research-access token: %s", tokens[0])
+	}
+
+	p := portal.New(store, key, tokens...)
+	log.Printf("portal listening on http://%s/", *listen)
+	fmt.Println("endpoints: /  /opt-out  /data/blocks?token=&month=  /data/responsiveness?token=&block=&month=")
+	log.Fatal(http.ListenAndServe(*listen, p))
+}

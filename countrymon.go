@@ -1,0 +1,349 @@
+// Package countrymon is a country-scale Internet outage monitor built on
+// active full-block ICMP scans, reproducing the measurement system of
+// "Tracking Internet Disruptions in Ukraine: Insights from Three Years of
+// Active Full Block Scans" (IMC 2025).
+//
+// The Monitor orchestrates the full pipeline: a ZMap-style scanner probes
+// every address of the target /24 blocks over a pluggable transport (the
+// simulated war scenario, a UDP tunnel, or a raw socket), observations
+// accumulate in a round-indexed store, BGP snapshots mark routedness, and
+// the three availability signals — BGP★ routed blocks, FBS■ active full
+// blocks, IPS▲ responsive addresses — are compared against a seven-day
+// moving average to detect outages per AS or per region.
+//
+//	mon, _ := countrymon.New(countrymon.Options{
+//	    Transport: transport,          // e.g. simnet.Network or UDP tunnel
+//	    Clock:     clock,
+//	    Targets:   prefixes,           // e.g. from a RIPE delegation file
+//	    Start:     start, End: end, Interval: 2 * time.Hour,
+//	})
+//	for mon.NextRound() { mon.ScanRound() }
+//	det := mon.DetectAS(25482)
+package countrymon
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"countrymon/internal/bgp"
+	"countrymon/internal/dataset"
+	"countrymon/internal/geodb"
+	"countrymon/internal/netmodel"
+	"countrymon/internal/regional"
+	"countrymon/internal/scanner"
+	"countrymon/internal/signals"
+	"countrymon/internal/timeline"
+)
+
+// Re-exported building blocks, so downstream code works with one import.
+type (
+	// Addr is an IPv4 address.
+	Addr = netmodel.Addr
+	// Prefix is a CIDR prefix.
+	Prefix = netmodel.Prefix
+	// BlockID identifies a /24 block.
+	BlockID = netmodel.BlockID
+	// ASN is an autonomous-system number.
+	ASN = netmodel.ASN
+	// Region is one of Ukraine's 26 analysed regions.
+	Region = netmodel.Region
+	// Outage is a detected disruption event.
+	Outage = signals.Outage
+	// Detection is a per-round and per-event outage verdict.
+	Detection = signals.Detection
+	// Transport carries raw IPv4 datagrams.
+	Transport = scanner.Transport
+	// Clock abstracts time for virtual-time scanning.
+	Clock = scanner.Clock
+	// Stats summarizes one scan round.
+	Stats = scanner.Stats
+)
+
+// Signal kind bits of a Detection.
+const (
+	SignalBGP = signals.SignalBGP
+	SignalFBS = signals.SignalFBS
+	SignalIPS = signals.SignalIPS
+)
+
+// ParsePrefix parses "a.b.c.d/n".
+func ParsePrefix(s string) (Prefix, error) { return netmodel.ParsePrefix(s) }
+
+// ParseAddr parses dotted-quad notation.
+func ParseAddr(s string) (Addr, error) { return netmodel.ParseAddr(s) }
+
+// Options configures a Monitor.
+type Options struct {
+	// Transport carries probes; Clock drives pacing (defaults to the wall
+	// clock). When Transport implements Clock (the simulated network
+	// does), it is used as the clock automatically.
+	Transport Transport
+	Clock     Clock
+
+	// Targets are the probed prefixes (de-aggregated to /24 blocks);
+	// Exclude removes ranges, ZMap-blocklist style.
+	Targets []Prefix
+	Exclude []Prefix
+
+	// Start, End and Interval define the measurement timeline. End may be
+	// zero for open-ended campaigns sized by Rounds.
+	Start    time.Time
+	End      time.Time
+	Interval time.Duration
+	Rounds   int
+
+	// Rate is the probing rate in packets/second (default 8000, the
+	// campaign's ethical budget); Seed makes probe order and validation
+	// deterministic.
+	Rate int
+	Seed uint64
+
+	// Origins maps each /24 block's origin AS. When nil, AS-level queries
+	// need ApplyBGPSnapshot to have been called (origins are learned from
+	// routing).
+	Origins map[BlockID]ASN
+}
+
+// Monitor is the orchestrated measurement pipeline.
+type Monitor struct {
+	opts    Options
+	tl      *timeline.Timeline
+	targets *scanner.TargetSet
+	store   *dataset.Store
+	origins map[BlockID]ASN
+	round   int
+
+	sigOnce  bool
+	sigBuild *signals.Builder
+
+	classifier     *regional.Classifier
+	classification *regional.Result
+}
+
+// New validates options and builds the monitor.
+func New(opts Options) (*Monitor, error) {
+	if opts.Transport == nil {
+		return nil, errors.New("countrymon: Transport is required")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = timeline.DefaultInterval
+	}
+	if opts.Start.IsZero() {
+		opts.Start = time.Now().UTC().Truncate(opts.Interval)
+	}
+	if opts.End.IsZero() {
+		if opts.Rounds <= 0 {
+			return nil, errors.New("countrymon: either End or Rounds must be set")
+		}
+		opts.End = opts.Start.Add(time.Duration(opts.Rounds-1) * opts.Interval)
+	}
+	if opts.Clock == nil {
+		if c, ok := opts.Transport.(Clock); ok {
+			opts.Clock = c
+		} else {
+			opts.Clock = scanner.RealClock{}
+		}
+	}
+	targets, err := scanner.NewTargetSet(opts.Targets, opts.Exclude)
+	if err != nil {
+		return nil, fmt.Errorf("countrymon: %w", err)
+	}
+	tl := timeline.New(opts.Start, opts.End, opts.Interval)
+	m := &Monitor{
+		opts:    opts,
+		tl:      tl,
+		targets: targets,
+		store:   dataset.NewStore(tl, targets.Blocks()),
+		origins: make(map[BlockID]ASN),
+	}
+	for b, asn := range opts.Origins {
+		m.origins[b] = asn
+	}
+	return m, nil
+}
+
+// Timeline returns the campaign timeline.
+func (m *Monitor) Timeline() *timeline.Timeline { return m.tl }
+
+// Store exposes the raw observation store.
+func (m *Monitor) Store() *dataset.Store { return m.store }
+
+// Round returns the next round index to be scanned.
+func (m *Monitor) Round() int { return m.round }
+
+// NextRound reports whether another round remains.
+func (m *Monitor) NextRound() bool { return m.round < m.tl.NumRounds() }
+
+// MarkMissing records the current round as a vantage outage and skips it.
+func (m *Monitor) MarkMissing() {
+	if m.NextRound() {
+		m.store.SetMissing(m.round)
+		m.round++
+	}
+}
+
+// ScanRound probes every target once and ingests the results at the current
+// round index.
+func (m *Monitor) ScanRound() (Stats, error) {
+	if !m.NextRound() {
+		return Stats{}, errors.New("countrymon: campaign complete")
+	}
+	// Align with the round's scheduled time (advances virtual clocks;
+	// sleeps until the slot on real deployments).
+	if wait := m.tl.Time(m.round).Sub(m.opts.Clock.Now()); wait > 0 {
+		m.opts.Clock.Sleep(wait)
+	}
+	sc := scanner.New(m.opts.Transport, scanner.Config{
+		Rate:  m.opts.Rate,
+		Seed:  m.opts.Seed,
+		Epoch: uint32(m.round + 1),
+		Clock: m.opts.Clock,
+	})
+	rd, err := sc.Run(m.targets)
+	if err != nil {
+		return Stats{}, err
+	}
+	m.store.AddRoundData(m.round, rd)
+	m.invalidate()
+	m.round++
+	return rd.Stats, nil
+}
+
+// ApplyBGPSnapshot marks routedness for the current or given round from a
+// collector snapshot (pass round < 0 for "the round about to be scanned").
+// Origins are learned from the snapshot for AS-level queries.
+func (m *Monitor) ApplyBGPSnapshot(snap *bgp.Snapshot, round int) {
+	if round < 0 {
+		round = m.round
+	}
+	if round >= m.tl.NumRounds() {
+		return
+	}
+	for bi, blk := range m.store.Blocks() {
+		asn, routed := snap.BlockOrigin[blk]
+		m.store.SetRound(bi, round, m.store.Resp(bi, round), routed)
+		if routed {
+			m.origins[blk] = asn
+		}
+	}
+	m.invalidate()
+}
+
+// SetRouted marks a block's routedness directly (for pipelines that consume
+// table dumps rather than a live collector).
+func (m *Monitor) SetRouted(blk BlockID, round int, routed bool, origin ASN) {
+	bi := m.store.BlockIndex(blk)
+	if bi < 0 {
+		return
+	}
+	m.store.SetRound(bi, round, m.store.Resp(bi, round), routed)
+	if origin != 0 {
+		m.origins[blk] = origin
+	}
+	m.invalidate()
+}
+
+func (m *Monitor) invalidate() { m.sigOnce = false }
+
+// space materializes a netmodel.Space from the learned origins.
+func (m *Monitor) builder() *signals.Builder {
+	if m.sigOnce && m.sigBuild != nil {
+		return m.sigBuild
+	}
+	byAS := make(map[ASN][]Prefix)
+	for _, blk := range m.store.Blocks() {
+		asn := m.origins[blk]
+		if asn == 0 {
+			continue
+		}
+		byAS[asn] = append(byAS[asn], Prefix{Base: blk.First(), Bits: 24})
+	}
+	var ases []*netmodel.AS
+	for asn, ps := range byAS {
+		ases = append(ases, &netmodel.AS{ASN: asn, Prefixes: ps})
+	}
+	space, err := netmodel.BuildSpace(ases)
+	if err != nil {
+		// Origins come from our own map keyed by block, so overlaps are
+		// impossible; a failure here is a programming error.
+		panic(err)
+	}
+	m.sigBuild = signals.NewBuilder(m.store, space)
+	m.sigOnce = true
+	return m.sigBuild
+}
+
+// DetectAS runs outage detection for one AS with the paper's AS-level
+// thresholds.
+func (m *Monitor) DetectAS(asn ASN) *Detection {
+	return signals.Detect(m.builder().AS(asn), signals.ASConfig())
+}
+
+// ASSeries exposes the raw per-round signals of an AS.
+func (m *Monitor) ASSeries(asn ASN) *signals.EntitySeries { return m.builder().AS(asn) }
+
+// ClassifyRegions runs the regional classification (§4, M = T_perc = 0.7)
+// against monthly geolocation snapshots, enabling region-level detection.
+// Call it after the campaign's observations (and routedness) are ingested.
+func (m *Monitor) ClassifyRegions(db *geodb.DB) error {
+	if db == nil || db.Months() == 0 {
+		return errors.New("countrymon: geolocation database required")
+	}
+	b := m.builder() // materializes the Space from learned origins
+	cl := regional.NewClassifier(m.spaceOf(b), db, m.store)
+	m.classifier = cl
+	m.classification = cl.ClassifyAll(regional.DefaultParams())
+	return nil
+}
+
+// spaceOf rebuilds the Space used by the current builder (origins must not
+// have changed since).
+func (m *Monitor) spaceOf(_ *signals.Builder) *netmodel.Space {
+	byAS := make(map[ASN][]Prefix)
+	for _, blk := range m.store.Blocks() {
+		if asn := m.origins[blk]; asn != 0 {
+			byAS[asn] = append(byAS[asn], Prefix{Base: blk.First(), Bits: 24})
+		}
+	}
+	var ases []*netmodel.AS
+	for asn, ps := range byAS {
+		ases = append(ases, &netmodel.AS{ASN: asn, Prefixes: ps})
+	}
+	return netmodel.MustBuildSpace(ases)
+}
+
+// DetectRegion runs regional outage detection with the paper's region-level
+// thresholds. ClassifyRegions must have been called.
+func (m *Monitor) DetectRegion(r Region) (*Detection, error) {
+	if m.classification == nil {
+		return nil, errors.New("countrymon: call ClassifyRegions first")
+	}
+	rr := m.classification.Regions[r]
+	if rr == nil {
+		return nil, fmt.Errorf("countrymon: no classification for %v", r)
+	}
+	es := m.builder().Region(rr, m.classifier)
+	return signals.Detect(es, signals.RegionConfig()), nil
+}
+
+// RegionalASes returns the ASes classified regional for r (empty before
+// ClassifyRegions).
+func (m *Monitor) RegionalASes(r Region) []ASN {
+	if m.classification == nil {
+		return nil
+	}
+	rr := m.classification.Regions[r]
+	if rr == nil {
+		return nil
+	}
+	var out []ASN
+	for asn, class := range rr.AS {
+		if class == regional.ASRegional {
+			out = append(out, asn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,142 @@
+package countrymon
+
+import (
+	"testing"
+	"time"
+
+	"countrymon/internal/bgp"
+	"countrymon/internal/netmodel"
+	"countrymon/internal/simnet"
+)
+
+// outageResponder answers all hosts < density, except during [from, to)
+// where everything is silent.
+func outageResponder(density uint8, from, to time.Time) simnet.Responder {
+	return simnet.ResponderFunc(func(dst netmodel.Addr, at time.Time) simnet.Reply {
+		if !at.Before(from) && at.Before(to) {
+			return simnet.Reply{Kind: simnet.NoReply}
+		}
+		if dst.HostByte() < density {
+			return simnet.Reply{Kind: simnet.EchoReply, RTT: 30 * time.Millisecond}
+		}
+		return simnet.Reply{Kind: simnet.NoReply}
+	})
+}
+
+func TestMonitorEndToEnd(t *testing.T) {
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	const rounds = 400
+	outFrom := start.Add(300 * 2 * time.Hour)
+	outTo := outFrom.Add(20 * 2 * time.Hour)
+	net := simnet.New(netmodel.MustParseAddr("198.51.100.1"), outageResponder(40, outFrom, outTo), start)
+
+	targets := []Prefix{netmodel.MustParsePrefix("91.198.4.0/23")}
+	mon, err := New(Options{
+		Transport: net,
+		Targets:   targets,
+		Start:     start, Rounds: rounds, Interval: 2 * time.Hour,
+		Rate: 0, Seed: 7,
+		Origins: map[BlockID]ASN{
+			netmodel.MustParseBlock("91.198.4.0/24"): 25482,
+			netmodel.MustParseBlock("91.198.5.0/24"): 25482,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.Timeline().NumRounds() != rounds {
+		t.Fatalf("rounds = %d", mon.Timeline().NumRounds())
+	}
+	for mon.NextRound() {
+		round := mon.Round()
+		// Routedness: always routed in this scenario.
+		for _, blk := range mon.Store().Blocks() {
+			mon.SetRouted(blk, round, true, 25482)
+		}
+		stats, err := mon.ScanRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Sent != 512 {
+			t.Fatalf("round %d: sent %d", round, stats.Sent)
+		}
+	}
+	det := mon.DetectAS(25482)
+	if len(det.Outages) != 1 {
+		t.Fatalf("outages = %d, want 1 (%+v)", len(det.Outages), det.Outages)
+	}
+	o := det.Outages[0]
+	if o.Start != 300 || o.End != 320 {
+		t.Errorf("outage [%d,%d), want [300,320)", o.Start, o.End)
+	}
+	if !o.Signals.Has(SignalIPS) {
+		t.Errorf("signals = %v", o.Signals)
+	}
+	if o.Duration(2*time.Hour) != 40*time.Hour {
+		t.Errorf("duration = %v", o.Duration(2*time.Hour))
+	}
+}
+
+func TestMonitorApplyBGPSnapshot(t *testing.T) {
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	net := simnet.New(netmodel.MustParseAddr("198.51.100.1"), outageResponder(10, start, start), start)
+	mon, err := New(Options{
+		Transport: net,
+		Targets:   []Prefix{netmodel.MustParsePrefix("10.0.0.0/23")},
+		Start:     start, Rounds: 5, Interval: 2 * time.Hour, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rib := bgp.NewRIB()
+	rib.Announce(bgp.Route{Prefix: netmodel.MustParsePrefix("10.0.0.0/24"), Path: []ASN{64512, 100}, NextHop: 1})
+	snap := rib.Snapshot(nil)
+	mon.ApplyBGPSnapshot(snap, 0)
+	st := mon.Store()
+	if !st.Routed(st.BlockIndex(netmodel.MustParseBlock("10.0.0.0/24")), 0) {
+		t.Error("announced block not routed")
+	}
+	if st.Routed(st.BlockIndex(netmodel.MustParseBlock("10.0.1.0/24")), 0) {
+		t.Error("unannounced block routed")
+	}
+	// Origins learned: series exists for AS100.
+	es := mon.ASSeries(100)
+	if es.BGP[0] != 1 {
+		t.Errorf("AS100 BGP[0] = %f", es.BGP[0])
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("missing transport accepted")
+	}
+	net := simnet.New(1, simnet.ResponderFunc(func(netmodel.Addr, time.Time) simnet.Reply {
+		return simnet.Reply{}
+	}), time.Unix(0, 0))
+	if _, err := New(Options{Transport: net, Targets: []Prefix{netmodel.MustParsePrefix("10.0.0.0/24")}}); err == nil {
+		t.Error("missing End/Rounds accepted")
+	}
+	if _, err := New(Options{Transport: net, Rounds: 1}); err == nil {
+		t.Error("missing targets accepted")
+	}
+}
+
+func TestMonitorMarkMissing(t *testing.T) {
+	start := time.Unix(0, 0).UTC()
+	net := simnet.New(1, outageResponder(5, start, start), start)
+	mon, err := New(Options{
+		Transport: net,
+		Targets:   []Prefix{netmodel.MustParsePrefix("10.0.0.0/24")},
+		Start:     start, Rounds: 3, Interval: time.Hour, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.MarkMissing()
+	if !mon.Store().Missing(0) {
+		t.Error("round 0 not missing")
+	}
+	if mon.Round() != 1 {
+		t.Error("round not advanced")
+	}
+}

@@ -1,0 +1,36 @@
+// Powercorr: correlate Internet disruptions with the Ukrenergo-style power
+// outage dataset for 2024 (Fig 10), and show that the regional
+// classification is what makes the correlation visible (ablation A2).
+//
+//	go run ./examples/powercorr [-scale 0.08]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"countrymon/internal/experiments"
+	"countrymon/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Float64("scale", 0.08, "scenario scale")
+	flag.Parse()
+
+	log.Printf("building campaign (scale %.2f) and both detection pipelines...", *scale)
+	env := experiments.New(sim.Config{Seed: 1, Scale: *scale})
+
+	for _, id := range []string{"F10", "F26", "A2"} {
+		ex, _ := experiments.ByID(id)
+		rep := ex.Run(env)
+		fmt.Print(rep.String())
+		fmt.Println()
+	}
+
+	fmt.Println("Reading: in non-frontline oblasts, Internet disruptions track the power")
+	fmt.Println("schedule closely (the paper reports r = 0.725); with IODA's any-presence")
+	fmt.Println("attribution the relationship washes out (r = 0.328), and frontline oblasts")
+	fmt.Println("correlate weakly because kinetic damage, not load shedding, drives outages.")
+}

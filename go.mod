@@ -1,0 +1,3 @@
+module countrymon
+
+go 1.22

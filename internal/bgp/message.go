@@ -1,0 +1,449 @@
+// Package bgp implements the routing substrate of the monitor: a BGP-4 wire
+// codec (RFC 4271, with 4-octet AS numbers per RFC 6793), a route collector
+// that accepts peer sessions over TCP and maintains a RIB, and a simulated
+// speaker that announces/withdraws prefixes as scripted war events unfold.
+//
+// The BGP★ outage signal is derived from RIB snapshots: the number of routed
+// /24 blocks per origin AS (and per region), exactly as the paper derives it
+// from RouteViews dumps.
+package bgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"countrymon/internal/netmodel"
+)
+
+// Message types (RFC 4271 §4.1).
+const (
+	typeOpen         = 1
+	typeUpdate       = 2
+	typeNotification = 3
+	typeKeepalive    = 4
+)
+
+// Wire size limits.
+const (
+	headerLen  = 19
+	maxMsgLen  = 4096
+	markerLen  = 16
+	bgpVersion = 4
+)
+
+// Capability codes used in OPEN.
+const (
+	capMultiprotocol = 1
+	capFourOctetAS   = 65
+)
+
+// Origin attribute values.
+const (
+	OriginIGP        = 0
+	OriginEGP        = 1
+	OriginIncomplete = 2
+)
+
+// Path attribute type codes.
+const (
+	attrOrigin  = 1
+	attrASPath  = 2
+	attrNextHop = 3
+)
+
+// AS_PATH segment types.
+const (
+	asSet      = 1
+	asSequence = 2
+)
+
+// Errors surfaced by the codec.
+var (
+	ErrShortMessage = errors.New("bgp: short message")
+	ErrBadMarker    = errors.New("bgp: bad marker")
+	ErrMsgTooLong   = errors.New("bgp: message exceeds 4096 bytes")
+	ErrBadType      = errors.New("bgp: unknown message type")
+)
+
+// Open is a BGP OPEN message. Four-octet AS numbers are always advertised
+// via the RFC 6793 capability; ASNs above 65535 are sent as AS_TRANS in the
+// two-octet field.
+type Open struct {
+	ASN      netmodel.ASN
+	HoldTime uint16
+	BGPID    netmodel.Addr
+}
+
+// Update is a BGP UPDATE message: withdrawn prefixes and/or announced
+// prefixes sharing one set of path attributes.
+type Update struct {
+	Withdrawn []netmodel.Prefix
+	Origin    uint8
+	ASPath    []netmodel.ASN
+	NextHop   netmodel.Addr
+	NLRI      []netmodel.Prefix
+}
+
+// OriginASN returns the last AS in the path (the route's origin), or 0.
+func (u *Update) OriginASN() netmodel.ASN {
+	if len(u.ASPath) == 0 {
+		return 0
+	}
+	return u.ASPath[len(u.ASPath)-1]
+}
+
+// Notification is a BGP NOTIFICATION message.
+type Notification struct {
+	Code, Subcode uint8
+	Data          []byte
+}
+
+func (n *Notification) Error() string {
+	return fmt.Sprintf("bgp: notification code %d subcode %d", n.Code, n.Subcode)
+}
+
+// Keepalive is a BGP KEEPALIVE message.
+type Keepalive struct{}
+
+// asTrans is the 2-octet placeholder for 4-octet ASNs (RFC 6793).
+const asTrans = 23456
+
+func putHeader(b []byte, msgType uint8) {
+	for i := 0; i < markerLen; i++ {
+		b[i] = 0xff
+	}
+	binary.BigEndian.PutUint16(b[16:], uint16(len(b)))
+	b[18] = msgType
+}
+
+// MarshalOpen encodes an OPEN message.
+func MarshalOpen(o Open) []byte {
+	// Capabilities: 4-octet AS (code 65, 4 bytes) inside one optional
+	// parameter of type 2.
+	caps := []byte{capFourOctetAS, 4, 0, 0, 0, 0}
+	binary.BigEndian.PutUint32(caps[2:], uint32(o.ASN))
+	optParams := append([]byte{2, byte(len(caps))}, caps...)
+
+	total := headerLen + 10 + len(optParams)
+	b := make([]byte, total)
+	p := b[headerLen:]
+	p[0] = bgpVersion
+	twoOctet := uint16(asTrans)
+	if o.ASN <= 0xffff {
+		twoOctet = uint16(o.ASN)
+	}
+	binary.BigEndian.PutUint16(p[1:], twoOctet)
+	binary.BigEndian.PutUint16(p[3:], o.HoldTime)
+	id := o.BGPID.Bytes()
+	copy(p[5:9], id[:])
+	p[9] = byte(len(optParams))
+	copy(p[10:], optParams)
+	putHeader(b, typeOpen)
+	return b
+}
+
+func parseOpen(p []byte) (Open, error) {
+	if len(p) < 10 {
+		return Open{}, ErrShortMessage
+	}
+	if p[0] != bgpVersion {
+		return Open{}, fmt.Errorf("bgp: unsupported version %d", p[0])
+	}
+	o := Open{
+		ASN:      netmodel.ASN(binary.BigEndian.Uint16(p[1:])),
+		HoldTime: binary.BigEndian.Uint16(p[3:]),
+		BGPID:    netmodel.AddrFromBytes([4]byte(p[5:9])),
+	}
+	optLen := int(p[9])
+	if len(p) < 10+optLen {
+		return Open{}, ErrShortMessage
+	}
+	opts := p[10 : 10+optLen]
+	for len(opts) >= 2 {
+		ptype, plen := opts[0], int(opts[1])
+		if len(opts) < 2+plen {
+			return Open{}, ErrShortMessage
+		}
+		body := opts[2 : 2+plen]
+		if ptype == 2 { // capabilities
+			for len(body) >= 2 {
+				code, clen := body[0], int(body[1])
+				if len(body) < 2+clen {
+					return Open{}, ErrShortMessage
+				}
+				if code == capFourOctetAS && clen == 4 {
+					o.ASN = netmodel.ASN(binary.BigEndian.Uint32(body[2:6]))
+				}
+				body = body[2+clen:]
+			}
+		}
+		opts = opts[2+plen:]
+	}
+	return o, nil
+}
+
+// MarshalKeepalive encodes a KEEPALIVE message.
+func MarshalKeepalive() []byte {
+	b := make([]byte, headerLen)
+	putHeader(b, typeKeepalive)
+	return b
+}
+
+// MarshalNotification encodes a NOTIFICATION message.
+func MarshalNotification(n Notification) []byte {
+	b := make([]byte, headerLen+2+len(n.Data))
+	b[headerLen] = n.Code
+	b[headerLen+1] = n.Subcode
+	copy(b[headerLen+2:], n.Data)
+	putHeader(b, typeNotification)
+	return b
+}
+
+func prefixWireLen(p netmodel.Prefix) int { return 1 + (int(p.Bits)+7)/8 }
+
+func putPrefix(b []byte, p netmodel.Prefix) int {
+	b[0] = p.Bits
+	nb := (int(p.Bits) + 7) / 8
+	base := p.Base.Bytes()
+	copy(b[1:1+nb], base[:nb])
+	return 1 + nb
+}
+
+func getPrefix(b []byte) (netmodel.Prefix, int, error) {
+	if len(b) < 1 {
+		return netmodel.Prefix{}, 0, ErrShortMessage
+	}
+	bits := b[0]
+	if bits > 32 {
+		return netmodel.Prefix{}, 0, fmt.Errorf("bgp: prefix length %d", bits)
+	}
+	nb := (int(bits) + 7) / 8
+	if len(b) < 1+nb {
+		return netmodel.Prefix{}, 0, ErrShortMessage
+	}
+	var raw [4]byte
+	copy(raw[:], b[1:1+nb])
+	p, err := netmodel.NewPrefix(netmodel.AddrFromBytes(raw), bits)
+	return p, 1 + nb, err
+}
+
+// MarshalUpdate encodes an UPDATE message with 4-octet AS_PATH encoding.
+func MarshalUpdate(u Update) ([]byte, error) {
+	var wd []byte
+	for _, p := range u.Withdrawn {
+		buf := make([]byte, prefixWireLen(p))
+		putPrefix(buf, p)
+		wd = append(wd, buf...)
+	}
+
+	var attrs []byte
+	if len(u.NLRI) > 0 {
+		var err error
+		attrs, err = marshalPathAttrs(u.Origin, u.ASPath, u.NextHop)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var nlri []byte
+	for _, p := range u.NLRI {
+		buf := make([]byte, prefixWireLen(p))
+		putPrefix(buf, p)
+		nlri = append(nlri, buf...)
+	}
+
+	total := headerLen + 2 + len(wd) + 2 + len(attrs) + len(nlri)
+	if total > maxMsgLen {
+		return nil, ErrMsgTooLong
+	}
+	b := make([]byte, total)
+	p := b[headerLen:]
+	binary.BigEndian.PutUint16(p[0:], uint16(len(wd)))
+	copy(p[2:], wd)
+	off := 2 + len(wd)
+	binary.BigEndian.PutUint16(p[off:], uint16(len(attrs)))
+	copy(p[off+2:], attrs)
+	copy(p[off+2+len(attrs):], nlri)
+	putHeader(b, typeUpdate)
+	return b, nil
+}
+
+func parseUpdate(p []byte) (Update, error) {
+	var u Update
+	if len(p) < 4 {
+		return u, ErrShortMessage
+	}
+	wdLen := int(binary.BigEndian.Uint16(p[0:]))
+	if len(p) < 2+wdLen+2 {
+		return u, ErrShortMessage
+	}
+	wd := p[2 : 2+wdLen]
+	for len(wd) > 0 {
+		pre, n, err := getPrefix(wd)
+		if err != nil {
+			return u, err
+		}
+		u.Withdrawn = append(u.Withdrawn, pre)
+		wd = wd[n:]
+	}
+	off := 2 + wdLen
+	attrLen := int(binary.BigEndian.Uint16(p[off:]))
+	if len(p) < off+2+attrLen {
+		return u, ErrShortMessage
+	}
+	if err := parsePathAttrs(p[off+2:off+2+attrLen], &u.Origin, &u.ASPath, &u.NextHop); err != nil {
+		return u, err
+	}
+	nlri := p[off+2+attrLen:]
+	for len(nlri) > 0 {
+		pre, n, err := getPrefix(nlri)
+		if err != nil {
+			return u, err
+		}
+		u.NLRI = append(u.NLRI, pre)
+		nlri = nlri[n:]
+	}
+	if len(u.NLRI) > 0 && (len(u.ASPath) == 0 || u.NextHop == 0) {
+		return u, errors.New("bgp: announcement missing mandatory attributes")
+	}
+	return u, nil
+}
+
+// marshalPathAttrs encodes the mandatory path attributes (ORIGIN, AS_PATH
+// with 4-octet AS numbers, NEXT_HOP) as used by both UPDATE messages and
+// TABLE_DUMP_V2 RIB entries.
+func marshalPathAttrs(origin uint8, asPath []netmodel.ASN, nextHop netmodel.Addr) ([]byte, error) {
+	var attrs []byte
+	attrs = append(attrs, 0x40, attrOrigin, 1, origin)
+	if len(asPath) > 255 {
+		return nil, errors.New("bgp: AS path too long")
+	}
+	seg := make([]byte, 2+4*len(asPath))
+	seg[0] = asSequence
+	seg[1] = byte(len(asPath))
+	for i, as := range asPath {
+		binary.BigEndian.PutUint32(seg[2+4*i:], uint32(as))
+	}
+	if len(seg) > 255 {
+		attrs = append(attrs, 0x50, attrASPath, byte(len(seg)>>8), byte(len(seg)))
+	} else {
+		attrs = append(attrs, 0x40, attrASPath, byte(len(seg)))
+	}
+	attrs = append(attrs, seg...)
+	nh := nextHop.Bytes()
+	attrs = append(attrs, 0x40, attrNextHop, 4)
+	attrs = append(attrs, nh[:]...)
+	return attrs, nil
+}
+
+// parsePathAttrs decodes a path-attribute sequence into the given fields.
+func parsePathAttrs(attrs []byte, origin *uint8, asPath *[]netmodel.ASN, nextHop *netmodel.Addr) error {
+	for len(attrs) > 0 {
+		if len(attrs) < 3 {
+			return ErrShortMessage
+		}
+		flags, code := attrs[0], attrs[1]
+		var alen, hdr int
+		if flags&0x10 != 0 { // extended length
+			if len(attrs) < 4 {
+				return ErrShortMessage
+			}
+			alen, hdr = int(binary.BigEndian.Uint16(attrs[2:])), 4
+		} else {
+			alen, hdr = int(attrs[2]), 3
+		}
+		if len(attrs) < hdr+alen {
+			return ErrShortMessage
+		}
+		body := attrs[hdr : hdr+alen]
+		switch code {
+		case attrOrigin:
+			if alen != 1 {
+				return errors.New("bgp: bad ORIGIN length")
+			}
+			*origin = body[0]
+		case attrASPath:
+			for len(body) > 0 {
+				if len(body) < 2 {
+					return ErrShortMessage
+				}
+				segType, count := body[0], int(body[1])
+				need := 2 + 4*count
+				if len(body) < need {
+					return ErrShortMessage
+				}
+				if segType != asSequence && segType != asSet {
+					return fmt.Errorf("bgp: AS_PATH segment type %d", segType)
+				}
+				for i := 0; i < count; i++ {
+					*asPath = append(*asPath, netmodel.ASN(binary.BigEndian.Uint32(body[2+4*i:])))
+				}
+				body = body[need:]
+			}
+		case attrNextHop:
+			if alen != 4 {
+				return errors.New("bgp: bad NEXT_HOP length")
+			}
+			*nextHop = netmodel.AddrFromBytes([4]byte(body))
+		}
+		attrs = attrs[hdr+alen:]
+	}
+	return nil
+}
+
+// ParseMessage decodes one complete BGP message (header included) and
+// returns *Open, *Update, *Notification or *Keepalive.
+func ParseMessage(b []byte) (interface{}, error) {
+	if len(b) < headerLen {
+		return nil, ErrShortMessage
+	}
+	for i := 0; i < markerLen; i++ {
+		if b[i] != 0xff {
+			return nil, ErrBadMarker
+		}
+	}
+	length := int(binary.BigEndian.Uint16(b[16:]))
+	if length < headerLen || length > maxMsgLen || length > len(b) {
+		return nil, ErrShortMessage
+	}
+	body := b[headerLen:length]
+	switch b[18] {
+	case typeOpen:
+		o, err := parseOpen(body)
+		if err != nil {
+			return nil, err
+		}
+		return &o, nil
+	case typeUpdate:
+		u, err := parseUpdate(body)
+		if err != nil {
+			return nil, err
+		}
+		return &u, nil
+	case typeNotification:
+		if len(body) < 2 {
+			return nil, ErrShortMessage
+		}
+		return &Notification{Code: body[0], Subcode: body[1], Data: body[2:]}, nil
+	case typeKeepalive:
+		if length != headerLen {
+			return nil, errors.New("bgp: keepalive with body")
+		}
+		return &Keepalive{}, nil
+	}
+	return nil, ErrBadType
+}
+
+// MessageLength peeks the total length of the message starting at b, which
+// must contain at least the 19-byte header.
+func MessageLength(b []byte) (int, error) {
+	if len(b) < headerLen {
+		return 0, ErrShortMessage
+	}
+	n := int(binary.BigEndian.Uint16(b[16:]))
+	if n < headerLen || n > maxMsgLen {
+		return 0, fmt.Errorf("bgp: bad message length %d", n)
+	}
+	return n, nil
+}

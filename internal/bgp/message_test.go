@@ -1,0 +1,194 @@
+package bgp
+
+import (
+	"reflect"
+	"testing"
+
+	"countrymon/internal/netmodel"
+)
+
+func TestOpenRoundTrip(t *testing.T) {
+	for _, asn := range []netmodel.ASN{25482, 211171, 215654, 65000} {
+		o := Open{ASN: asn, HoldTime: 90, BGPID: netmodel.MustParseAddr("192.0.2.1")}
+		b := MarshalOpen(o)
+		msg, err := ParseMessage(b)
+		if err != nil {
+			t.Fatalf("ASN %v: %v", asn, err)
+		}
+		got, ok := msg.(*Open)
+		if !ok {
+			t.Fatalf("got %T", msg)
+		}
+		if got.ASN != asn {
+			t.Errorf("ASN = %v, want %v (4-octet capability must carry large ASNs)", got.ASN, asn)
+		}
+		if got.HoldTime != 90 || got.BGPID != o.BGPID {
+			t.Errorf("open mismatch: %+v", got)
+		}
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	u := Update{
+		Withdrawn: []netmodel.Prefix{netmodel.MustParsePrefix("193.151.240.0/23")},
+		Origin:    OriginIGP,
+		ASPath:    []netmodel.ASN{64512, 20485, 211171},
+		NextHop:   netmodel.MustParseAddr("10.0.0.1"),
+		NLRI: []netmodel.Prefix{
+			netmodel.MustParsePrefix("91.198.4.0/24"),
+			netmodel.MustParsePrefix("176.8.0.0/19"),
+			netmodel.MustParsePrefix("0.0.0.0/0"),
+			netmodel.MustParsePrefix("10.1.2.3/32"),
+		},
+	}
+	b, err := MarshalUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ParseMessage(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := msg.(*Update)
+	if !ok {
+		t.Fatalf("got %T", msg)
+	}
+	if !reflect.DeepEqual(got.Withdrawn, u.Withdrawn) {
+		t.Errorf("withdrawn = %v", got.Withdrawn)
+	}
+	if !reflect.DeepEqual(got.ASPath, u.ASPath) {
+		t.Errorf("aspath = %v", got.ASPath)
+	}
+	if got.NextHop != u.NextHop || got.Origin != u.Origin {
+		t.Errorf("attrs mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.NLRI, u.NLRI) {
+		t.Errorf("nlri = %v, want %v", got.NLRI, u.NLRI)
+	}
+	if got.OriginASN() != 211171 {
+		t.Errorf("OriginASN = %v", got.OriginASN())
+	}
+}
+
+func TestUpdateWithdrawOnly(t *testing.T) {
+	u := Update{Withdrawn: []netmodel.Prefix{netmodel.MustParsePrefix("10.0.0.0/24")}}
+	b, err := MarshalUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ParseMessage(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := msg.(*Update)
+	if len(got.NLRI) != 0 || len(got.Withdrawn) != 1 {
+		t.Errorf("withdraw-only mismatch: %+v", got)
+	}
+}
+
+func TestUpdateMissingMandatoryAttrs(t *testing.T) {
+	// Hand-roll an update with NLRI but no attributes.
+	body := []byte{0, 0, 0, 0, 24, 10, 0, 0}
+	b := make([]byte, headerLen+len(body))
+	copy(b[headerLen:], body)
+	putHeader(b, typeUpdate)
+	if _, err := ParseMessage(b); err == nil {
+		t.Error("announcement without AS_PATH/NEXT_HOP accepted")
+	}
+}
+
+func TestKeepaliveNotification(t *testing.T) {
+	msg, err := ParseMessage(MarshalKeepalive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(*Keepalive); !ok {
+		t.Fatalf("got %T", msg)
+	}
+	n := Notification{Code: 6, Subcode: 2, Data: []byte("bye")}
+	msg, err = ParseMessage(MarshalNotification(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := msg.(*Notification)
+	if got.Code != 6 || got.Subcode != 2 || string(got.Data) != "bye" {
+		t.Errorf("notification = %+v", got)
+	}
+	if got.Error() == "" {
+		t.Error("empty error text")
+	}
+}
+
+func TestParseMessageRejects(t *testing.T) {
+	if _, err := ParseMessage([]byte{1, 2, 3}); err == nil {
+		t.Error("short message accepted")
+	}
+	b := MarshalKeepalive()
+	b[0] = 0 // break marker
+	if _, err := ParseMessage(b); err == nil {
+		t.Error("bad marker accepted")
+	}
+	b2 := MarshalKeepalive()
+	b2[18] = 99
+	if _, err := ParseMessage(b2); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestPrefixWireEncoding(t *testing.T) {
+	// /19 should use 3 prefix bytes, /8 one, /0 zero.
+	cases := map[string]int{
+		"0.0.0.0/0":     1,
+		"10.0.0.0/8":    2,
+		"176.8.0.0/19":  4,
+		"91.198.4.0/24": 4,
+		"1.2.3.4/32":    5,
+	}
+	for s, wire := range cases {
+		p := netmodel.MustParsePrefix(s)
+		if got := prefixWireLen(p); got != wire {
+			t.Errorf("prefixWireLen(%s) = %d, want %d", s, got, wire)
+		}
+		buf := make([]byte, wire)
+		putPrefix(buf, p)
+		back, n, err := getPrefix(buf)
+		if err != nil || n != wire || back != p {
+			t.Errorf("round trip %s: %v n=%d err=%v", s, back, n, err)
+		}
+	}
+}
+
+func TestGetPrefixRejects(t *testing.T) {
+	if _, _, err := getPrefix([]byte{33}); err == nil {
+		t.Error("prefix length 33 accepted")
+	}
+	if _, _, err := getPrefix([]byte{24, 1}); err == nil {
+		t.Error("truncated prefix accepted")
+	}
+	if _, _, err := getPrefix(nil); err == nil {
+		t.Error("empty prefix accepted")
+	}
+}
+
+func TestLongASPathExtendedLength(t *testing.T) {
+	path := make([]netmodel.ASN, 100) // 402-byte segment -> extended length
+	for i := range path {
+		path[i] = netmodel.ASN(64512 + i)
+	}
+	u := Update{
+		Origin: OriginIGP, ASPath: path,
+		NextHop: netmodel.MustParseAddr("10.0.0.1"),
+		NLRI:    []netmodel.Prefix{netmodel.MustParsePrefix("10.0.0.0/24")},
+	}
+	b, err := MarshalUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ParseMessage(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := msg.(*Update).ASPath; !reflect.DeepEqual(got, path) {
+		t.Error("long AS path corrupted")
+	}
+}

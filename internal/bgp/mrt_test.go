@@ -1,0 +1,151 @@
+package bgp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"countrymon/internal/netmodel"
+)
+
+func sampleRIB() *RIB {
+	rib := NewRIB()
+	rib.Announce(Route{
+		Prefix: netmodel.MustParsePrefix("193.151.240.0/23"),
+		Path:   []netmodel.ASN{64512, 25482}, NextHop: netmodel.MustParseAddr("192.0.2.1"),
+		Origin: OriginIGP,
+	})
+	rib.Announce(Route{
+		Prefix: netmodel.MustParsePrefix("176.8.0.0/19"),
+		Path:   []netmodel.ASN{64512, 20485, 15895}, NextHop: netmodel.MustParseAddr("192.0.2.1"),
+		Origin: OriginIGP,
+	})
+	rib.Announce(Route{
+		Prefix: netmodel.MustParsePrefix("91.198.4.0/24"),
+		Path:   []netmodel.ASN{64512, 211171}, NextHop: netmodel.MustParseAddr("192.0.2.1"),
+		Origin: OriginIncomplete,
+	})
+	return rib
+}
+
+func TestMRTRoundTrip(t *testing.T) {
+	rib := sampleRIB()
+	ts := time.Date(2022, 5, 1, 12, 0, 0, 0, time.UTC)
+	peer := MRTPeer{BGPID: netmodel.MustParseAddr("192.0.2.1"), Addr: netmodel.MustParseAddr("192.0.2.1"), ASN: 64512}
+	var buf bytes.Buffer
+	if err := rib.WriteMRT(&buf, ts, netmodel.MustParseAddr("192.0.2.100"), peer, "countrymon"); err != nil {
+		t.Fatal(err)
+	}
+
+	dump, err := ReadMRT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dump.Timestamp.Equal(ts) {
+		t.Errorf("timestamp = %v", dump.Timestamp)
+	}
+	if dump.ViewName != "countrymon" {
+		t.Errorf("view = %q", dump.ViewName)
+	}
+	if len(dump.Peers) != 1 || dump.Peers[0].ASN != 64512 {
+		t.Errorf("peers = %+v", dump.Peers)
+	}
+	if len(dump.Routes) != rib.Len() {
+		t.Fatalf("routes = %d, want %d", len(dump.Routes), rib.Len())
+	}
+
+	back := dump.RIB()
+	for _, rt := range rib.Routes() {
+		got, ok := back.Lookup(rt.Prefix)
+		if !ok {
+			t.Fatalf("route %v lost", rt.Prefix)
+		}
+		if got.OriginASN() != rt.OriginASN() || got.NextHop != rt.NextHop || got.Origin != rt.Origin {
+			t.Errorf("route %v mismatch: %+v vs %+v", rt.Prefix, got, rt)
+		}
+		if len(got.Path) != len(rt.Path) {
+			t.Errorf("route %v path length %d vs %d", rt.Prefix, len(got.Path), len(rt.Path))
+		}
+	}
+	// Snapshot semantics survive the dump.
+	snap := back.Snapshot(map[netmodel.ASN]bool{20485: true})
+	if snap.RoutedBlocks(15895) != 32 {
+		t.Errorf("AS15895 blocks = %d", snap.RoutedBlocks(15895))
+	}
+	if !snap.Rerouted[netmodel.MustParseBlock("176.8.1.0/24")] {
+		t.Error("rerouting flag lost through MRT")
+	}
+}
+
+func TestMRTLargeASNs(t *testing.T) {
+	// TABLE_DUMP_V2 carries 4-octet ASNs; 211171 and 215654 must survive.
+	rib := NewRIB()
+	rib.Announce(Route{
+		Prefix: netmodel.MustParsePrefix("10.0.0.0/24"),
+		Path:   []netmodel.ASN{215654, 211171}, NextHop: 1, Origin: OriginIGP,
+	})
+	var buf bytes.Buffer
+	peer := MRTPeer{ASN: 215654}
+	if err := rib.WriteMRT(&buf, time.Unix(0, 0), 0, peer, "v"); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := ReadMRT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Peers[0].ASN != 215654 {
+		t.Errorf("peer ASN = %v", dump.Peers[0].ASN)
+	}
+	if got := dump.Routes[0].OriginASN(); got != 211171 {
+		t.Errorf("origin = %v", got)
+	}
+}
+
+func TestMRTEmptyRIB(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRIB().WriteMRT(&buf, time.Unix(0, 0), 0, MRTPeer{}, ""); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := ReadMRT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Routes) != 0 || len(dump.Peers) != 1 {
+		t.Errorf("dump = %+v", dump)
+	}
+}
+
+func TestReadMRTRejectsGarbage(t *testing.T) {
+	if _, err := ReadMRT(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Valid header, truncated body.
+	b := make([]byte, 12)
+	b[5] = 13
+	b[7] = 1
+	b[11] = 50 // claims 50 bytes of body, none present
+	if _, err := ReadMRT(bytes.NewReader(b)); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestReadMRTSkipsForeignTypes(t *testing.T) {
+	// A record of another MRT type must be skipped, then parsing resumes.
+	var buf bytes.Buffer
+	hdr := make([]byte, 12)
+	hdr[5] = 16 // BGP4MP
+	hdr[11] = 2
+	buf.Write(hdr)
+	buf.Write([]byte{0xaa, 0xbb})
+	rib := sampleRIB()
+	if err := rib.WriteMRT(&buf, time.Unix(100, 0), 0, MRTPeer{ASN: 1}, "v"); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := ReadMRT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Routes) != rib.Len() {
+		t.Errorf("routes = %d", len(dump.Routes))
+	}
+}

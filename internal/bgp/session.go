@@ -1,0 +1,249 @@
+package bgp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"countrymon/internal/netmodel"
+)
+
+// Conn frames BGP messages over a byte stream and runs the OPEN handshake.
+// It deliberately implements only what a route collector needs: established
+// sessions that exchange keepalives and updates.
+type Conn struct {
+	raw      net.Conn
+	r        *bufio.Reader
+	localAS  netmodel.ASN
+	peerAS   netmodel.ASN
+	holdTime time.Duration
+}
+
+// handshakeTimeout bounds the OPEN/KEEPALIVE exchange.
+const handshakeTimeout = 10 * time.Second
+
+// defaultHoldTime is offered in our OPEN.
+const defaultHoldTime = 90 * time.Second
+
+// NewConn wraps an established TCP connection and performs the BGP
+// handshake: send OPEN, expect OPEN, exchange KEEPALIVEs.
+func NewConn(raw net.Conn, localAS netmodel.ASN, bgpID netmodel.Addr) (*Conn, error) {
+	c := &Conn{raw: raw, r: bufio.NewReader(raw), localAS: localAS}
+	deadline := time.Now().Add(handshakeTimeout)
+	if err := raw.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if _, err := raw.Write(MarshalOpen(Open{ASN: localAS, HoldTime: uint16(defaultHoldTime / time.Second), BGPID: bgpID})); err != nil {
+		return nil, fmt.Errorf("bgp: send OPEN: %w", err)
+	}
+	msg, err := c.ReadMessage()
+	if err != nil {
+		return nil, fmt.Errorf("bgp: await OPEN: %w", err)
+	}
+	open, ok := msg.(*Open)
+	if !ok {
+		c.sendNotification(Notification{Code: 1, Subcode: 3}) // bad message type
+		return nil, fmt.Errorf("bgp: expected OPEN, got %T", msg)
+	}
+	c.peerAS = open.ASN
+	c.holdTime = time.Duration(open.HoldTime) * time.Second
+	if c.holdTime == 0 || c.holdTime > defaultHoldTime {
+		c.holdTime = defaultHoldTime
+	}
+	if _, err := raw.Write(MarshalKeepalive()); err != nil {
+		return nil, err
+	}
+	msg, err = c.ReadMessage()
+	if err != nil {
+		return nil, fmt.Errorf("bgp: await KEEPALIVE: %w", err)
+	}
+	if _, ok := msg.(*Keepalive); !ok {
+		return nil, fmt.Errorf("bgp: expected KEEPALIVE, got %T", msg)
+	}
+	if err := raw.SetDeadline(time.Time{}); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// PeerAS returns the remote AS learned from its OPEN.
+func (c *Conn) PeerAS() netmodel.ASN { return c.peerAS }
+
+// HoldTime returns the negotiated hold time.
+func (c *Conn) HoldTime() time.Duration { return c.holdTime }
+
+// ReadMessage reads and decodes the next message.
+func (c *Conn) ReadMessage() (interface{}, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n, err := MessageLength(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(c.r, buf[headerLen:]); err != nil {
+		return nil, err
+	}
+	return ParseMessage(buf)
+}
+
+// SendUpdate transmits an UPDATE.
+func (c *Conn) SendUpdate(u Update) error {
+	b, err := MarshalUpdate(u)
+	if err != nil {
+		return err
+	}
+	_, err = c.raw.Write(b)
+	return err
+}
+
+// SendKeepalive transmits a KEEPALIVE.
+func (c *Conn) SendKeepalive() error {
+	_, err := c.raw.Write(MarshalKeepalive())
+	return err
+}
+
+func (c *Conn) sendNotification(n Notification) {
+	c.raw.Write(MarshalNotification(n)) //nolint:errcheck // best effort before close
+}
+
+// Close terminates the session with a CEASE notification.
+func (c *Conn) Close() error {
+	c.sendNotification(Notification{Code: 6}) // cease
+	return c.raw.Close()
+}
+
+// Collector accepts BGP sessions and folds every received UPDATE into a RIB,
+// playing the role RouteViews plays for the paper.
+type Collector struct {
+	rib      *RIB
+	ln       net.Listener
+	localAS  netmodel.ASN
+	bgpID    netmodel.Addr
+	done     chan struct{}
+	sessions chan netmodel.ASN // emits peer ASNs as sessions establish
+}
+
+// NewCollector starts a collector listening on addr (e.g. "127.0.0.1:0").
+func NewCollector(addr string, localAS netmodel.ASN, bgpID netmodel.Addr) (*Collector, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collector{
+		rib: NewRIB(), ln: ln, localAS: localAS, bgpID: bgpID,
+		done:     make(chan struct{}),
+		sessions: make(chan netmodel.ASN, 64),
+	}
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listen address.
+func (c *Collector) Addr() net.Addr { return c.ln.Addr() }
+
+// RIB returns the collector's table.
+func (c *Collector) RIB() *RIB { return c.rib }
+
+// Established emits the ASN of each peer whose session establishes.
+func (c *Collector) Established() <-chan netmodel.ASN { return c.sessions }
+
+// Close stops the collector.
+func (c *Collector) Close() error {
+	close(c.done)
+	return c.ln.Close()
+}
+
+func (c *Collector) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			select {
+			case <-c.done:
+				return
+			default:
+				continue
+			}
+		}
+		go c.serve(conn)
+	}
+}
+
+func (c *Collector) serve(raw net.Conn) {
+	conn, err := NewConn(raw, c.localAS, c.bgpID)
+	if err != nil {
+		raw.Close()
+		return
+	}
+	defer conn.Close()
+	select {
+	case c.sessions <- conn.PeerAS():
+	default:
+	}
+	for {
+		msg, err := conn.ReadMessage()
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *Update:
+			c.rib.Apply(m)
+		case *Keepalive:
+			conn.SendKeepalive() //nolint:errcheck // peer liveness best effort
+		case *Notification:
+			return
+		}
+	}
+}
+
+// Speaker is a simulated BGP peer: it dials a collector and announces or
+// withdraws prefixes on behalf of an origin AS (optionally via an upstream
+// path, which the rerouting analysis inspects).
+type Speaker struct {
+	conn *Conn
+	asn  netmodel.ASN
+}
+
+// Dial connects a speaker to a collector.
+func Dial(addr string, asn netmodel.ASN, bgpID netmodel.Addr) (*Speaker, error) {
+	raw, err := net.DialTimeout("tcp", addr, handshakeTimeout)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := NewConn(raw, asn, bgpID)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	return &Speaker{conn: conn, asn: asn}, nil
+}
+
+// Announce advertises prefixes originated by origin, reached via the given
+// upstream path (the speaker's own AS is prepended automatically).
+func (s *Speaker) Announce(origin netmodel.ASN, upstreams []netmodel.ASN, nextHop netmodel.Addr, prefixes ...netmodel.Prefix) error {
+	path := make([]netmodel.ASN, 0, len(upstreams)+2)
+	path = append(path, s.asn)
+	path = append(path, upstreams...)
+	if len(path) == 0 || path[len(path)-1] != origin {
+		path = append(path, origin)
+	}
+	return s.conn.SendUpdate(Update{
+		Origin:  OriginIGP,
+		ASPath:  path,
+		NextHop: nextHop,
+		NLRI:    prefixes,
+	})
+}
+
+// Withdraw retracts prefixes.
+func (s *Speaker) Withdraw(prefixes ...netmodel.Prefix) error {
+	return s.conn.SendUpdate(Update{Withdrawn: prefixes})
+}
+
+// Close terminates the session.
+func (s *Speaker) Close() error { return s.conn.Close() }

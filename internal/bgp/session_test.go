@@ -1,0 +1,153 @@
+package bgp
+
+import (
+	"testing"
+	"time"
+
+	"countrymon/internal/netmodel"
+)
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestCollectorSpeakerSession(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0", 65000, netmodel.MustParseAddr("192.0.2.100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	sp, err := Dial(col.Addr().String(), 25482, netmodel.MustParseAddr("192.0.2.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+
+	select {
+	case asn := <-col.Established():
+		if asn != 25482 {
+			t.Fatalf("established peer ASN = %v", asn)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("session did not establish")
+	}
+
+	prefixes := []netmodel.Prefix{
+		netmodel.MustParsePrefix("193.151.240.0/23"),
+		netmodel.MustParsePrefix("193.151.242.0/24"),
+	}
+	if err := sp.Announce(25482, nil, netmodel.MustParseAddr("192.0.2.1"), prefixes...); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return col.RIB().Len() == 2 }, "announcements in RIB")
+
+	rt, ok := col.RIB().Lookup(prefixes[0])
+	if !ok {
+		t.Fatal("route missing")
+	}
+	if rt.OriginASN() != 25482 {
+		t.Errorf("origin = %v", rt.OriginASN())
+	}
+
+	if err := sp.Withdraw(prefixes[0]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return col.RIB().Len() == 1 }, "withdrawal applied")
+}
+
+func TestSpeakerUpstreamPath(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0", 65000, netmodel.MustParseAddr("192.0.2.100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	// A Kherson AS announced via a Russian upstream (the occupation-era
+	// rerouting, §5.2): the collector must see the full path.
+	sp, err := Dial(col.Addr().String(), 64512, netmodel.MustParseAddr("192.0.2.2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+
+	const rostelecom = netmodel.ASN(12389)
+	p := netmodel.MustParsePrefix("91.198.4.0/24")
+	if err := sp.Announce(56404, []netmodel.ASN{rostelecom}, netmodel.MustParseAddr("192.0.2.2"), p); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return col.RIB().Len() == 1 }, "route")
+
+	snap := col.RIB().Snapshot(map[netmodel.ASN]bool{rostelecom: true})
+	b := netmodel.MustParseBlock("91.198.4.0/24")
+	if snap.BlockOrigin[b] != 56404 {
+		t.Errorf("origin = %v", snap.BlockOrigin[b])
+	}
+	if !snap.Rerouted[b] {
+		t.Error("path through Russian upstream not flagged")
+	}
+}
+
+func TestMultiplePeers(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0", 65000, netmodel.MustParseAddr("192.0.2.100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	var speakers []*Speaker
+	for i := 0; i < 5; i++ {
+		sp, err := Dial(col.Addr().String(), netmodel.ASN(64512+i), netmodel.MustParseAddr("192.0.2.1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		speakers = append(speakers, sp)
+		p := netmodel.MustNewPrefix(netmodel.Addr(0x0a000000+uint32(i)<<8), 24)
+		if err := sp.Announce(netmodel.ASN(64512+i), nil, netmodel.MustParseAddr("192.0.2.1"), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, sp := range speakers {
+			sp.Close()
+		}
+	}()
+	waitFor(t, func() bool { return col.RIB().Len() == 5 }, "all peers' routes")
+	snap := col.RIB().Snapshot(nil)
+	for i := 0; i < 5; i++ {
+		if snap.RoutedBlocks(netmodel.ASN(64512+i)) != 1 {
+			t.Errorf("peer %d blocks = %d", i, snap.RoutedBlocks(netmodel.ASN(64512+i)))
+		}
+	}
+}
+
+func TestKeepaliveExchange(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0", 65000, netmodel.MustParseAddr("192.0.2.100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	sp, err := Dial(col.Addr().String(), 64512, netmodel.MustParseAddr("192.0.2.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	if err := sp.conn.SendKeepalive(); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := sp.conn.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(*Keepalive); !ok {
+		t.Fatalf("expected keepalive echo, got %T", msg)
+	}
+}

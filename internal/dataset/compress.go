@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Run-length coding for per-round responsive-count rows (PackBits-style).
+// The paper cites the storage cost of the full FBS signal as a design
+// constraint (§3.1: bi-hourly was partly chosen to bound storage); block
+// rows are highly redundant — sparse blocks are constant zero, active
+// blocks sit near a plateau — so runs dominate.
+//
+// Encoding: a control byte c, then
+//
+//	c < 128  → c+1 literal bytes follow
+//	c ≥ 128  → one byte follows, repeated c-126 times (run of 2..129)
+//
+// Worst case overhead is 1 byte per 128 literals (< 0.8%).
+
+const (
+	maxLiteralChunk = 128
+	minRun          = 2
+	maxRun          = 129
+)
+
+// rleAppend compresses src onto dst.
+func rleAppend(dst, src []byte) []byte {
+	i := 0
+	n := len(src)
+	litStart := -1
+	flushLits := func(end int) {
+		for litStart < end {
+			chunk := end - litStart
+			if chunk > maxLiteralChunk {
+				chunk = maxLiteralChunk
+			}
+			dst = append(dst, byte(chunk-1))
+			dst = append(dst, src[litStart:litStart+chunk]...)
+			litStart += chunk
+		}
+		litStart = -1
+	}
+	for i < n {
+		// Measure the run at i.
+		j := i + 1
+		for j < n && src[j] == src[i] && j-i < maxRun {
+			j++
+		}
+		if j-i >= minRun+1 || (j-i >= minRun && litStart < 0) {
+			if litStart >= 0 {
+				flushLits(i)
+			}
+			dst = append(dst, byte(j-i-minRun+128), src[i])
+			i = j
+			continue
+		}
+		if litStart < 0 {
+			litStart = i
+		}
+		i++
+	}
+	if litStart >= 0 {
+		flushLits(n)
+	}
+	return dst
+}
+
+var errRLECorrupt = errors.New("dataset: corrupt RLE stream")
+
+// rleDecode decompresses src into dst, which must be exactly the expected
+// length.
+func rleDecode(dst, src []byte) error {
+	di := 0
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		i++
+		if c < 128 {
+			n := int(c) + 1
+			if i+n > len(src) || di+n > len(dst) {
+				return errRLECorrupt
+			}
+			copy(dst[di:], src[i:i+n])
+			i += n
+			di += n
+		} else {
+			if i >= len(src) {
+				return errRLECorrupt
+			}
+			n := int(c) - 128 + minRun
+			if di+n > len(dst) {
+				return errRLECorrupt
+			}
+			v := src[i]
+			i++
+			for k := 0; k < n; k++ {
+				dst[di+k] = v
+			}
+			di += n
+		}
+	}
+	if di != len(dst) {
+		return fmt.Errorf("%w: decoded %d of %d bytes", errRLECorrupt, di, len(dst))
+	}
+	return nil
+}

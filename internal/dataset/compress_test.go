@@ -1,0 +1,146 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func rleRoundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	enc := rleAppend(nil, src)
+	dst := make([]byte, len(src))
+	if err := rleDecode(dst, enc); err != nil {
+		t.Fatalf("decode: %v (src %v)", err, src)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("round trip mismatch: %v -> %v -> %v", src, enc, dst)
+	}
+}
+
+func TestRLEBasics(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0},
+		{1, 2, 3},
+		bytes.Repeat([]byte{0}, 1000),
+		bytes.Repeat([]byte{7}, 131), // longer than maxRun: split into two runs
+		{1, 1, 2, 2, 2, 3, 3, 3, 3},
+		append(bytes.Repeat([]byte{0}, 200), 1, 2, 3),
+	}
+	for _, c := range cases {
+		rleRoundTrip(t, c)
+	}
+}
+
+func TestRLECompressionRatio(t *testing.T) {
+	// A sparse block's all-zero row must shrink dramatically.
+	zero := make([]byte, 4357)
+	enc := rleAppend(nil, zero)
+	if len(enc) > 80 {
+		t.Errorf("all-zero row encoded to %d bytes", len(enc))
+	}
+	// A plateau with jitter still compresses (runs at the plateau).
+	rng := rand.New(rand.NewSource(2))
+	row := make([]byte, 4357)
+	for i := range row {
+		row[i] = 60
+		if rng.Intn(4) == 0 {
+			row[i] = 61
+		}
+	}
+	enc2 := rleAppend(nil, row)
+	if len(enc2) >= len(row) {
+		t.Logf("jittery plateau: %d -> %d bytes (no gain is acceptable)", len(row), len(enc2))
+	}
+	// Worst case bound: random bytes must not blow up beyond ~1%.
+	rnd := make([]byte, 8192)
+	rng.Read(rnd)
+	enc3 := rleAppend(nil, rnd)
+	if len(enc3) > len(rnd)+len(rnd)/64 {
+		t.Errorf("worst-case expansion too large: %d -> %d", len(rnd), len(enc3))
+	}
+}
+
+func TestQuickRLERoundTrip(t *testing.T) {
+	f := func(src []byte) bool {
+		enc := rleAppend(nil, src)
+		dst := make([]byte, len(src))
+		if err := rleDecode(dst, enc); err != nil {
+			return false
+		}
+		return bytes.Equal(dst, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+	// Runs-heavy inputs (the realistic shape).
+	g := func(vals []byte, lens []uint8) bool {
+		var src []byte
+		for i, v := range vals {
+			n := 1
+			if i < len(lens) {
+				n = int(lens[i])%300 + 1
+			}
+			src = append(src, bytes.Repeat([]byte{v}, n)...)
+		}
+		enc := rleAppend(nil, src)
+		dst := make([]byte, len(src))
+		if err := rleDecode(dst, enc); err != nil {
+			return false
+		}
+		return bytes.Equal(dst, src)
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLEDecodeRejectsCorrupt(t *testing.T) {
+	dst := make([]byte, 10)
+	if err := rleDecode(dst, []byte{200}); err == nil {
+		t.Error("truncated run accepted")
+	}
+	if err := rleDecode(dst, []byte{5, 1, 2}); err == nil {
+		t.Error("truncated literals accepted")
+	}
+	if err := rleDecode(dst, []byte{255, 7}); err == nil {
+		t.Error("overflowing run accepted")
+	}
+	if err := rleDecode(dst, []byte{0, 1}); err == nil {
+		t.Error("short decode accepted")
+	}
+}
+
+func TestCompressedFileSmaller(t *testing.T) {
+	// Compare the v2 on-disk size against the raw matrix size for a
+	// realistic sparse store.
+	s := testStore(t)
+	tl := s.Timeline()
+	for r := 0; r < tl.NumRounds(); r++ {
+		s.SetRound(0, r, 60+(r%7)/5, true) // plateau with occasional bump
+		// block 1 stays zero (sparse), block 2 diurnal-ish
+		if (r/6)%2 == 0 {
+			s.SetRound(2, r, 30, true)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := s.NumBlocks() * tl.NumRounds()
+	if buf.Len() >= raw {
+		t.Errorf("v2 file (%d bytes) not smaller than raw resp matrix (%d bytes)", buf.Len(), raw)
+	}
+	// And it still round-trips.
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < tl.NumRounds(); r += 17 {
+		if got.Resp(0, r) != s.Resp(0, r) || got.Resp(2, r) != s.Resp(2, r) {
+			t.Fatal("compressed round trip mismatch")
+		}
+	}
+}

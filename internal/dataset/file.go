@@ -1,0 +1,237 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"countrymon/internal/netmodel"
+	"countrymon/internal/timeline"
+)
+
+// Binary file format (little endian):
+//
+//	magic "CMDS" | version u32 | startUnixNano i64 | interval i64 | rounds u32
+//	nblocks u32 | blockIDs [nblocks]u32
+//	missing bitset [(rounds+63)/64]u64
+//	resp rows: nblocks × rounds u8
+//	routed rows: nblocks × words u64
+//	ntracked u32 | per tracked: blockIdx u32, rounds × u16 RTT ms
+
+const (
+	fileMagic = "CMDS"
+	// Version 1 stores resp rows raw; version 2 run-length codes them
+	// (rowLen u32 + RLE bytes), typically 5-20x smaller for real campaigns.
+	fileVersion = 2
+)
+
+// WriteTo serializes the store.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cw := &countingWriter{w: bw}
+	write := func(v interface{}) error { return binary.Write(cw, binary.LittleEndian, v) }
+
+	if _, err := cw.Write([]byte(fileMagic)); err != nil {
+		return cw.n, err
+	}
+	hdr := []interface{}{
+		uint32(fileVersion),
+		s.tl.Start().UnixNano(),
+		int64(s.tl.Interval()),
+		uint32(s.tl.NumRounds()),
+		uint32(len(s.blocks)),
+	}
+	for _, v := range hdr {
+		if err := write(v); err != nil {
+			return cw.n, err
+		}
+	}
+	ids := make([]uint32, len(s.blocks))
+	for i, b := range s.blocks {
+		ids[i] = uint32(b)
+	}
+	if err := write(ids); err != nil {
+		return cw.n, err
+	}
+	miss := make([]uint64, (s.tl.NumRounds()+63)/64)
+	for r, m := range s.missing {
+		if m {
+			miss[r/64] |= 1 << (r % 64)
+		}
+	}
+	if err := write(miss); err != nil {
+		return cw.n, err
+	}
+	var rle []byte
+	for _, row := range s.resp {
+		rle = rleAppend(rle[:0], row)
+		if err := write(uint32(len(rle))); err != nil {
+			return cw.n, err
+		}
+		if _, err := cw.Write(rle); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, row := range s.routed {
+		if err := write(row); err != nil {
+			return cw.n, err
+		}
+	}
+	tracked := make([]int, 0, len(s.rtt))
+	for bi := range s.rtt {
+		tracked = append(tracked, bi)
+	}
+	sort.Ints(tracked)
+	if err := write(uint32(len(tracked))); err != nil {
+		return cw.n, err
+	}
+	for _, bi := range tracked {
+		if err := write(uint32(bi)); err != nil {
+			return cw.n, err
+		}
+		if err := write(s.rtt[bi]); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, bw.Flush()
+}
+
+// ReadFrom deserializes a store written by WriteTo.
+func ReadFrom(r io.Reader) (*Store, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	read := func(v interface{}) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic)
+	}
+	var version, rounds, nblocks uint32
+	var startNano, interval int64
+	for _, v := range []interface{}{&version, &startNano, &interval, &rounds, &nblocks} {
+		if err := read(v); err != nil {
+			return nil, err
+		}
+	}
+	if version != 1 && version != 2 {
+		return nil, fmt.Errorf("dataset: unsupported version %d", version)
+	}
+	if rounds == 0 || rounds > 1<<22 || nblocks > 1<<22 {
+		return nil, fmt.Errorf("dataset: implausible dimensions %d×%d", nblocks, rounds)
+	}
+	start := time.Unix(0, startNano).UTC()
+	end := start.Add(time.Duration(int64(rounds)-1) * time.Duration(interval))
+	tl := timeline.New(start, end, time.Duration(interval))
+	if tl.NumRounds() != int(rounds) {
+		return nil, fmt.Errorf("dataset: timeline reconstruction mismatch")
+	}
+
+	ids := make([]uint32, nblocks)
+	if err := read(ids); err != nil {
+		return nil, err
+	}
+	blocks := make([]netmodel.BlockID, nblocks)
+	for i, id := range ids {
+		blocks[i] = netmodel.BlockID(id)
+	}
+	s := NewStore(tl, blocks)
+	if len(s.blocks) != int(nblocks) {
+		return nil, fmt.Errorf("dataset: duplicate blocks in file")
+	}
+
+	miss := make([]uint64, (rounds+63)/64)
+	if err := read(miss); err != nil {
+		return nil, err
+	}
+	for r := 0; r < int(rounds); r++ {
+		if miss[r/64]>>(r%64)&1 == 1 {
+			s.missing[r] = true
+		}
+	}
+	for i := range s.resp {
+		if version == 1 {
+			if _, err := io.ReadFull(br, s.resp[i]); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		var rowLen uint32
+		if err := read(&rowLen); err != nil {
+			return nil, err
+		}
+		if rowLen > 2*rounds+64 {
+			return nil, fmt.Errorf("dataset: implausible RLE row length %d", rowLen)
+		}
+		rle := make([]byte, rowLen)
+		if _, err := io.ReadFull(br, rle); err != nil {
+			return nil, err
+		}
+		if err := rleDecode(s.resp[i], rle); err != nil {
+			return nil, err
+		}
+	}
+	for i := range s.routed {
+		if err := read(s.routed[i]); err != nil {
+			return nil, err
+		}
+	}
+	var ntracked uint32
+	if err := read(&ntracked); err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(ntracked); i++ {
+		var bi uint32
+		if err := read(&bi); err != nil {
+			return nil, err
+		}
+		if int(bi) >= len(s.blocks) {
+			return nil, fmt.Errorf("dataset: tracked block index %d out of range", bi)
+		}
+		arr := make([]uint16, rounds)
+		if err := read(arr); err != nil {
+			return nil, err
+		}
+		s.rtt[int(bi)] = arr
+	}
+	return s, nil
+}
+
+// Save writes the store to a file.
+func (s *Store) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := s.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a store from a file.
+func Load(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"countrymon/internal/netmodel"
+	"countrymon/internal/timeline"
+)
+
+// TestQuickFileRoundTrip fuzzes random stores through the binary format.
+func TestQuickFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		rounds := 10 + rng.Intn(300)
+		start := time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC)
+		tl := timeline.New(start, start.Add(time.Duration(rounds-1)*2*time.Hour), 2*time.Hour)
+		nBlocks := 1 + rng.Intn(20)
+		blocks := make([]netmodel.BlockID, nBlocks)
+		for i := range blocks {
+			blocks[i] = netmodel.BlockID(rng.Uint32() >> 8)
+		}
+		s := NewStore(tl, blocks)
+		for bi := 0; bi < s.NumBlocks(); bi++ {
+			if rng.Intn(3) == 0 {
+				s.TrackRTT(bi)
+			}
+			for r := 0; r < rounds; r++ {
+				s.SetRound(bi, r, rng.Intn(300), rng.Intn(2) == 0)
+				s.SetRTT(bi, r, uint16(rng.Intn(400)))
+			}
+		}
+		for r := 0; r < rounds; r++ {
+			if rng.Intn(13) == 0 {
+				s.SetMissing(r)
+			}
+		}
+
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumBlocks() != s.NumBlocks() {
+			t.Fatalf("trial %d: blocks %d vs %d", trial, got.NumBlocks(), s.NumBlocks())
+		}
+		for bi := 0; bi < s.NumBlocks(); bi++ {
+			for r := 0; r < rounds; r++ {
+				if got.Resp(bi, r) != s.Resp(bi, r) || got.Routed(bi, r) != s.Routed(bi, r) {
+					t.Fatalf("trial %d: data mismatch at %d/%d", trial, bi, r)
+				}
+				if got.RTT(bi, r) != s.RTT(bi, r) {
+					t.Fatalf("trial %d: rtt mismatch at %d/%d", trial, bi, r)
+				}
+			}
+		}
+		for r := 0; r < rounds; r++ {
+			if got.Missing(r) != s.Missing(r) {
+				t.Fatalf("trial %d: missing mismatch at %d", trial, r)
+			}
+		}
+	}
+}
+
+// TestQuickReadFromNeverPanics feeds arbitrary bytes to the reader.
+func TestQuickReadFromNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, err := ReadFrom(bytes.NewReader(data))
+		_ = err
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+	// And with a valid magic prefix.
+	g := func(data []byte) bool {
+		buf := append([]byte("CMDS"), data...)
+		_, err := ReadFrom(bytes.NewReader(buf))
+		_ = err
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMonthStatsInvariants checks aggregate invariants on random data.
+func TestQuickMonthStatsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	start := time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC)
+	tl := timeline.New(start, start.AddDate(0, 3, 0), 2*time.Hour)
+	s := NewStore(tl, []netmodel.BlockID{netmodel.MustParseBlock("10.0.0.0/24")})
+	for trial := 0; trial < 100; trial++ {
+		for r := 0; r < tl.NumRounds(); r++ {
+			s.SetRound(0, r, rng.Intn(260), rng.Intn(2) == 0)
+		}
+		for m := 0; m < tl.NumMonths(); m++ {
+			st := s.MonthStats(0, m)
+			if st.MeanResp > float64(st.EverActive) {
+				t.Fatalf("mean %.2f exceeds ever-active %d", st.MeanResp, st.EverActive)
+			}
+			if st.Availability < 0 || st.Availability > 1 {
+				t.Fatalf("availability %f out of range", st.Availability)
+			}
+			if st.RoutedRounds > st.MeasuredRounds {
+				t.Fatal("routed rounds exceed measured rounds")
+			}
+			if st.EverActive > RespCap {
+				t.Fatalf("ever-active %d exceeds cap", st.EverActive)
+			}
+		}
+	}
+}

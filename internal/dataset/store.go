@@ -1,0 +1,257 @@
+// Package dataset stores the measurement campaign's raw observations: for
+// every /24 block and every probing round, the number of responsive IPs,
+// BGP-routed state, and (for tracked blocks) round-trip times. Monthly
+// aggregates — the ever-active count E(b) and long-term availability A used
+// by block-eligibility rules — are derived on demand.
+//
+// Two ingestion paths fill a Store with identical semantics: the packet-level
+// scanner (scanner.RoundData) and the fast statistical generator in
+// internal/sim that makes three-year campaigns tractable on one core.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"countrymon/internal/netmodel"
+	"countrymon/internal/scanner"
+	"countrymon/internal/timeline"
+)
+
+// Store holds one campaign's observations. Create with NewStore, fill via
+// SetRound/AddRoundData, then treat as read-only; aggregate methods are safe
+// for concurrent readers afterwards.
+type Store struct {
+	tl     *timeline.Timeline
+	blocks []netmodel.BlockID
+	index  map[netmodel.BlockID]int
+
+	// resp[b][r] is the number of responsive IPs of block b in round r,
+	// capped at 255 (a /24 has at most 256 probe-able addresses and real
+	// blocks never saturate; the cap is recorded by RespCap).
+	resp [][]uint8
+	// routed is a per-block bitset over rounds: bit r set = the block was
+	// covered by a BGP route during round r.
+	routed [][]uint64
+	// missing[r] marks vantage-point outages (no data).
+	missing []bool
+
+	// rtt[b] is per-round mean RTT in milliseconds for tracked blocks
+	// (nil for untracked blocks to bound memory).
+	rtt map[int][]uint16
+}
+
+// RespCap is the saturation value of per-round responsive counts.
+const RespCap = 255
+
+// NewStore allocates a store for the given blocks (sorted + deduplicated
+// internally) over the timeline.
+func NewStore(tl *timeline.Timeline, blocks []netmodel.BlockID) *Store {
+	bs := append([]netmodel.BlockID(nil), blocks...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	out := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != out[len(out)-1] {
+			out = append(out, b)
+		}
+	}
+	s := &Store{
+		tl:      tl,
+		blocks:  out,
+		index:   make(map[netmodel.BlockID]int, len(out)),
+		resp:    make([][]uint8, len(out)),
+		routed:  make([][]uint64, len(out)),
+		missing: make([]bool, tl.NumRounds()),
+		rtt:     make(map[int][]uint16),
+	}
+	words := (tl.NumRounds() + 63) / 64
+	for i, b := range out {
+		s.index[b] = i
+		s.resp[i] = make([]uint8, tl.NumRounds())
+		s.routed[i] = make([]uint64, words)
+	}
+	return s
+}
+
+// Timeline returns the campaign timeline.
+func (s *Store) Timeline() *timeline.Timeline { return s.tl }
+
+// Blocks returns the sorted block list (do not mutate).
+func (s *Store) Blocks() []netmodel.BlockID { return s.blocks }
+
+// NumBlocks returns the number of blocks.
+func (s *Store) NumBlocks() int { return len(s.blocks) }
+
+// BlockIndex returns the dense index of b, or -1.
+func (s *Store) BlockIndex(b netmodel.BlockID) int {
+	if i, ok := s.index[b]; ok {
+		return i
+	}
+	return -1
+}
+
+// SetMissing marks round r as a vantage outage.
+func (s *Store) SetMissing(r int) { s.missing[r] = true }
+
+// Missing reports whether round r has no data.
+func (s *Store) Missing(r int) bool { return s.missing[r] }
+
+// MissingRounds returns the full missing-round mask (do not mutate).
+func (s *Store) MissingRounds() []bool { return s.missing }
+
+// SetRound records one block's observation for a round. resp is clamped to
+// RespCap.
+func (s *Store) SetRound(blockIdx, round int, resp int, routed bool) {
+	if resp > RespCap {
+		resp = RespCap
+	}
+	if resp < 0 {
+		resp = 0
+	}
+	s.resp[blockIdx][round] = uint8(resp)
+	if routed {
+		s.routed[blockIdx][round/64] |= 1 << (round % 64)
+	} else {
+		s.routed[blockIdx][round/64] &^= 1 << (round % 64)
+	}
+}
+
+// TrackRTT enables RTT storage for a block.
+func (s *Store) TrackRTT(blockIdx int) {
+	if _, ok := s.rtt[blockIdx]; !ok {
+		s.rtt[blockIdx] = make([]uint16, s.tl.NumRounds())
+	}
+}
+
+// SetRTT records a tracked block's mean RTT (milliseconds) for a round.
+// It is a no-op for untracked blocks.
+func (s *Store) SetRTT(blockIdx, round int, ms uint16) {
+	if arr, ok := s.rtt[blockIdx]; ok {
+		arr[round] = ms
+	}
+}
+
+// RTT returns a tracked block's RTT in ms at a round (0 if untracked or no
+// responses).
+func (s *Store) RTT(blockIdx, round int) uint16 {
+	if arr, ok := s.rtt[blockIdx]; ok {
+		return arr[round]
+	}
+	return 0
+}
+
+// RTTTracked reports whether RTTs are stored for the block.
+func (s *Store) RTTTracked(blockIdx int) bool {
+	_, ok := s.rtt[blockIdx]
+	return ok
+}
+
+// Resp returns the responsive-IP count of block blockIdx in round r.
+func (s *Store) Resp(blockIdx, round int) int { return int(s.resp[blockIdx][round]) }
+
+// RespSeries returns the block's full per-round series (do not mutate).
+func (s *Store) RespSeries(blockIdx int) []uint8 { return s.resp[blockIdx] }
+
+// Routed reports whether the block was BGP-routed in round r.
+func (s *Store) Routed(blockIdx, round int) bool {
+	return s.routed[blockIdx][round/64]>>(round%64)&1 == 1
+}
+
+// AddRoundData ingests a packet-level scan result for the given round.
+// Blocks in rd that are not in the store are ignored. Routedness is not
+// carried by scans; set it separately from BGP snapshots.
+func (s *Store) AddRoundData(round int, rd *scanner.RoundData) {
+	for i := range rd.Blocks {
+		br := &rd.Blocks[i]
+		bi := s.BlockIndex(br.Block)
+		if bi < 0 {
+			continue
+		}
+		resp := int(br.RespCount)
+		if resp > RespCap {
+			resp = RespCap
+		}
+		s.resp[bi][round] = uint8(resp)
+		if br.RTTCount > 0 {
+			if _, ok := s.rtt[bi]; ok {
+				s.rtt[bi][round] = uint16(br.MeanRTT().Milliseconds())
+			}
+		}
+	}
+}
+
+// MonthlyBlockStats summarizes one block's activity in one month.
+type MonthlyBlockStats struct {
+	// EverActive is E(b): the number of distinct IPs seen responsive at
+	// least once during the month.
+	EverActive int
+	// MeanResp is the mean per-round responsive count over measured rounds.
+	MeanResp float64
+	// Availability is A: MeanResp / EverActive (0 if E(b)=0) — the
+	// long-term probability that an ever-active address replies.
+	Availability float64
+	// MeasuredRounds is the number of non-missing rounds in the month.
+	MeasuredRounds int
+	// RoutedRounds is how many measured rounds the block was routed.
+	RoutedRounds int
+}
+
+// MonthStats computes a block's monthly aggregate. Under the store's
+// nested-responsiveness model the distinct ever-active count equals the
+// maximum per-round count (see internal/sim: host k responds only when the
+// block's count exceeds k), which also matches how the packet-level path
+// populates counts.
+func (s *Store) MonthStats(blockIdx, month int) MonthlyBlockStats {
+	lo, hi := s.tl.MonthRounds(month)
+	var st MonthlyBlockStats
+	var sum int
+	for r := lo; r < hi; r++ {
+		if s.missing[r] {
+			continue
+		}
+		st.MeasuredRounds++
+		c := int(s.resp[blockIdx][r])
+		sum += c
+		if c > st.EverActive {
+			st.EverActive = c
+		}
+		if s.Routed(blockIdx, r) {
+			st.RoutedRounds++
+		}
+	}
+	if st.MeasuredRounds > 0 {
+		st.MeanResp = float64(sum) / float64(st.MeasuredRounds)
+	}
+	if st.EverActive > 0 {
+		st.Availability = st.MeanResp / float64(st.EverActive)
+	}
+	return st
+}
+
+// EligibleFBS reports full-block-scan eligibility for the month:
+// E(b) ≥ minEver (the paper uses 3).
+func (s *Store) EligibleFBS(blockIdx, month, minEver int) bool {
+	return s.MonthStats(blockIdx, month).EverActive >= minEver
+}
+
+// EligibleTrinocular reports Trinocular eligibility for the month:
+// E(b) ≥ 15 and A ≥ 0.1; indeterminate-belief blocks are those with A < 0.3.
+func (s *Store) EligibleTrinocular(blockIdx, month int) (eligible, indeterminate bool) {
+	st := s.MonthStats(blockIdx, month)
+	eligible = st.EverActive >= 15 && st.Availability >= 0.1
+	indeterminate = eligible && st.Availability < 0.3
+	return eligible, indeterminate
+}
+
+// Validate does basic consistency checks, returning the first problem found.
+func (s *Store) Validate() error {
+	if len(s.blocks) != len(s.resp) || len(s.blocks) != len(s.routed) {
+		return fmt.Errorf("dataset: column length mismatch")
+	}
+	for i := 1; i < len(s.blocks); i++ {
+		if s.blocks[i-1] >= s.blocks[i] {
+			return fmt.Errorf("dataset: blocks not sorted at %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the index). Each experiment is a pure
+// function of a shared Env — the fully materialized measurement pipeline:
+// scenario → store → classification → signals → baselines — so individual
+// experiments stay cheap and the expensive state is built once.
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"countrymon/internal/dataset"
+	"countrymon/internal/ioda"
+	"countrymon/internal/netmodel"
+	"countrymon/internal/power"
+	"countrymon/internal/regional"
+	"countrymon/internal/signals"
+	"countrymon/internal/sim"
+	"countrymon/internal/trinocular"
+)
+
+// Env is the lazily materialized pipeline shared by all experiments.
+type Env struct {
+	cfg sim.Config
+
+	scOnce sync.Once
+	sc     *sim.Scenario
+
+	storeOnce sync.Once
+	store     *dataset.Store
+
+	clOnce sync.Once
+	cl     *regional.Classifier
+	res    *regional.Result
+
+	sigOnce sync.Once
+	sig     *signals.Builder
+
+	trinOnce sync.Once
+	trin     *trinocular.Result
+	trinInfo *trinocular.Runner
+
+	iodaOnce sync.Once
+	iodaP    *ioda.Platform
+
+	targetOnce sync.Once
+	targetSet  *regional.TargetSet
+	targetASNs []netmodel.ASN
+
+	mu        sync.Mutex
+	ourAS     map[netmodel.ASN]*signals.Detection
+	iodaAS    map[netmodel.ASN]*signals.Detection
+	ourRegion map[netmodel.Region]*signals.Detection
+	iodaReg   map[netmodel.Region]*signals.Detection
+
+	powerOnce sync.Once
+	powerRep  *power.Report
+}
+
+// New builds an Env for the given scenario configuration.
+func New(cfg sim.Config) *Env {
+	return &Env{
+		cfg:       cfg,
+		ourAS:     make(map[netmodel.ASN]*signals.Detection),
+		iodaAS:    make(map[netmodel.ASN]*signals.Detection),
+		ourRegion: make(map[netmodel.Region]*signals.Detection),
+		iodaReg:   make(map[netmodel.Region]*signals.Detection),
+	}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultEnv  *Env
+)
+
+// Default returns the process-wide Env, sized by the COUNTRYMON_SCALE
+// (default 0.12), COUNTRYMON_INTERVAL_HOURS (default 6) and COUNTRYMON_SEED
+// (default 1) environment variables.
+func Default() *Env {
+	defaultOnce.Do(func() {
+		cfg := sim.Config{Seed: 1}
+		if v, err := strconv.ParseFloat(os.Getenv("COUNTRYMON_SCALE"), 64); err == nil && v > 0 {
+			cfg.Scale = v
+		}
+		if v, err := strconv.Atoi(os.Getenv("COUNTRYMON_INTERVAL_HOURS")); err == nil && v > 0 {
+			cfg.Interval = time.Duration(v) * time.Hour
+		}
+		if v, err := strconv.ParseUint(os.Getenv("COUNTRYMON_SEED"), 10, 64); err == nil {
+			cfg.Seed = v
+		}
+		defaultEnv = New(cfg)
+	})
+	return defaultEnv
+}
+
+// Config returns the scenario configuration.
+func (e *Env) Config() sim.Config { return e.Scenario().Cfg }
+
+// Scenario returns the ground-truth scenario.
+func (e *Env) Scenario() *sim.Scenario {
+	e.scOnce.Do(func() { e.sc = sim.MustBuild(e.cfg) })
+	return e.sc
+}
+
+// Store returns the measurement store, with RTTs tracked for every block of
+// the 34 Kherson ASes (Fig 12/13/14 need them).
+func (e *Env) Store() *dataset.Store {
+	e.storeOnce.Do(func() {
+		sc := e.Scenario()
+		var track []netmodel.BlockID
+		for _, asn := range sim.KhersonASNs() {
+			if as := sc.Space.Lookup(asn); as != nil {
+				track = append(track, as.Blocks()...)
+			}
+		}
+		e.store = sc.GenerateStore(track)
+	})
+	return e.store
+}
+
+// Classifier returns the regional classifier.
+func (e *Env) Classifier() *regional.Classifier {
+	e.clOnce.Do(func() {
+		sc := e.Scenario()
+		e.cl = regional.NewClassifier(sc.Space, sc.GeoDB(), e.Store())
+		e.res = e.cl.ClassifyAll(regional.DefaultParams())
+	})
+	return e.cl
+}
+
+// Classification returns the default-parameter classification of all
+// regions.
+func (e *Env) Classification() *regional.Result {
+	e.Classifier()
+	return e.res
+}
+
+// Signals returns the signal builder.
+func (e *Env) Signals() *signals.Builder {
+	e.sigOnce.Do(func() { e.sig = signals.NewBuilder(e.Store(), e.Scenario().Space) })
+	return e.sig
+}
+
+// Trinocular returns the baseline's campaign result.
+func (e *Env) Trinocular() *trinocular.Result {
+	e.trinOnce.Do(func() {
+		sc := e.Scenario()
+		e.trinInfo = trinocular.NewRunner(e.Store(), sc.Space, sc.Representatives, sc.ProbeFunc())
+		e.trin = e.trinInfo.Run(sc.ProbeFunc())
+	})
+	return e.trin
+}
+
+// TrinocularRunner returns the runner (eligibility metadata).
+func (e *Env) TrinocularRunner() *trinocular.Runner {
+	e.Trinocular()
+	return e.trinInfo
+}
+
+// IODA returns the baseline platform.
+func (e *Env) IODA() *ioda.Platform {
+	e.iodaOnce.Do(func() {
+		e.iodaP = ioda.New(e.Store(), e.Scenario().Space, e.Trinocular(), e.Classification())
+	})
+	return e.iodaP
+}
+
+// TargetSet returns the measurement target set (Table 3's final row).
+func (e *Env) TargetSet() *regional.TargetSet {
+	e.targetOnce.Do(func() {
+		e.targetSet = e.Classification().TargetSet(e.Classifier())
+		for asn := range e.targetSet.ASes {
+			e.targetASNs = append(e.targetASNs, asn)
+		}
+		sort.Slice(e.targetASNs, func(i, j int) bool { return e.targetASNs[i] < e.targetASNs[j] })
+	})
+	return e.targetSet
+}
+
+// TargetASNs returns the target-set ASes, sorted.
+func (e *Env) TargetASNs() []netmodel.ASN {
+	e.TargetSet()
+	return e.targetASNs
+}
+
+// OurAS returns (and caches) our detection for an AS.
+func (e *Env) OurAS(asn netmodel.ASN) *signals.Detection {
+	e.mu.Lock()
+	d, ok := e.ourAS[asn]
+	e.mu.Unlock()
+	if ok {
+		return d
+	}
+	d = signals.Detect(e.Signals().AS(asn), signals.ASConfig())
+	e.mu.Lock()
+	e.ourAS[asn] = d
+	e.mu.Unlock()
+	return d
+}
+
+// IODAAS returns (and caches) IODA's detection for an AS (nil below the
+// reporting floor).
+func (e *Env) IODAAS(asn netmodel.ASN) *signals.Detection {
+	e.mu.Lock()
+	d, ok := e.iodaAS[asn]
+	e.mu.Unlock()
+	if ok {
+		return d
+	}
+	d = e.IODA().DetectAS(asn)
+	e.mu.Lock()
+	e.iodaAS[asn] = d
+	e.mu.Unlock()
+	return d
+}
+
+// OurRegion returns (and caches) our regional detection.
+func (e *Env) OurRegion(r netmodel.Region) *signals.Detection {
+	e.mu.Lock()
+	d, ok := e.ourRegion[r]
+	e.mu.Unlock()
+	if ok {
+		return d
+	}
+	rr := e.Classification().Regions[r]
+	d = signals.Detect(e.Signals().Region(rr, e.Classifier()), signals.RegionConfig())
+	e.mu.Lock()
+	e.ourRegion[r] = d
+	e.mu.Unlock()
+	return d
+}
+
+// IODARegion returns (and caches) IODA's regional detection.
+func (e *Env) IODARegion(r netmodel.Region) *signals.Detection {
+	e.mu.Lock()
+	d, ok := e.iodaReg[r]
+	e.mu.Unlock()
+	if ok {
+		return d
+	}
+	d = e.IODA().DetectRegion(r)
+	e.mu.Lock()
+	e.iodaReg[r] = d
+	e.mu.Unlock()
+	return d
+}
+
+// PowerReport returns the Ukrenergo-like dataset, exercising the export →
+// parse path (the analysis must consume the report, not ground truth).
+func (e *Env) PowerReport() *power.Report {
+	e.powerOnce.Do(func() {
+		var buf bytes.Buffer
+		if err := e.Scenario().Power.WriteReport(&buf); err != nil {
+			panic(err)
+		}
+		rep, err := power.ParseReport(&buf)
+		if err != nil {
+			panic(err)
+		}
+		e.powerRep = rep
+	})
+	return e.powerRep
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is one regenerated table or figure: human-readable lines plus the
+// key metrics EXPERIMENTS.md records as paper-vs-measured.
+type Report struct {
+	ID    string
+	Title string
+	Lines []string
+	// Metrics holds named measured values.
+	Metrics map[string]float64
+	// PaperValues holds the corresponding numbers the paper reports, where
+	// it states them (same keys as Metrics).
+	PaperValues map[string]float64
+}
+
+func newReport(id, title string) *Report {
+	return &Report{ID: id, Title: title,
+		Metrics:     make(map[string]float64),
+		PaperValues: make(map[string]float64),
+	}
+}
+
+func (r *Report) addf(format string, args ...interface{}) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) metric(name string, measured float64) {
+	r.Metrics[name] = measured
+}
+
+func (r *Report) metricVs(name string, measured, paper float64) {
+	r.Metrics[name] = measured
+	r.PaperValues[name] = paper
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	if len(r.Metrics) > 0 {
+		b.WriteString("-- metrics --\n")
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if p, ok := r.PaperValues[k]; ok {
+				fmt.Fprintf(&b, "%-46s measured=%.4g paper=%.4g\n", k, r.Metrics[k], p)
+			} else {
+				fmt.Fprintf(&b, "%-46s measured=%.4g\n", k, r.Metrics[k])
+			}
+		}
+	}
+	return b.String()
+}
+
+// Experiment couples an identifier with its generator.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(e *Env) *Report
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(e *Env) *Report) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every registered experiment in registration order.
+func All() []Experiment { return registry }
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, ex := range registry {
+		if ex.ID == id {
+			return ex, true
+		}
+	}
+	return Experiment{}, false
+}

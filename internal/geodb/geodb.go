@@ -1,0 +1,289 @@
+// Package geodb is the IPInfo-like geolocation substrate: monthly database
+// snapshots mapping IPv4 prefixes to a country, a Ukrainian region (oblast)
+// and a radius-of-confidence in kilometres (the IPInfo "radius" metric the
+// paper uses to validate regional classification, §4.3).
+//
+// Snapshots are obtained "on the first day of each month" (§3.2); the
+// simulation generates them from ground truth plus calibrated noise, and the
+// classification pipeline consumes them exactly as it would consume the
+// commercial database.
+package geodb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"countrymon/internal/netmodel"
+)
+
+// CountryUA is Ukraine's ISO code as used in the database.
+const CountryUA = "UA"
+
+// Entry locates one prefix. Prefixes may be more specific than /24 (IP
+// drift inside a block shows up as sub-/24 entries pointing elsewhere).
+type Entry struct {
+	Prefix   netmodel.Prefix
+	Country  string          // ISO 3166-1 alpha-2
+	Region   netmodel.Region // RegionNone when outside Ukraine
+	RadiusKM uint32          // confidence radius, 5..5000 km
+}
+
+// Snapshot is one month's database. Entries must tile the covered space
+// without overlaps (the builder enforces longest-prefix semantics by
+// sorting; Lookup uses most-specific match).
+type Snapshot struct {
+	entries []Entry // sorted by (Base, Bits)
+}
+
+// NewSnapshot builds a snapshot from entries (copied and sorted).
+func NewSnapshot(entries []Entry) *Snapshot {
+	es := append([]Entry(nil), entries...)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Prefix.Base != es[j].Prefix.Base {
+			return es[i].Prefix.Base < es[j].Prefix.Base
+		}
+		return es[i].Prefix.Bits < es[j].Prefix.Bits
+	})
+	return &Snapshot{entries: es}
+}
+
+// Len returns the number of entries.
+func (s *Snapshot) Len() int { return len(s.entries) }
+
+// Entries returns the sorted entries (do not mutate).
+func (s *Snapshot) Entries() []Entry { return s.entries }
+
+// Lookup returns the most specific entry containing addr.
+func (s *Snapshot) Lookup(addr netmodel.Addr) (Entry, bool) {
+	// Entries are sorted by base; candidates are those with Base <= addr.
+	// Scan backwards from the insertion point for the longest match; tiling
+	// means the first containing entry is the answer, but nested entries
+	// (sub-/24 drift carved out of a larger range) make a short backward
+	// scan necessary.
+	i := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Prefix.Base > addr })
+	best := Entry{}
+	found := false
+	for j := i - 1; j >= 0; j-- {
+		e := s.entries[j]
+		if e.Prefix.Contains(addr) {
+			if !found || e.Prefix.Bits > best.Prefix.Bits {
+				best, found = e, true
+			}
+		}
+		// Stop once entries can no longer contain addr: when the gap
+		// exceeds the widest possible prefix (a /0 would always contain,
+		// but our databases never go wider than /8).
+		if addr-e.Prefix.Base > 1<<24 {
+			break
+		}
+	}
+	return best, found
+}
+
+// BlockShares returns, for one /24 block, how many of its 256 addresses the
+// snapshot locates in each Ukrainian region, plus how many fall outside
+// Ukraine (keyed by country code).
+type BlockShares struct {
+	PerRegion [netmodel.NumRegions + 1]uint16 // indexed by Region
+	Abroad    map[string]uint16               // country -> count (excl. UA)
+	Located   uint16                          // total addresses covered
+}
+
+// Share returns the fraction of the block's 256 addresses in region r.
+func (b *BlockShares) Share(r netmodel.Region) float64 {
+	return float64(b.PerRegion[r]) / netmodel.BlockSize
+}
+
+// DominantRegion returns the region holding the most addresses (and that
+// count); RegionNone if nothing is located in Ukraine.
+func (b *BlockShares) DominantRegion() (netmodel.Region, uint16) {
+	var best netmodel.Region
+	var n uint16
+	for r := netmodel.Region(1); int(r) <= netmodel.NumRegions; r++ {
+		if b.PerRegion[r] > n {
+			best, n = r, b.PerRegion[r]
+		}
+	}
+	return best, n
+}
+
+// BlockShares computes the per-region address counts of a block.
+func (s *Snapshot) BlockShares(block netmodel.BlockID) BlockShares {
+	var out BlockShares
+	// Walk the 256 addresses via entry ranges rather than per-IP lookups:
+	// find all entries overlapping the block.
+	bp := netmodel.Prefix{Base: block.First(), Bits: 24}
+	i := sort.Search(len(s.entries), func(i int) bool {
+		return s.entries[i].Prefix.Base >= bp.Base
+	})
+	// Include one covering entry that starts before the block, plus nested
+	// wider entries; collect candidates then resolve per address.
+	var cands []Entry
+	for j := i - 1; j >= 0 && len(cands) < 8; j-- {
+		if s.entries[j].Prefix.Overlaps(bp) {
+			cands = append(cands, s.entries[j])
+		}
+		if bp.Base-s.entries[j].Prefix.Base > 1<<24 {
+			break
+		}
+	}
+	for j := i; j < len(s.entries) && s.entries[j].Prefix.Base <= bp.Base+255; j++ {
+		if s.entries[j].Prefix.Overlaps(bp) {
+			cands = append(cands, s.entries[j])
+		}
+	}
+	if len(cands) == 0 {
+		return out
+	}
+	// Resolve each address against the most specific candidate.
+	for h := 0; h < netmodel.BlockSize; h++ {
+		a := block.Addr(uint8(h))
+		var best *Entry
+		for k := range cands {
+			e := &cands[k]
+			if e.Prefix.Contains(a) && (best == nil || e.Prefix.Bits > best.Prefix.Bits) {
+				best = e
+			}
+		}
+		if best == nil {
+			continue
+		}
+		out.Located++
+		if best.Country == CountryUA && best.Region.Valid() {
+			out.PerRegion[best.Region]++
+		} else {
+			if out.Abroad == nil {
+				out.Abroad = make(map[string]uint16, 2)
+			}
+			out.Abroad[best.Country]++
+		}
+	}
+	return out
+}
+
+// RegionIPCounts sums located addresses per region across the snapshot
+// (Figs 1/19: "IPv4 address counts per oblast").
+func (s *Snapshot) RegionIPCounts() map[netmodel.Region]int64 {
+	out := make(map[netmodel.Region]int64, netmodel.NumRegions)
+	for _, e := range s.entries {
+		if e.Country == CountryUA && e.Region.Valid() {
+			out[e.Region] += int64(e.Prefix.NumAddrs())
+		}
+	}
+	return out
+}
+
+// CountryIPCounts sums located addresses per country.
+func (s *Snapshot) CountryIPCounts() map[string]int64 {
+	out := make(map[string]int64)
+	for _, e := range s.entries {
+		out[e.Country] += int64(e.Prefix.NumAddrs())
+	}
+	return out
+}
+
+// RadiusValues returns all radius values for entries matching the filter
+// (nil filter = all), weighted per entry (not per IP), for median analysis.
+func (s *Snapshot) RadiusValues(filter func(Entry) bool) []uint32 {
+	var out []uint32
+	for _, e := range s.entries {
+		if filter == nil || filter(e) {
+			out = append(out, e.RadiusKM)
+		}
+	}
+	return out
+}
+
+// DB is a sequence of monthly snapshots aligned with the campaign's dense
+// month indices.
+type DB struct {
+	snaps []*Snapshot
+}
+
+// NewDB wraps monthly snapshots (index = dense campaign month).
+func NewDB(snaps []*Snapshot) *DB { return &DB{snaps: snaps} }
+
+// Months returns the number of snapshots.
+func (db *DB) Months() int { return len(db.snaps) }
+
+// Month returns the snapshot for dense month m (nil if out of range).
+func (db *DB) Month(m int) *Snapshot {
+	if m < 0 || m >= len(db.snaps) {
+		return nil
+	}
+	return db.snaps[m]
+}
+
+// --- Serialization (IPInfo-like CSV) ---
+
+// WriteTo writes the snapshot as "prefix,country,region,radius_km" lines.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	k, err := fmt.Fprintln(bw, "prefix,country,region,radius_km")
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	for _, e := range s.entries {
+		region := ""
+		if e.Region.Valid() {
+			region = e.Region.String()
+		}
+		k, err := fmt.Fprintf(bw, "%s,%s,%s,%d\n", e.Prefix, e.Country, region, e.RadiusKM)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadSnapshot parses the CSV produced by WriteTo.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var entries []Entry
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if first {
+			first = false
+			if strings.HasPrefix(line, "prefix,") {
+				continue
+			}
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("geodb: bad line %q", line)
+		}
+		p, err := netmodel.ParsePrefix(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		var region netmodel.Region
+		if parts[2] != "" {
+			var ok bool
+			region, ok = netmodel.RegionByName(parts[2])
+			if !ok {
+				return nil, fmt.Errorf("geodb: unknown region %q", parts[2])
+			}
+		}
+		rad, err := strconv.ParseUint(parts[3], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("geodb: bad radius %q", parts[3])
+		}
+		entries = append(entries, Entry{Prefix: p, Country: parts[1], Region: region, RadiusKM: uint32(rad)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewSnapshot(entries), nil
+}

@@ -1,0 +1,145 @@
+package geodb
+
+import (
+	"bytes"
+	"testing"
+
+	"countrymon/internal/netmodel"
+)
+
+func sampleSnapshot() *Snapshot {
+	return NewSnapshot([]Entry{
+		{Prefix: netmodel.MustParsePrefix("91.198.4.0/24"), Country: "UA", Region: netmodel.Kherson, RadiusKM: 50},
+		{Prefix: netmodel.MustParsePrefix("91.198.5.0/24"), Country: "UA", Region: netmodel.Kyiv, RadiusKM: 100},
+		// Sub-/24 drift: 64 addresses of the Kherson block point to Kyiv.
+		{Prefix: netmodel.MustParsePrefix("91.198.4.192/26"), Country: "UA", Region: netmodel.Kyiv, RadiusKM: 500},
+		{Prefix: netmodel.MustParsePrefix("176.8.0.0/19"), Country: "UA", Region: netmodel.Kyiv, RadiusKM: 200},
+		{Prefix: netmodel.MustParsePrefix("52.0.0.0/24"), Country: "US", RadiusKM: 1000},
+	})
+}
+
+func TestLookupMostSpecific(t *testing.T) {
+	s := sampleSnapshot()
+	e, ok := s.Lookup(netmodel.MustParseAddr("91.198.4.10"))
+	if !ok || e.Region != netmodel.Kherson {
+		t.Errorf("lookup .10 = %+v ok=%v", e, ok)
+	}
+	e, ok = s.Lookup(netmodel.MustParseAddr("91.198.4.200"))
+	if !ok || e.Region != netmodel.Kyiv || e.Prefix.Bits != 26 {
+		t.Errorf("lookup drifted .200 = %+v ok=%v (want /26 Kyiv)", e, ok)
+	}
+	e, ok = s.Lookup(netmodel.MustParseAddr("176.8.17.3"))
+	if !ok || e.Region != netmodel.Kyiv {
+		t.Errorf("lookup /19 = %+v", e)
+	}
+	if _, ok := s.Lookup(netmodel.MustParseAddr("8.8.8.8")); ok {
+		t.Error("uncovered address located")
+	}
+	e, ok = s.Lookup(netmodel.MustParseAddr("52.0.0.9"))
+	if !ok || e.Country != "US" || e.Region.Valid() {
+		t.Errorf("US lookup = %+v", e)
+	}
+}
+
+func TestBlockShares(t *testing.T) {
+	s := sampleSnapshot()
+	bs := s.BlockShares(netmodel.MustParseBlock("91.198.4.0/24"))
+	if bs.Located != 256 {
+		t.Fatalf("Located = %d", bs.Located)
+	}
+	if bs.PerRegion[netmodel.Kherson] != 192 {
+		t.Errorf("Kherson share = %d, want 192", bs.PerRegion[netmodel.Kherson])
+	}
+	if bs.PerRegion[netmodel.Kyiv] != 64 {
+		t.Errorf("Kyiv share = %d, want 64", bs.PerRegion[netmodel.Kyiv])
+	}
+	r, n := bs.DominantRegion()
+	if r != netmodel.Kherson || n != 192 {
+		t.Errorf("dominant = %v/%d", r, n)
+	}
+	if got := bs.Share(netmodel.Kherson); got != 0.75 {
+		t.Errorf("Share = %f", got)
+	}
+	// Uncovered block.
+	empty := s.BlockShares(netmodel.MustParseBlock("10.0.0.0/24"))
+	if empty.Located != 0 {
+		t.Errorf("uncovered block Located = %d", empty.Located)
+	}
+	// Abroad block.
+	us := s.BlockShares(netmodel.MustParseBlock("52.0.0.0/24"))
+	if us.Abroad["US"] != 256 {
+		t.Errorf("US abroad = %d", us.Abroad["US"])
+	}
+}
+
+func TestRegionIPCounts(t *testing.T) {
+	s := sampleSnapshot()
+	counts := s.RegionIPCounts()
+	// /19 (8192) + /24 (256) + /26 (64) in Kyiv.
+	if counts[netmodel.Kyiv] != 8192+256+64 {
+		t.Errorf("Kyiv = %d", counts[netmodel.Kyiv])
+	}
+	if counts[netmodel.Kherson] != 256 {
+		t.Errorf("Kherson = %d", counts[netmodel.Kherson])
+	}
+	cc := s.CountryIPCounts()
+	if cc["US"] != 256 {
+		t.Errorf("US = %d", cc["US"])
+	}
+}
+
+func TestRadiusValues(t *testing.T) {
+	s := sampleSnapshot()
+	all := s.RadiusValues(nil)
+	if len(all) != 5 {
+		t.Fatalf("len = %d", len(all))
+	}
+	ua := s.RadiusValues(func(e Entry) bool { return e.Country == "UA" })
+	if len(ua) != 4 {
+		t.Errorf("UA radii = %d", len(ua))
+	}
+}
+
+func TestSnapshotCSVRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), s.Len())
+	}
+	for i, e := range got.Entries() {
+		if e != s.Entries()[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, e, s.Entries()[i])
+		}
+	}
+}
+
+func TestReadSnapshotRejects(t *testing.T) {
+	bad := []string{
+		"prefix,country,region,radius_km\n91.198.4.0/24,UA,Atlantis,50\n",
+		"prefix,country,region,radius_km\nnot-a-prefix,UA,Kyiv,50\n",
+		"prefix,country,region,radius_km\n91.198.4.0/24,UA,Kyiv\n",
+		"prefix,country,region,radius_km\n91.198.4.0/24,UA,Kyiv,x\n",
+	}
+	for _, in := range bad {
+		if _, err := ReadSnapshot(bytes.NewReader([]byte(in))); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestDB(t *testing.T) {
+	db := NewDB([]*Snapshot{sampleSnapshot(), sampleSnapshot()})
+	if db.Months() != 2 {
+		t.Fatal("Months wrong")
+	}
+	if db.Month(0) == nil || db.Month(2) != nil || db.Month(-1) != nil {
+		t.Error("Month bounds wrong")
+	}
+}

@@ -1,0 +1,41 @@
+// Package icmp implements the IPv4 and ICMPv4 wire formats the scanner and
+// the simulated network exchange: header marshaling, the Internet checksum,
+// echo request/reply and destination-unreachable messages.
+//
+// Only the stdlib is used; packets are encoded to and decoded from []byte so
+// the same code path runs over the in-memory simulated wire, a UDP tunnel, or
+// (with privileges) a raw socket.
+package icmp
+
+// Checksum computes the Internet checksum (RFC 1071) over b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	n := len(b) &^ 1
+	for i := 0; i < n; i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)&1 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// VerifyChecksum reports whether b (with its embedded checksum field) sums to
+// the all-ones complement zero, i.e. the checksum is valid.
+func VerifyChecksum(b []byte) bool {
+	var sum uint32
+	n := len(b) &^ 1
+	for i := 0; i < n; i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)&1 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return uint16(sum) == 0xffff
+}

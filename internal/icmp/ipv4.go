@@ -1,0 +1,97 @@
+package icmp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"countrymon/internal/netmodel"
+)
+
+// IPv4HeaderLen is the length of an IPv4 header without options.
+const IPv4HeaderLen = 20
+
+// IPv4 protocol numbers used by the monitor.
+const (
+	ProtoICMP = 1
+)
+
+// IPv4Header is a minimal IPv4 header (no options), sufficient for the
+// scanner and the simulated network.
+type IPv4Header struct {
+	TOS      uint8
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Src, Dst netmodel.Addr
+	Length   uint16 // total length incl. header; filled by Marshal if zero
+}
+
+var (
+	ErrShortPacket = errors.New("icmp: short packet")
+	ErrBadVersion  = errors.New("icmp: not an IPv4 packet")
+	ErrBadChecksum = errors.New("icmp: bad checksum")
+)
+
+// MarshalIPv4 encodes the header followed by the payload into a fresh slice.
+func MarshalIPv4(h IPv4Header, payload []byte) []byte {
+	return AppendIPv4(nil, h, payload)
+}
+
+// AppendIPv4 appends the encoded datagram to dst and returns the extended
+// slice; with a reused buffer the scanner's send path stays allocation-free.
+func AppendIPv4(dst []byte, h IPv4Header, payload []byte) []byte {
+	total := IPv4HeaderLen + len(payload)
+	off := len(dst)
+	dst = append(dst, make([]byte, total)...)
+	b := dst[off:]
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:], uint16(total))
+	binary.BigEndian.PutUint16(b[4:], h.ID)
+	// flags+fragment offset zero: the monitor never fragments.
+	for i := 6; i < 12; i++ {
+		b[i] = 0
+	}
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	src, dstA := h.Src.Bytes(), h.Dst.Bytes()
+	copy(b[12:16], src[:])
+	copy(b[16:20], dstA[:])
+	cs := Checksum(b[:IPv4HeaderLen])
+	binary.BigEndian.PutUint16(b[10:], cs)
+	copy(b[IPv4HeaderLen:], payload)
+	return dst
+}
+
+// ParseIPv4 decodes an IPv4 packet, returning the header and its payload
+// (aliasing b). The header checksum is verified.
+func ParseIPv4(b []byte) (IPv4Header, []byte, error) {
+	if len(b) < IPv4HeaderLen {
+		return IPv4Header{}, nil, ErrShortPacket
+	}
+	if b[0]>>4 != 4 {
+		return IPv4Header{}, nil, ErrBadVersion
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return IPv4Header{}, nil, fmt.Errorf("%w: IHL %d", ErrShortPacket, ihl)
+	}
+	if !VerifyChecksum(b[:ihl]) {
+		return IPv4Header{}, nil, ErrBadChecksum
+	}
+	total := int(binary.BigEndian.Uint16(b[2:]))
+	if total < ihl || total > len(b) {
+		return IPv4Header{}, nil, fmt.Errorf("%w: total length %d", ErrShortPacket, total)
+	}
+	h := IPv4Header{
+		TOS:      b[1],
+		ID:       binary.BigEndian.Uint16(b[4:]),
+		TTL:      b[8],
+		Protocol: b[9],
+		Src:      netmodel.AddrFromBytes([4]byte(b[12:16])),
+		Dst:      netmodel.AddrFromBytes([4]byte(b[16:20])),
+		Length:   uint16(total),
+	}
+	return h, b[ihl:total], nil
+}

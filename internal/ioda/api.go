@@ -1,0 +1,239 @@
+package ioda
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"countrymon/internal/netmodel"
+	"countrymon/internal/signals"
+)
+
+// HTTP API in the shape of the real platform's v2 endpoints (the paper
+// pulls its comparison data from the IODA API [25]):
+//
+//	GET /v2/outages/events?entityType=asn&entityCode=25482
+//	GET /v2/outages/events?entityType=region&entityCode=Kherson
+//	GET /v2/signals/raw?entityType=asn&entityCode=25482
+//
+// Responses follow the envelope {"type": ..., "data": [...]}.
+
+// Event is one outage event as served by the API.
+type Event struct {
+	EntityType string `json:"entity_type"`
+	EntityCode string `json:"entity_code"`
+	Datasource string `json:"datasource"` // "bgp" or "active-probing"
+	Start      int64  `json:"start"`      // unix seconds
+	Duration   int64  `json:"duration"`   // seconds
+	Ongoing    bool   `json:"ongoing"`
+}
+
+// SignalPoint is one raw signal sample.
+type SignalPoint struct {
+	Time int64   `json:"time"`
+	BGP  float64 `json:"bgp"`
+	TRIN float64 `json:"active_probing"`
+}
+
+type envelope struct {
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+	Err  string          `json:"error,omitempty"`
+}
+
+// Server exposes a Platform over HTTP.
+type Server struct {
+	p   *Platform
+	mux *http.ServeMux
+}
+
+// NewServer builds the API server.
+func NewServer(p *Platform) *Server {
+	s := &Server{p: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v2/outages/events", s.handleEvents)
+	s.mux.HandleFunc("/v2/signals/raw", s.handleSignals)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, typ string, data interface{}, errMsg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	var raw json.RawMessage
+	if data != nil {
+		raw, _ = json.Marshal(data)
+	}
+	_ = json.NewEncoder(w).Encode(envelope{Type: typ, Data: raw, Err: errMsg})
+}
+
+// entity resolves entityType/entityCode query params.
+func (s *Server) entity(q url.Values) (isAS bool, asn netmodel.ASN, region netmodel.Region, err error) {
+	code := q.Get("entityCode")
+	switch q.Get("entityType") {
+	case "asn":
+		v, perr := strconv.ParseUint(code, 10, 32)
+		if perr != nil {
+			return false, 0, 0, fmt.Errorf("bad ASN %q", code)
+		}
+		return true, netmodel.ASN(v), 0, nil
+	case "region":
+		r, ok := netmodel.RegionByName(code)
+		if !ok {
+			return false, 0, 0, fmt.Errorf("unknown region %q", code)
+		}
+		return false, 0, r, nil
+	}
+	return false, 0, 0, fmt.Errorf("entityType must be asn or region")
+}
+
+func datasourceOf(k signals.Kind) string {
+	if k.Has(signals.SignalBGP) && !k.Has(signals.SignalFBS) {
+		return "bgp"
+	}
+	return "active-probing"
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	isAS, asn, region, err := s.entity(r.URL.Query())
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, "outage.events", nil, err.Error())
+		return
+	}
+	tl := s.p.store.Timeline()
+	var det *signals.Detection
+	code := ""
+	if isAS {
+		det = s.p.DetectAS(asn)
+		code = asn.String()
+		if det == nil {
+			// Below the reporting floor: empty result, as the real
+			// platform returns for uncovered ASes.
+			writeJSON(w, http.StatusOK, "outage.events", []Event{}, "")
+			return
+		}
+	} else {
+		det = s.p.DetectRegion(region)
+		code = region.String()
+	}
+	etype := "region"
+	if isAS {
+		etype = "asn"
+	}
+	events := make([]Event, 0, len(det.Outages))
+	for _, o := range det.Outages {
+		events = append(events, Event{
+			EntityType: etype,
+			EntityCode: code,
+			Datasource: datasourceOf(o.Signals),
+			Start:      tl.Time(o.Start).Unix(),
+			Duration:   int64(o.Duration(tl.Interval()) / time.Second),
+			Ongoing:    o.Ongoing,
+		})
+	}
+	writeJSON(w, http.StatusOK, "outage.events", events, "")
+}
+
+func (s *Server) handleSignals(w http.ResponseWriter, r *http.Request) {
+	isAS, asn, region, err := s.entity(r.URL.Query())
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, "signals.raw", nil, err.Error())
+		return
+	}
+	var es *signals.EntitySeries
+	if isAS {
+		if !s.p.HasCoverage(asn) {
+			writeJSON(w, http.StatusOK, "signals.raw", []SignalPoint{}, "")
+			return
+		}
+		es = s.p.ASSeries(asn)
+	} else {
+		es = s.p.RegionSeries(region)
+	}
+	tl := s.p.store.Timeline()
+	q := r.URL.Query()
+	from, until := int64(0), int64(1<<62)
+	if v, err := strconv.ParseInt(q.Get("from"), 10, 64); err == nil {
+		from = v
+	}
+	if v, err := strconv.ParseInt(q.Get("until"), 10, 64); err == nil {
+		until = v
+	}
+	var pts []SignalPoint
+	for round := 0; round < tl.NumRounds(); round++ {
+		if es.Missing[round] {
+			continue
+		}
+		t := tl.Time(round).Unix()
+		if t < from || t > until {
+			continue
+		}
+		pts = append(pts, SignalPoint{Time: t, BGP: float64(es.BGP[round]), TRIN: float64(es.FBS[round])})
+	}
+	writeJSON(w, http.StatusOK, "signals.raw", pts, "")
+}
+
+// Client consumes the API.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient builds a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *Client) get(path string, q url.Values, out interface{}) error {
+	u := c.BaseURL + path + "?" + q.Encode()
+	resp, err := c.HTTP.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var env envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return fmt.Errorf("ioda api: %w", err)
+	}
+	if env.Err != "" {
+		return fmt.Errorf("ioda api: %s", env.Err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ioda api: status %d", resp.StatusCode)
+	}
+	return json.Unmarshal(env.Data, out)
+}
+
+// ASEvents fetches outage events for an AS.
+func (c *Client) ASEvents(asn netmodel.ASN) ([]Event, error) {
+	q := url.Values{"entityType": {"asn"}, "entityCode": {strconv.FormatUint(uint64(asn), 10)}}
+	var events []Event
+	err := c.get("/v2/outages/events", q, &events)
+	return events, err
+}
+
+// RegionEvents fetches outage events for a region.
+func (c *Client) RegionEvents(region netmodel.Region) ([]Event, error) {
+	q := url.Values{"entityType": {"region"}, "entityCode": {region.String()}}
+	var events []Event
+	err := c.get("/v2/outages/events", q, &events)
+	return events, err
+}
+
+// RawSignals fetches a raw signal series.
+func (c *Client) RawSignals(entityType, code string, from, until int64) ([]SignalPoint, error) {
+	q := url.Values{"entityType": {entityType}, "entityCode": {code}}
+	if from > 0 {
+		q.Set("from", strconv.FormatInt(from, 10))
+	}
+	if until > 0 {
+		q.Set("until", strconv.FormatInt(until, 10))
+	}
+	var pts []SignalPoint
+	err := c.get("/v2/signals/raw", q, &pts)
+	return pts, err
+}

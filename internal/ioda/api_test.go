@@ -1,0 +1,103 @@
+package ioda
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"countrymon/internal/netmodel"
+)
+
+func apiFixture(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	_, p := fixture(t)
+	srv := httptest.NewServer(NewServer(p))
+	t.Cleanup(srv.Close)
+	return srv, NewClient(srv.URL)
+}
+
+func TestAPIASEvents(t *testing.T) {
+	_, c := apiFixture(t)
+	// A reported AS returns events (possibly empty but valid).
+	events, err := c.ASEvents(6877)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.EntityType != "asn" || e.EntityCode != "AS6877" {
+			t.Errorf("event entity = %s/%s", e.EntityType, e.EntityCode)
+		}
+		if e.Duration <= 0 {
+			t.Errorf("non-positive duration: %+v", e)
+		}
+		if e.Datasource != "bgp" && e.Datasource != "active-probing" {
+			t.Errorf("datasource = %q", e.Datasource)
+		}
+	}
+	// Below the reporting floor: empty, not an error.
+	small, err := c.ASEvents(25482)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small) != 0 {
+		t.Errorf("below-floor AS returned %d events", len(small))
+	}
+}
+
+func TestAPIRegionEvents(t *testing.T) {
+	_, c := apiFixture(t)
+	events, err := c.RegionEvents(netmodel.Kherson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.EntityCode != "Kherson" {
+			t.Errorf("entity = %q", e.EntityCode)
+		}
+	}
+}
+
+func TestAPIRawSignals(t *testing.T) {
+	sc, _ := fixture(t)
+	_, c := apiFixture(t)
+	pts, err := c.RawSignals("asn", "15895", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no signal points")
+	}
+	// Points must be time-ordered and non-negative.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time <= pts[i-1].Time {
+			t.Fatal("signal points not ordered")
+		}
+	}
+	// Time filtering.
+	mid := sc.TL.Time(sc.TL.NumRounds() / 2)
+	filtered, err := c.RawSignals("asn", "15895", mid.Unix(), mid.Add(10*24*time.Hour).Unix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered) == 0 || len(filtered) >= len(pts) {
+		t.Errorf("filtered = %d of %d", len(filtered), len(pts))
+	}
+	for _, p := range filtered {
+		if p.Time < mid.Unix() {
+			t.Fatal("from filter ignored")
+		}
+	}
+}
+
+func TestAPIErrors(t *testing.T) {
+	_, c := apiFixture(t)
+	if _, err := c.RawSignals("asn", "not-a-number", 0, 0); err == nil {
+		t.Error("bad ASN accepted")
+	}
+	if _, err := c.RawSignals("region", "Atlantis", 0, 0); err == nil {
+		t.Error("unknown region accepted")
+	}
+	if _, err := c.RawSignals("planet", "Earth", 0, 0); err == nil {
+		t.Error("bad entity type accepted")
+	}
+}

@@ -1,0 +1,151 @@
+// Package netmodel defines the shared address-space model used across the
+// country monitor: IPv4 prefixes and /24 blocks, Ukraine's administrative
+// regions (oblasts), and the autonomous-system / address-block entities that
+// scanning, routing, geolocation and analysis code all agree on.
+//
+// The paper (§2.1) analyses 26 regions: 24 oblasts, the two cities with
+// special status (Kyiv, Sevastopol) and the autonomous region of Crimea, with
+// Kyiv city and Kyiv oblast merged into a single region.
+package netmodel
+
+import "fmt"
+
+// Region identifies one of the 26 regions of Ukraine used in the analysis.
+// The zero value RegionNone means "no region / outside Ukraine".
+type Region uint8
+
+// The 26 regions, in the alphabetical order the paper's figures use.
+const (
+	RegionNone Region = iota
+	Cherkasy
+	Chernihiv
+	Chernivtsi
+	Crimea
+	Dnipropetrovsk
+	Donetsk
+	IvanoFrankivsk
+	Kharkiv
+	Kherson
+	Khmelnytskyi
+	Kirovohrad
+	Kyiv
+	Luhansk
+	Lviv
+	Mykolaiv
+	Odessa
+	Poltava
+	Rivne
+	Sevastopol
+	Sumy
+	Ternopil
+	Transcarpathia
+	Vinnytsia
+	Volyn
+	Zaporizhzhia
+	Zhytomyr
+
+	numRegions
+)
+
+// NumRegions is the number of analysed regions (26).
+const NumRegions = int(numRegions) - 1
+
+var regionNames = [...]string{
+	RegionNone:     "None",
+	Cherkasy:       "Cherkasy",
+	Chernihiv:      "Chernihiv",
+	Chernivtsi:     "Chernivtsi",
+	Crimea:         "Crimea",
+	Dnipropetrovsk: "Dnipropetrovsk",
+	Donetsk:        "Donetsk",
+	IvanoFrankivsk: "Ivano-Frankivsk",
+	Kharkiv:        "Kharkiv",
+	Kherson:        "Kherson",
+	Khmelnytskyi:   "Khmelnytskyi",
+	Kirovohrad:     "Kirovohrad",
+	Kyiv:           "Kyiv",
+	Luhansk:        "Luhansk",
+	Lviv:           "Lviv",
+	Mykolaiv:       "Mykolaiv",
+	Odessa:         "Odessa",
+	Poltava:        "Poltava",
+	Rivne:          "Rivne",
+	Sevastopol:     "Sevastopol",
+	Sumy:           "Sumy",
+	Ternopil:       "Ternopil",
+	Transcarpathia: "Transcarpathia",
+	Vinnytsia:      "Vinnytsia",
+	Volyn:          "Volyn",
+	Zaporizhzhia:   "Zaporizhzhia",
+	Zhytomyr:       "Zhytomyr",
+}
+
+// String returns the region's English name as used in the paper's figures.
+func (r Region) String() string {
+	if int(r) < len(regionNames) {
+		return regionNames[r]
+	}
+	return fmt.Sprintf("Region(%d)", uint8(r))
+}
+
+// Valid reports whether r names one of the 26 analysed regions.
+func (r Region) Valid() bool { return r > RegionNone && r < numRegions }
+
+// Frontline reports whether the region is one of the seven frontline oblasts
+// (§2.1): Chernihiv, Donetsk, Kharkiv, Kherson, Luhansk, Sumy, Zaporizhzhia.
+func (r Region) Frontline() bool {
+	switch r {
+	case Chernihiv, Donetsk, Kharkiv, Kherson, Luhansk, Sumy, Zaporizhzhia:
+		return true
+	}
+	return false
+}
+
+// OccupiedSince2014 reports whether the region has been occupied since 2014
+// and is connected to the Russian power grid (Crimea, Sevastopol); these did
+// not experience the winter power-driven outages (§5.1).
+func (r Region) OccupiedSince2014() bool {
+	return r == Crimea || r == Sevastopol
+}
+
+// Regions returns all 26 regions in figure order.
+func Regions() []Region {
+	rs := make([]Region, 0, NumRegions)
+	for r := RegionNone + 1; r < numRegions; r++ {
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+// FrontlineRegions returns the seven frontline oblasts.
+func FrontlineRegions() []Region {
+	var rs []Region
+	for _, r := range Regions() {
+		if r.Frontline() {
+			rs = append(rs, r)
+		}
+	}
+	return rs
+}
+
+// NonFrontlineRegions returns the 19 non-frontline regions.
+func NonFrontlineRegions() []Region {
+	var rs []Region
+	for _, r := range Regions() {
+		if !r.Frontline() {
+			rs = append(rs, r)
+		}
+	}
+	return rs
+}
+
+// RegionByName resolves a region from its English name (as printed by
+// String). It returns RegionNone, false for unknown names.
+func RegionByName(name string) (Region, bool) {
+	for r := RegionNone + 1; r < numRegions; r++ {
+		if regionNames[r] == name {
+			return r, true
+		}
+	}
+	return RegionNone, false
+}

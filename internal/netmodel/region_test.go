@@ -1,0 +1,63 @@
+package netmodel
+
+import "testing"
+
+func TestRegionCounts(t *testing.T) {
+	if NumRegions != 26 {
+		t.Fatalf("NumRegions = %d, want 26 (the paper's 24 oblasts + Crimea + Sevastopol, Kyiv merged)", NumRegions)
+	}
+	if got := len(Regions()); got != 26 {
+		t.Fatalf("len(Regions()) = %d", got)
+	}
+	if got := len(FrontlineRegions()); got != 7 {
+		t.Fatalf("frontline regions = %d, want 7", got)
+	}
+	if got := len(NonFrontlineRegions()); got != 19 {
+		t.Fatalf("non-frontline regions = %d, want 19", got)
+	}
+}
+
+func TestFrontlineSet(t *testing.T) {
+	want := map[Region]bool{
+		Chernihiv: true, Donetsk: true, Kharkiv: true, Kherson: true,
+		Luhansk: true, Sumy: true, Zaporizhzhia: true,
+	}
+	for _, r := range Regions() {
+		if r.Frontline() != want[r] {
+			t.Errorf("%v.Frontline() = %v, want %v", r, r.Frontline(), want[r])
+		}
+	}
+}
+
+func TestRegionStringAndLookup(t *testing.T) {
+	for _, r := range Regions() {
+		if !r.Valid() {
+			t.Errorf("%v not valid", r)
+		}
+		got, ok := RegionByName(r.String())
+		if !ok || got != r {
+			t.Errorf("RegionByName(%q) = %v,%v", r.String(), got, ok)
+		}
+	}
+	if RegionNone.Valid() {
+		t.Error("RegionNone must be invalid")
+	}
+	if _, ok := RegionByName("Atlantis"); ok {
+		t.Error("unknown region resolved")
+	}
+	if s := Region(200).String(); s != "Region(200)" {
+		t.Errorf("out-of-range String = %q", s)
+	}
+	if IvanoFrankivsk.String() != "Ivano-Frankivsk" {
+		t.Errorf("hyphenated name wrong: %q", IvanoFrankivsk.String())
+	}
+}
+
+func TestOccupiedSince2014(t *testing.T) {
+	for _, r := range Regions() {
+		want := r == Crimea || r == Sevastopol
+		if r.OccupiedSince2014() != want {
+			t.Errorf("%v.OccupiedSince2014() = %v", r, r.OccupiedSince2014())
+		}
+	}
+}

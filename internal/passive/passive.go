@@ -1,0 +1,195 @@
+// Package passive implements the passive measurement comparator of Table 1:
+// a Cloudflare-style observer that watches client HTTP request volumes per
+// region instead of probing. Passive observation has high temporal
+// resolution and zero probing load, but requires a privileged position
+// (clients must already talk to you), sees only user-driven traffic (diurnal
+// and demand-shaped), and attributes at region granularity — it cannot name
+// the AS or /24 behind a dip the way active full-block scans can.
+//
+// Volumes derive from the same ground truth as the scans: responsive users
+// generate requests, modulated by a strong human diurnal cycle and demand
+// noise. A small HTTP ingestion server is included so tests exercise a real
+// collection path.
+package passive
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"countrymon/internal/dataset"
+	"countrymon/internal/netmodel"
+	"countrymon/internal/regional"
+	"countrymon/internal/signals"
+)
+
+// humanDiurnal is the request-demand multiplier by local hour: deep night
+// troughs, evening peak.
+func humanDiurnal(localHour int) float64 {
+	// Smooth curve peaking at 20:00 local, trough at 04:00.
+	phase := float64(localHour-20) / 24 * 2 * math.Pi
+	return 0.55 + 0.45*math.Cos(phase)
+}
+
+// VolumeSeries derives per-round request volumes for a region from the
+// measurement store: responsive addresses in the region's blocks generate
+// demand-modulated requests. Unlike the active signals, no regionality
+// filtering is applied — a CDN sees whatever geolocates there.
+func VolumeSeries(st *dataset.Store, cl *regional.Classifier, rr *regional.RegionResult) []float64 {
+	tl := st.Timeline()
+	out := make([]float64, tl.NumRounds())
+	for _, bc := range rr.Blocks {
+		resp := st.RespSeries(bc.Index)
+		for r := 0; r < tl.NumRounds(); r++ {
+			if st.Missing(r) {
+				// A passive observer has no vantage outages; interpolate
+				// with the block's previous value to keep the series
+				// continuous.
+				if r > 0 {
+					out[r] = out[r-1]
+				}
+				continue
+			}
+			m := tl.MonthOfRound(r)
+			share := cl.BlockShare(bc.Index, m, rr.Region)
+			if share == 0 {
+				continue
+			}
+			localHour := (tl.Time(r).Hour() + 2) % 24
+			out[r] += float64(resp[r]) * share * humanDiurnal(localHour) * 7.3
+		}
+	}
+	return out
+}
+
+// Detect runs volume-drop detection: requests below frac of the trailing
+// week (computed diurnal-aware, comparing against the same local hour) flag
+// an outage. It reuses the signals event machinery by mapping volume onto a
+// single-signal series.
+func Detect(vol []float64, tl interface {
+	NumRounds() int
+	NumMonths() int
+	MonthOfRound(int) int
+	RoundsPerDay() int
+	RoundsPerWeek() int
+}, frac float64) *signals.Detection {
+	rounds := len(vol)
+	d := &signals.Detection{Flags: make([]signals.Kind, rounds)}
+	perDay := tl.RoundsPerDay()
+	window := 7
+	for r := 0; r < rounds; r++ {
+		// Baseline: mean of the same time-of-day slot over the past week
+		// (passive systems compare like-for-like hours to cancel the
+		// diurnal cycle).
+		sum, n := 0.0, 0
+		for k := 1; k <= window; k++ {
+			idx := r - k*perDay
+			if idx < 0 {
+				break
+			}
+			sum += vol[idx]
+			n++
+		}
+		if n < window/2 || sum == 0 {
+			continue
+		}
+		base := sum / float64(n)
+		if base > 5 && vol[r] < frac*base {
+			d.Flags[r] = signals.SignalIPS
+		}
+	}
+	inOutage := false
+	var cur signals.Outage
+	for r := 0; r < rounds; r++ {
+		if d.Flags[r] != 0 {
+			if !inOutage {
+				cur = signals.Outage{Start: r, Signals: signals.SignalIPS}
+				inOutage = true
+			}
+			cur.End = r + 1
+		} else if inOutage {
+			d.Outages = append(d.Outages, cur)
+			inOutage = false
+		}
+	}
+	if inOutage {
+		d.Outages = append(d.Outages, cur)
+	}
+	return d
+}
+
+// --- HTTP ingestion path ---
+
+// LogEntry is one reported traffic sample.
+type LogEntry struct {
+	Region   string  `json:"region"`
+	Requests float64 `json:"requests"`
+	// Slot is the reporting interval index (the CDN's fine-grained clock).
+	Slot int `json:"slot"`
+}
+
+// Collector aggregates request volumes reported over HTTP.
+type Collector struct {
+	mu   sync.Mutex
+	vols map[netmodel.Region]map[int]float64
+}
+
+// NewCollector builds an empty collector.
+func NewCollector() *Collector {
+	return &Collector{vols: make(map[netmodel.Region]map[int]float64)}
+}
+
+// ServeHTTP accepts POSTed LogEntry batches at any path.
+func (c *Collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST log batches", http.StatusMethodNotAllowed)
+		return
+	}
+	var batch []LogEntry
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		http.Error(w, "bad JSON", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range batch {
+		region, ok := netmodel.RegionByName(e.Region)
+		if !ok || e.Requests < 0 || e.Slot < 0 {
+			http.Error(w, "bad entry", http.StatusBadRequest)
+			return
+		}
+		m := c.vols[region]
+		if m == nil {
+			m = make(map[int]float64)
+			c.vols[region] = m
+		}
+		m[e.Slot] += e.Requests
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// Volume returns the aggregated request count for a region and slot.
+func (c *Collector) Volume(region netmodel.Region, slot int) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vols[region][slot]
+}
+
+// Series returns the region's volume series over slots [0, n).
+func (c *Collector) Series(region netmodel.Region, n int) []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]float64, n)
+	for slot, v := range c.vols[region] {
+		if slot < n {
+			out[slot] = v
+		}
+	}
+	return out
+}
+
+// ReportInterval is the passive path's native resolution (Table 1: < 1 min;
+// we aggregate to the minute).
+const ReportInterval = time.Minute

@@ -1,0 +1,180 @@
+package portal
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"countrymon/internal/dataset"
+	"countrymon/internal/netmodel"
+	"countrymon/internal/scanner"
+	"countrymon/internal/timeline"
+)
+
+func testPortal(t *testing.T) (*Portal, *httptest.Server) {
+	t.Helper()
+	start := time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC)
+	tl := timeline.New(start, start.AddDate(0, 2, 0), 2*time.Hour)
+	store := dataset.NewStore(tl, []netmodel.BlockID{
+		netmodel.MustParseBlock("91.198.4.0/24"),
+		netmodel.MustParseBlock("91.198.5.0/24"),
+	})
+	for r := 0; r < tl.NumRounds(); r++ {
+		store.SetRound(0, r, 25, true)
+		store.SetRound(1, r, 0, r%2 == 0)
+	}
+	p := New(store, []byte("test-anon-key"), "researcher-token")
+	srv := httptest.NewServer(p)
+	t.Cleanup(srv.Close)
+	return p, srv
+}
+
+func TestInfoPage(t *testing.T) {
+	_, srv := testPortal(t)
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "Opt out") {
+		t.Error("info page missing opt-out instructions")
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestOptOutFlow(t *testing.T) {
+	p, srv := testPortal(t)
+	post := func(body string) *http.Response {
+		resp, err := http.Post(srv.URL+"/opt-out", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post(`{"prefix": "91.198.5.0/24"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("opt-out status = %d", resp.StatusCode)
+	}
+	// Duplicate is idempotent.
+	post(`{"prefix": "91.198.5.0/24"}`)
+	if got := len(p.OptOuts()); got != 1 {
+		t.Fatalf("opt-outs = %d", got)
+	}
+	// The opt-out feeds the scanner's exclusion list.
+	ts, err := scanner.NewTargetSet([]netmodel.Prefix{netmodel.MustParsePrefix("91.198.4.0/23")}, p.OptOuts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.NumBlocks() != 1 {
+		t.Errorf("excluded block still targeted: %d blocks", ts.NumBlocks())
+	}
+	// Rejections.
+	if resp := post(`{"prefix": "10.0.0.0/8"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Error("blanket /8 opt-out accepted")
+	}
+	if resp := post(`{"prefix": "garbage"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Error("garbage prefix accepted")
+	}
+	if resp, _ := http.Get(srv.URL + "/opt-out"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Error("GET opt-out allowed")
+	}
+}
+
+func TestBlockDataRequiresToken(t *testing.T) {
+	_, srv := testPortal(t)
+	resp, _ := http.Get(srv.URL + "/data/blocks?month=0")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("tokenless access status = %d", resp.StatusCode)
+	}
+	resp, err := http.Get(srv.URL + "/data/blocks?month=0&token=researcher-token")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var recs []BlockRecord
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 { // block 1 has no responses and is omitted
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Block != "91.198.4.0/24" || recs[0].EverActive != 25 {
+		t.Errorf("record = %+v", recs[0])
+	}
+	if recs[0].RoutedPct != 100 {
+		t.Errorf("routed pct = %f", recs[0].RoutedPct)
+	}
+	// Out-of-range month.
+	resp, _ = http.Get(srv.URL + "/data/blocks?month=99&token=researcher-token")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Error("bad month accepted")
+	}
+}
+
+func TestAnonymizedResponsiveness(t *testing.T) {
+	p, srv := testPortal(t)
+	resp, err := http.Get(srv.URL + "/data/responsiveness?block=91.198.4.0/24&month=0&token=researcher-token")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var recs []RespRecord
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 25 {
+		t.Fatalf("records = %d, want 25 ever-active", len(recs))
+	}
+	seen := map[string]bool{}
+	for _, rec := range recs {
+		if len(rec.AnonIP) != 24 {
+			t.Fatalf("pseudonym %q has wrong length", rec.AnonIP)
+		}
+		if strings.Contains(rec.AnonIP, ".") {
+			t.Fatal("pseudonym leaks dotted quads")
+		}
+		if seen[rec.AnonIP] {
+			t.Fatal("pseudonym collision")
+		}
+		seen[rec.AnonIP] = true
+	}
+	// Stable mapping within the portal.
+	a := netmodel.MustParseAddr("91.198.4.1")
+	if p.AnonAddr(a) != p.AnonAddr(a) {
+		t.Error("pseudonyms not stable")
+	}
+	// Different keys give different pseudonyms.
+	other := New(nil, []byte("other-key"))
+	if p.AnonAddr(a) == other.AnonAddr(a) {
+		t.Error("pseudonyms independent of key")
+	}
+	// Unknown block.
+	r2, _ := http.Get(srv.URL + "/data/responsiveness?block=10.0.0.0/24&month=0&token=researcher-token")
+	if r2.StatusCode != http.StatusNotFound {
+		t.Error("unknown block accepted")
+	}
+}
+
+func TestAddToken(t *testing.T) {
+	p, srv := testPortal(t)
+	resp, _ := http.Get(srv.URL + "/data/blocks?month=0&token=late-arrival")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatal("unapproved token accepted")
+	}
+	p.AddToken("late-arrival")
+	resp, _ = http.Get(srv.URL + "/data/blocks?month=0&token=late-arrival")
+	if resp.StatusCode != http.StatusOK {
+		t.Error("approved token rejected")
+	}
+}

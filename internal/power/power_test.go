@@ -1,0 +1,157 @@
+package power
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"countrymon/internal/netmodel"
+	"countrymon/internal/timeline"
+)
+
+func testSchedule() *Schedule {
+	return Generate(Config{Start: timeline.DefaultStart, End: timeline.DefaultEnd, Seed: 1})
+}
+
+func TestScheduleShape(t *testing.T) {
+	s := testSchedule()
+	if s.Days() < 1085 {
+		t.Fatalf("Days = %d", s.Days())
+	}
+	// 2024 total for non-frontline regions should be near the reported
+	// 1,951 hours (the generator is calibrated, shape matters).
+	total := s.TotalHoursYear(2024, netmodel.NonFrontlineRegions())
+	if total < 1400 || total > 2600 {
+		t.Errorf("2024 total hours = %.0f, want ≈1951", total)
+	}
+	// 2023 mid-year should be far quieter than 2024.
+	t23 := s.TotalHoursYear(2023, netmodel.NonFrontlineRegions())
+	if t23 >= total {
+		t.Errorf("2023 (%.0f h) not quieter than 2024 (%.0f h)", t23, total)
+	}
+}
+
+func TestCrimeaOnRussianGrid(t *testing.T) {
+	s := testSchedule()
+	for d := 0; d < s.Days(); d += 13 {
+		if s.Hours(d, netmodel.Crimea) != 0 || s.Hours(d, netmodel.Sevastopol) != 0 {
+			t.Fatalf("Crimea/Sevastopol should have no Ukrainian-grid outages (day %d)", d)
+		}
+	}
+}
+
+func TestWinter2223Outages(t *testing.T) {
+	s := testSchedule()
+	winterDay := s.DayIndex(time.Date(2022, 12, 15, 0, 0, 0, 0, time.UTC))
+	calmDay := s.DayIndex(time.Date(2023, 7, 15, 0, 0, 0, 0, time.UTC))
+	winterSum, calmSum := 0.0, 0.0
+	for _, r := range netmodel.NonFrontlineRegions() {
+		winterSum += s.Hours(winterDay, r)
+		calmSum += s.Hours(calmDay, r)
+	}
+	if winterSum < 10 {
+		t.Errorf("winter 2022/23 outages too small: %f", winterSum)
+	}
+	if calmSum > winterSum/4 {
+		t.Errorf("summer 2023 not calm: %f vs winter %f", calmSum, winterSum)
+	}
+}
+
+func TestStrikeImpulse(t *testing.T) {
+	s := testSchedule()
+	// Just after the March 22 2024 attack outages must exceed just before.
+	before := s.DayIndex(time.Date(2024, 3, 15, 0, 0, 0, 0, time.UTC))
+	after := s.DayIndex(time.Date(2024, 3, 24, 0, 0, 0, 0, time.UTC))
+	b, a := 0.0, 0.0
+	for _, r := range netmodel.NonFrontlineRegions() {
+		b += s.Hours(before, r)
+		a += s.Hours(after, r)
+	}
+	if a <= b {
+		t.Errorf("attack did not raise outages: before=%.1f after=%.1f", b, a)
+	}
+}
+
+func TestOutWindowConsistency(t *testing.T) {
+	s := testSchedule()
+	day := time.Date(2024, 6, 15, 0, 0, 0, 0, time.UTC)
+	for _, r := range netmodel.NonFrontlineRegions() {
+		want := s.HoursAt(day, r)
+		outHours := 0
+		for h := 0; h < 24; h++ {
+			if s.Out(r, day.Add(time.Duration(h)*time.Hour)) {
+				outHours++
+			}
+		}
+		// The hourly window must integrate to the daily hours ±1 h.
+		if diff := float64(outHours) - want; diff < -1.01 || diff > 1.01 {
+			t.Errorf("%v: window %d h vs daily %.1f h", r, outHours, want)
+		}
+	}
+}
+
+func TestOutDeterministic(t *testing.T) {
+	s1 := testSchedule()
+	s2 := testSchedule()
+	at := time.Date(2022, 12, 1, 18, 0, 0, 0, time.UTC)
+	for _, r := range netmodel.Regions() {
+		if s1.Out(r, at) != s2.Out(r, at) {
+			t.Fatal("schedule not deterministic")
+		}
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	s := testSchedule()
+	var buf bytes.Buffer
+	if err := s.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ParseReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Days() == 0 {
+		t.Fatal("empty report")
+	}
+	// Coverage window: nothing before 2023-01-01 or after 2025-01-20.
+	day22 := time.Date(2022, 12, 15, 0, 0, 0, 0, time.UTC)
+	if got := rep.HoursOn(day22, netmodel.Lviv); got != 0 {
+		t.Errorf("report leaked pre-2023 data: %f", got)
+	}
+	// A summer 2024 day must match the schedule (within rounding).
+	day24 := time.Date(2024, 6, 20, 0, 0, 0, 0, time.UTC)
+	for _, r := range []netmodel.Region{netmodel.Lviv, netmodel.Odessa, netmodel.Kyiv} {
+		want := s.HoursAt(day24, r)
+		got := rep.HoursOn(day24, r)
+		if diff := got - want; diff < -0.011 || diff > 0.011 {
+			t.Errorf("%v on %v: report %.2f vs schedule %.2f", r, day24, got, want)
+		}
+	}
+}
+
+func TestParseReportRejects(t *testing.T) {
+	bad := []string{
+		"date,region,outage_hours\n2024-01-01,Atlantis,5\n",
+		"date,region,outage_hours\n2024-13-01,Lviv,5\n",
+		"date,region,outage_hours\n2024-01-01,Lviv,99\n",
+		"date,region,outage_hours\n2024-01-01,Lviv\n",
+	}
+	for _, in := range bad {
+		if _, err := ParseReport(bytes.NewReader([]byte(in))); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestAttacks2024(t *testing.T) {
+	as := Attacks2024()
+	if len(as) != 13 {
+		t.Fatalf("attacks = %d, want 13 (Fig 10 marks 13 documented strikes)", len(as))
+	}
+	for _, a := range as {
+		if a.Year() != 2024 {
+			t.Errorf("attack %v outside 2024", a)
+		}
+	}
+}

@@ -1,0 +1,515 @@
+// Package regional implements the paper's first core contribution (§4): the
+// classification of ASes and /24 address blocks as regional, non-regional or
+// temporal per oblast, based on long-term geolocation trends.
+//
+// An entity e (AS or /24 block) is regional for region R when its share of
+// addresses located in R meets threshold M in at least T_perc of its routed
+// months:
+//
+//	e ∈ E_reg  ⇔  Σ_t 1(s_t(e) ≥ M) ≥ ⌈T_perc · T_routed⌉
+//
+// with s_t(e) = n_t(e)/N_t(e), n_t the entity's addresses geolocated to R in
+// month t and N_t its maximum (256 for blocks; the AS's Ukrainian addresses
+// for ASes). The paper selects M = T_perc = 0.7.
+package regional
+
+import (
+	"math"
+	"sort"
+
+	"countrymon/internal/dataset"
+	"countrymon/internal/geodb"
+	"countrymon/internal/netmodel"
+)
+
+// Params are the classification thresholds.
+type Params struct {
+	// M is the per-month share threshold.
+	M float64
+	// TPerc is the fraction of routed months that must meet M.
+	TPerc float64
+	// TemporalIPs: a non-regional AS whose presence in the region never
+	// reaches this many addresses in any month (one /24 = 256) ...
+	TemporalIPs int
+	// TemporalShare: ... and whose share never exceeds this, is temporal —
+	// geolocation noise rather than a measurement target.
+	TemporalShare float64
+}
+
+// DefaultParams returns the paper's chosen thresholds.
+func DefaultParams() Params {
+	return Params{M: 0.7, TPerc: 0.7, TemporalIPs: 256, TemporalShare: 0.10}
+}
+
+// ASClass is an AS's classification for one region.
+type ASClass uint8
+
+const (
+	// ASAbsent means the AS never had an address geolocated to the region.
+	ASAbsent ASClass = iota
+	// ASTemporal marks noise-level presence (§4.2).
+	ASTemporal
+	// ASNonRegional marks substantial but not dominant presence.
+	ASNonRegional
+	// ASRegional marks sustained dominant presence.
+	ASRegional
+)
+
+func (c ASClass) String() string {
+	switch c {
+	case ASTemporal:
+		return "temporal"
+	case ASNonRegional:
+		return "non-regional"
+	case ASRegional:
+		return "regional"
+	}
+	return "absent"
+}
+
+// Classifier precomputes per-block monthly geolocation shares so that
+// classifications for all 26 regions and arbitrary parameter sweeps (Figs
+// 22/23) are cheap.
+type Classifier struct {
+	space  *netmodel.Space
+	store  *dataset.Store
+	months int
+
+	// shares[bi][m] is the block's address distribution in month m.
+	shares [][]geodb.BlockShares
+	// radius[bi][m] is the dominant geolocation entry's confidence radius.
+	radius [][]uint16
+	// blockRouted[bi][m] reports BGP coverage during month m.
+	blockRouted [][]bool
+	// uaIPs[asn][m] is the AS's Ukraine-located address count (the N_t(e)
+	// denominator for AS shares).
+	uaIPs map[netmodel.ASN][]int32
+}
+
+// NewClassifier builds the share tables from the monthly geolocation
+// database and the measurement store (for routed months).
+func NewClassifier(space *netmodel.Space, db *geodb.DB, store *dataset.Store) *Classifier {
+	months := db.Months()
+	c := &Classifier{
+		space:       space,
+		store:       store,
+		months:      months,
+		shares:      make([][]geodb.BlockShares, space.NumBlocks()),
+		radius:      make([][]uint16, space.NumBlocks()),
+		blockRouted: make([][]bool, space.NumBlocks()),
+		uaIPs:       make(map[netmodel.ASN][]int32),
+	}
+	for bi, blk := range space.Blocks() {
+		c.shares[bi] = make([]geodb.BlockShares, months)
+		c.radius[bi] = make([]uint16, months)
+		c.blockRouted[bi] = make([]bool, months)
+		asn := space.OriginOf(blk)
+		ua := c.uaIPs[asn]
+		if ua == nil {
+			ua = make([]int32, months)
+			c.uaIPs[asn] = ua
+		}
+		si := store.BlockIndex(blk)
+		for m := 0; m < months; m++ {
+			snap := db.Month(m)
+			bs := snap.BlockShares(blk)
+			c.shares[bi][m] = bs
+			if e, ok := snap.Lookup(blk.Addr(128)); ok {
+				c.radius[bi][m] = uint16(min32(e.RadiusKM, 65535))
+			}
+			if si >= 0 {
+				st := store.MonthStats(si, m)
+				c.blockRouted[bi][m] = st.RoutedRounds > 0
+			}
+			for r := netmodel.Region(1); int(r) <= netmodel.NumRegions; r++ {
+				ua[m] += int32(bs.PerRegion[r])
+			}
+		}
+	}
+	return c
+}
+
+func min32(a uint32, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Months returns the number of classified months.
+func (c *Classifier) Months() int { return c.months }
+
+// BlockShare returns block bi's share of addresses in region r during month
+// m (0..1).
+func (c *Classifier) BlockShare(bi, m int, r netmodel.Region) float64 {
+	return c.shares[bi][m].Share(r)
+}
+
+// BlockShares returns the raw per-region counts for block bi in month m.
+func (c *Classifier) BlockShares(bi, m int) *geodb.BlockShares { return &c.shares[bi][m] }
+
+// BlockRadius returns the block's geolocation confidence radius in month m.
+func (c *Classifier) BlockRadius(bi, m int) uint16 { return c.radius[bi][m] }
+
+// ASShare returns the AS's share of its Ukrainian addresses located in
+// region r during month m.
+func (c *Classifier) ASShare(asn netmodel.ASN, m int, r netmodel.Region) float64 {
+	n := 0
+	for bi, blk := range c.space.Blocks() {
+		if c.space.OriginOf(blk) != asn {
+			continue
+		}
+		n += int(c.shares[bi][m].PerRegion[r])
+	}
+	total := c.uaIPs[asn]
+	if total == nil || total[m] == 0 {
+		return 0
+	}
+	return float64(n) / float64(total[m])
+}
+
+// MeanUAIPs returns the AS's mean monthly count of Ukraine-located
+// addresses (Table 3's "IPS" column denominator).
+func (c *Classifier) MeanUAIPs(asn netmodel.ASN) float64 {
+	ua := c.uaIPs[asn]
+	if ua == nil {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range ua {
+		sum += float64(v)
+	}
+	return sum / float64(len(ua))
+}
+
+// MeanRegionIPs returns the AS's mean monthly addresses located in the
+// region.
+func (c *Classifier) MeanRegionIPs(asn netmodel.ASN, region netmodel.Region) float64 {
+	sum := 0.0
+	for bi, blk := range c.space.Blocks() {
+		if c.space.OriginOf(blk) != asn {
+			continue
+		}
+		for m := 0; m < c.months; m++ {
+			sum += float64(c.shares[bi][m].PerRegion[region])
+		}
+	}
+	return sum / float64(c.months)
+}
+
+// MeanUABlocks returns the AS's mean monthly count of /24s with at least
+// one Ukraine-located address.
+func (c *Classifier) MeanUABlocks(asn netmodel.ASN) float64 {
+	sum := 0
+	for bi, blk := range c.space.Blocks() {
+		if c.space.OriginOf(blk) != asn {
+			continue
+		}
+		for m := 0; m < c.months; m++ {
+			bs := &c.shares[bi][m]
+			for r := netmodel.Region(1); int(r) <= netmodel.NumRegions; r++ {
+				if bs.PerRegion[r] > 0 {
+					sum++
+					break
+				}
+			}
+		}
+	}
+	return float64(sum) / float64(c.months)
+}
+
+// MeanRegionBlocks returns the AS's mean monthly count of /24s with at
+// least one address located in the region.
+func (c *Classifier) MeanRegionBlocks(asn netmodel.ASN, region netmodel.Region) float64 {
+	sum := 0
+	for bi, blk := range c.space.Blocks() {
+		if c.space.OriginOf(blk) != asn {
+			continue
+		}
+		for m := 0; m < c.months; m++ {
+			if c.shares[bi][m].PerRegion[region] > 0 {
+				sum++
+			}
+		}
+	}
+	return float64(sum) / float64(c.months)
+}
+
+// BlockClassification is one block's verdict for a region.
+type BlockClassification struct {
+	Index    int // dense block index in the Space
+	Block    netmodel.BlockID
+	Regional bool
+	// EvalMonths marks the months in which the block meets the share
+	// threshold; regional blocks are evaluated only in those months (§4.2).
+	EvalMonths []bool
+	// MeanShare is the average share across eval months (the weight the
+	// regional signals apply).
+	MeanShare float64
+}
+
+// RegionResult is the classification outcome for one region.
+type RegionResult struct {
+	Region netmodel.Region
+	Params Params
+	// AS maps every AS that ever had an address in the region to its class.
+	AS map[netmodel.ASN]ASClass
+	// Blocks holds the verdict for every block that ever located addresses
+	// in the region.
+	Blocks []BlockClassification
+	// regionalIdx maps dense block index → position in Blocks for regional
+	// blocks.
+	regionalIdx map[int]int
+}
+
+// RegionalBlocks returns the classifications of regional blocks only.
+func (r *RegionResult) RegionalBlocks() []BlockClassification {
+	out := make([]BlockClassification, 0, len(r.regionalIdx))
+	for _, bc := range r.Blocks {
+		if bc.Regional {
+			out = append(out, bc)
+		}
+	}
+	return out
+}
+
+// RegionalBlock returns the classification of block index bi if regional.
+func (r *RegionResult) RegionalBlock(bi int) (BlockClassification, bool) {
+	if p, ok := r.regionalIdx[bi]; ok {
+		return r.Blocks[p], true
+	}
+	return BlockClassification{}, false
+}
+
+// CountAS returns how many ASes hold the given class.
+func (r *RegionResult) CountAS(class ASClass) int {
+	n := 0
+	for _, c := range r.AS {
+		if c == class {
+			n++
+		}
+	}
+	return n
+}
+
+// Classify runs the region's classification.
+func (c *Classifier) Classify(region netmodel.Region, p Params) *RegionResult {
+	res := &RegionResult{
+		Region:      region,
+		Params:      p,
+		AS:          make(map[netmodel.ASN]ASClass),
+		regionalIdx: make(map[int]int),
+	}
+
+	// Block-level classification.
+	for bi, blk := range c.space.Blocks() {
+		present := false
+		routedMonths := 0
+		meet := 0
+		evalMonths := make([]bool, c.months)
+		shareSum, shareN := 0.0, 0
+		for m := 0; m < c.months; m++ {
+			share := c.shares[bi][m].Share(region)
+			if c.shares[bi][m].PerRegion[region] > 0 {
+				present = true
+			}
+			if !c.blockRouted[bi][m] {
+				continue
+			}
+			routedMonths++
+			if share >= p.M {
+				meet++
+				evalMonths[m] = true
+				shareSum += share
+				shareN++
+			}
+		}
+		if !present {
+			continue
+		}
+		need := int(math.Ceil(p.TPerc * float64(routedMonths)))
+		regionalBlk := routedMonths > 0 && meet >= need && need > 0
+		bc := BlockClassification{Index: bi, Block: blk, Regional: regionalBlk, EvalMonths: evalMonths}
+		if shareN > 0 {
+			bc.MeanShare = shareSum / float64(shareN)
+		}
+		if regionalBlk {
+			res.regionalIdx[bi] = len(res.Blocks)
+		}
+		res.Blocks = append(res.Blocks, bc)
+	}
+
+	// AS-level classification over the same months.
+	type asAgg struct {
+		inRegion    []int32 // addresses in region per month
+		routed      []bool
+		maxIPs      int32
+		maxShare    float64
+		meet, total int
+	}
+	aggs := make(map[netmodel.ASN]*asAgg)
+	for bi, blk := range c.space.Blocks() {
+		asn := c.space.OriginOf(blk)
+		a := aggs[asn]
+		if a == nil {
+			a = &asAgg{inRegion: make([]int32, c.months), routed: make([]bool, c.months)}
+			aggs[asn] = a
+		}
+		for m := 0; m < c.months; m++ {
+			a.inRegion[m] += int32(c.shares[bi][m].PerRegion[region])
+			if c.blockRouted[bi][m] {
+				a.routed[m] = true
+			}
+		}
+	}
+	for asn, a := range aggs {
+		ua := c.uaIPs[asn]
+		present := false
+		for m := 0; m < c.months; m++ {
+			n := a.inRegion[m]
+			if n == 0 {
+				continue
+			}
+			present = true
+			if n > a.maxIPs {
+				a.maxIPs = n
+			}
+			var share float64
+			if ua[m] > 0 {
+				share = float64(n) / float64(ua[m])
+			}
+			if share > a.maxShare {
+				a.maxShare = share
+			}
+			if !a.routed[m] {
+				continue
+			}
+			a.total++
+			if share >= p.M {
+				a.meet++
+			}
+		}
+		if !present {
+			continue
+		}
+		need := int(math.Ceil(p.TPerc * float64(a.total)))
+		switch {
+		case a.total > 0 && need > 0 && a.meet >= need:
+			res.AS[asn] = ASRegional
+		case int(a.maxIPs) < p.TemporalIPs && a.maxShare < p.TemporalShare:
+			res.AS[asn] = ASTemporal
+		default:
+			res.AS[asn] = ASNonRegional
+		}
+	}
+	return res
+}
+
+// Result aggregates classifications across all 26 regions.
+type Result struct {
+	Params  Params
+	Regions map[netmodel.Region]*RegionResult
+}
+
+// ClassifyAll classifies every region.
+func (c *Classifier) ClassifyAll(p Params) *Result {
+	res := &Result{Params: p, Regions: make(map[netmodel.Region]*RegionResult)}
+	for _, r := range netmodel.Regions() {
+		res.Regions[r] = c.Classify(r, p)
+	}
+	return res
+}
+
+// NationalClass is an AS's country-level classification (Table 3): regional
+// if regional in ≥1 oblast; else non-regional if it has substantial presence
+// anywhere; else temporal.
+func (r *Result) NationalClass(asn netmodel.ASN) ASClass {
+	best := ASAbsent
+	for _, rr := range r.Regions {
+		if c, ok := rr.AS[asn]; ok && c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// NationalCounts tallies Table 3's first column block: ASes per national
+// class.
+func (r *Result) NationalCounts() map[ASClass]int {
+	seen := make(map[netmodel.ASN]ASClass)
+	for _, rr := range r.Regions {
+		for asn, c := range rr.AS {
+			if c > seen[asn] {
+				seen[asn] = c
+			}
+		}
+	}
+	out := make(map[ASClass]int)
+	for _, c := range seen {
+		out[c]++
+	}
+	return out
+}
+
+// TargetSet is Table 3's final row: ASes (regional or non-regional) owning
+// at least one regional block, with the regional blocks and their address
+// mass.
+type TargetSet struct {
+	ASes   map[netmodel.ASN]bool
+	Blocks map[int]netmodel.Region // dense block index → region it is regional for
+	IPs    float64                 // mean monthly addresses in regional blocks
+}
+
+// TargetSet computes the measurement target set across all regions.
+func (r *Result) TargetSet(c *Classifier) *TargetSet {
+	ts := &TargetSet{ASes: make(map[netmodel.ASN]bool), Blocks: make(map[int]netmodel.Region)}
+	var ipSum float64
+	for region, rr := range r.Regions {
+		for _, bc := range rr.Blocks {
+			if !bc.Regional {
+				continue
+			}
+			if _, taken := ts.Blocks[bc.Index]; !taken {
+				ts.Blocks[bc.Index] = region
+				ts.ASes[c.space.OriginOf(bc.Block)] = true
+				// Mean monthly address mass in the region.
+				sum, n := 0.0, 0
+				for m := 0; m < c.months; m++ {
+					sum += float64(c.shares[bc.Index][m].PerRegion[region])
+					n++
+				}
+				if n > 0 {
+					ipSum += sum / float64(n)
+				}
+			}
+		}
+	}
+	ts.IPs = ipSum
+	return ts
+}
+
+// MultiLocalDominantShares returns, for blocks pointing at more than one
+// region in a month, the dominant region's share (Fig 21's CDF input).
+func (c *Classifier) MultiLocalDominantShares() []float64 {
+	var out []float64
+	for bi := range c.shares {
+		for m := 0; m < c.months; m++ {
+			bs := &c.shares[bi][m]
+			regions := 0
+			for r := netmodel.Region(1); int(r) <= netmodel.NumRegions; r++ {
+				if bs.PerRegion[r] > 0 {
+					regions++
+				}
+			}
+			if regions < 2 {
+				continue
+			}
+			_, n := bs.DominantRegion()
+			if bs.Located > 0 {
+				out = append(out, float64(n)/float64(bs.Located))
+			}
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

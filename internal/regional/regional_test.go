@@ -1,0 +1,242 @@
+package regional
+
+import (
+	"sync"
+	"testing"
+
+	"countrymon/internal/dataset"
+	"countrymon/internal/netmodel"
+	"countrymon/internal/sim"
+)
+
+var (
+	once sync.Once
+	tSc  *sim.Scenario
+	tSt  *dataset.Store
+	tCl  *Classifier
+	tRes *Result
+)
+
+func fixture(t *testing.T) (*sim.Scenario, *dataset.Store, *Classifier, *Result) {
+	t.Helper()
+	once.Do(func() {
+		tSc = sim.MustBuild(sim.Config{Seed: 42, Scale: 0.05})
+		tSt = tSc.GenerateStore(nil)
+		tCl = NewClassifier(tSc.Space, tSc.GeoDB(), tSt)
+		tRes = tCl.ClassifyAll(DefaultParams())
+	})
+	return tSc, tSt, tCl, tRes
+}
+
+func TestKhersonASClassification(t *testing.T) {
+	_, _, _, res := fixture(t)
+	kh := res.Regions[netmodel.Kherson]
+	if kh == nil {
+		t.Fatal("no Kherson result")
+	}
+	for _, asn := range sim.KhersonRegionalASNs() {
+		if got := kh.AS[asn]; got != ASRegional {
+			t.Errorf("%v should be regional for Kherson, got %v", asn, got)
+		}
+	}
+	// National ISPs with Kherson blocks must not be regional for Kherson.
+	for _, asn := range []netmodel.ASN{25229, 15895, 6877, 6849} {
+		if got := kh.AS[asn]; got == ASRegional {
+			t.Errorf("national %v misclassified regional for Kherson", asn)
+		} else if got == ASAbsent {
+			t.Errorf("national %v absent from Kherson", asn)
+		}
+	}
+	// Temporal presence exists (geolocation noise drifting into Kherson).
+	if kh.CountAS(ASTemporal) == 0 {
+		t.Error("no temporal ASes detected in Kherson")
+	}
+}
+
+func TestStatusBlocksSplitKyivKherson(t *testing.T) {
+	sc, _, _, res := fixture(t)
+	status := sc.Space.Lookup(25482)
+	kh := res.Regions[netmodel.Kherson]
+	kyiv := res.Regions[netmodel.Kyiv]
+	khRegional, kyivRegional := 0, 0
+	for _, blk := range status.Blocks() {
+		bi := sc.Space.BlockIndex(blk)
+		if _, ok := kh.RegionalBlock(bi); ok {
+			khRegional++
+		}
+		if _, ok := kyiv.RegionalBlock(bi); ok {
+			kyivRegional++
+		}
+	}
+	if khRegional != 3 {
+		t.Errorf("Status regional blocks in Kherson = %d, want 3", khRegional)
+	}
+	if kyivRegional != 1 {
+		t.Errorf("Status regional blocks in Kyiv = %d, want 1 (the documented fourth block)", kyivRegional)
+	}
+}
+
+func TestNationalASesNotRegionalViaDynamicPools(t *testing.T) {
+	sc, _, _, res := fixture(t)
+	// A national ISP must not be regional anywhere: its pools span regions.
+	for _, asn := range []netmodel.ASN{15895, 6849, 21497} {
+		if sc.Space.Lookup(asn) == nil {
+			continue
+		}
+		if got := res.NationalClass(asn); got == ASRegional {
+			t.Errorf("national ISP %v classified regional", asn)
+		}
+	}
+	// But regional providers elsewhere are regional nationally.
+	counts := res.NationalCounts()
+	if counts[ASRegional] == 0 {
+		t.Fatal("no regional ASes nationally")
+	}
+	if counts[ASRegional] < counts[ASNonRegional] {
+		t.Errorf("regional (%d) should outnumber non-regional (%d), as in Table 3",
+			counts[ASRegional], counts[ASNonRegional])
+	}
+}
+
+func TestParameterMonotonicity(t *testing.T) {
+	_, _, cl, _ := fixture(t)
+	strict := cl.Classify(netmodel.Kherson, Params{M: 0.9, TPerc: 0.9, TemporalIPs: 256, TemporalShare: 0.10})
+	def := cl.Classify(netmodel.Kherson, DefaultParams())
+	relaxed := cl.Classify(netmodel.Kherson, Params{M: 0.5, TPerc: 0.5, TemporalIPs: 256, TemporalShare: 0.10})
+	s, d, r := strict.CountAS(ASRegional), def.CountAS(ASRegional), relaxed.CountAS(ASRegional)
+	if !(s <= d && d <= r) {
+		t.Errorf("regional AS counts not monotone in thresholds: strict=%d default=%d relaxed=%d", s, d, r)
+	}
+	sb, db, rb := len(strict.RegionalBlocks()), len(def.RegionalBlocks()), len(relaxed.RegionalBlocks())
+	if !(sb <= db && db <= rb) {
+		t.Errorf("regional block counts not monotone: %d/%d/%d", sb, db, rb)
+	}
+}
+
+func TestDynamicBlocksNotRegional(t *testing.T) {
+	sc, _, _, res := fixture(t)
+	misclassified, dynamic := 0, 0
+	for bi := range sc.Blocks() {
+		bt := sc.BlockTraitsAt(bi)
+		if !bt.Dynamic {
+			continue
+		}
+		dynamic++
+		for _, rr := range res.Regions {
+			if _, ok := rr.RegionalBlock(bi); ok {
+				misclassified++
+				break
+			}
+		}
+	}
+	if dynamic == 0 {
+		t.Fatal("no dynamic blocks in scenario")
+	}
+	if frac := float64(misclassified) / float64(dynamic); frac > 0.1 {
+		t.Errorf("%.0f%% of dynamic pool blocks classified regional; regionality should filter them", frac*100)
+	}
+}
+
+func TestRegionalRadiusPrecision(t *testing.T) {
+	// §4.3: regional blocks show better geolocation precision than
+	// non-regional ones.
+	sc, _, cl, res := fixture(t)
+	var regSum, regN, nonSum, nonN float64
+	for bi := range sc.Blocks() {
+		isRegional := false
+		for _, rr := range res.Regions {
+			if _, ok := rr.RegionalBlock(bi); ok {
+				isRegional = true
+				break
+			}
+		}
+		r := float64(cl.BlockRadius(bi, 6))
+		if r == 0 {
+			continue
+		}
+		if isRegional {
+			regSum += r
+			regN++
+		} else {
+			nonSum += r
+			nonN++
+		}
+	}
+	if regN == 0 || nonN == 0 {
+		t.Fatal("empty radius samples")
+	}
+	if regSum/regN >= nonSum/nonN {
+		t.Errorf("regional mean radius %.0f km should beat non-regional %.0f km", regSum/regN, nonSum/nonN)
+	}
+}
+
+func TestTargetSet(t *testing.T) {
+	sc, _, cl, res := fixture(t)
+	ts := res.TargetSet(cl)
+	if len(ts.ASes) == 0 || len(ts.Blocks) == 0 {
+		t.Fatal("empty target set")
+	}
+	// Every Kherson ground-truth regional AS must be in the target set.
+	for _, asn := range sim.KhersonRegionalASNs() {
+		if !ts.ASes[asn] {
+			t.Errorf("%v missing from target set", asn)
+		}
+	}
+	// A block is assigned to exactly one region.
+	for bi, region := range ts.Blocks {
+		if !region.Valid() {
+			t.Errorf("block %d assigned to invalid region", bi)
+		}
+	}
+	if ts.IPs <= 0 {
+		t.Error("target set IP mass is zero")
+	}
+	_ = sc
+}
+
+func TestMultiLocalDominantShares(t *testing.T) {
+	_, _, cl, _ := fixture(t)
+	shares := cl.MultiLocalDominantShares()
+	if len(shares) == 0 {
+		t.Fatal("no multi-local blocks found (drift noise missing)")
+	}
+	// CDF input must be sorted and within (0, 1].
+	for i, s := range shares {
+		if s <= 0 || s > 1 {
+			t.Fatalf("share %f out of range", s)
+		}
+		if i > 0 && shares[i-1] > s {
+			t.Fatal("shares not sorted")
+		}
+	}
+	// Fig 21: a dominant majority usually exists.
+	median := shares[len(shares)/2]
+	if median < 0.5 {
+		t.Errorf("median dominant share %.2f, want > 0.5", median)
+	}
+}
+
+func TestBlockShareSeries(t *testing.T) {
+	// Fig 2 style: a Kherson regional block's share must be ≥ M for ≥70%
+	// of months.
+	sc, _, cl, res := fixture(t)
+	kh := res.Regions[netmodel.Kherson]
+	blocks := kh.RegionalBlocks()
+	if len(blocks) == 0 {
+		t.Fatal("no regional blocks in Kherson")
+	}
+	bc := blocks[0]
+	meets := 0
+	for m := 0; m < cl.Months(); m++ {
+		if cl.BlockShare(bc.Index, m, netmodel.Kherson) >= 0.7 {
+			meets++
+		}
+	}
+	if float64(meets) < 0.5*float64(cl.Months()) {
+		t.Errorf("regional block meets threshold only %d/%d months", meets, cl.Months())
+	}
+	if bc.MeanShare < 0.7 {
+		t.Errorf("MeanShare = %.2f", bc.MeanShare)
+	}
+	_ = sc
+}

@@ -1,0 +1,162 @@
+package ripe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"countrymon/internal/netmodel"
+)
+
+const sampleFile = `# RIPE delegated file (test)
+2|ripencc|20211214|4|4|19830705|00000000|+0200
+ripencc|UA|ipv4|91.198.4.0|256|20060912|allocated
+ripencc|UA|ipv4|176.8.0.0|8192|20110421|allocated
+ripencc|UA|ipv4|193.151.240.0|1024|19990101|assigned
+ripencc|CZ|ipv4|185.66.0.0|512|20150101|allocated
+ripencc|UA|ipv6|2a00:1f00::|32||allocated
+ripencc|UA|asn|25482|1|20020101|allocated
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Records) != 4 {
+		t.Fatalf("records = %d, want 4 (ipv4 only)", len(f.Records))
+	}
+	r := f.Records[0]
+	if r.CC != "UA" || r.Start != netmodel.MustParseAddr("91.198.4.0") || r.Count != 256 {
+		t.Errorf("record 0 = %+v", r)
+	}
+	if r.Date != time.Date(2006, 9, 12, 0, 0, 0, 0, time.UTC) {
+		t.Errorf("date = %v", r.Date)
+	}
+	if got := f.CountryAddrCount("UA"); got != 256+8192+1024 {
+		t.Errorf("UA addr count = %d", got)
+	}
+	if got := len(f.CountryRecords("CZ")); got != 1 {
+		t.Errorf("CZ records = %d", got)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		"ripencc|UA|ipv4|91.198.4.0|256\n",                      // too few fields
+		"ripencc|UA|ipv4|999.0.0.0|256|20060912|allocated\n",    // bad address
+		"ripencc|UA|ipv4|91.198.4.0|0|20060912|allocated\n",     // zero count
+		"ripencc|UA|ipv4|91.198.4.0|256|2006-09-12|allocated\n", // bad date
+		"ripencc|UA|ipv4|91.198.4.0|notanumber|20060912|allocated\n",
+	}
+	for _, in := range bad {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(f.Records) {
+		t.Fatalf("round trip records = %d", len(got.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i] != f.Records[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got.Records[i], f.Records[i])
+		}
+	}
+}
+
+func TestRecordPrefixes(t *testing.T) {
+	cases := []struct {
+		start string
+		count uint64
+		want  []string
+	}{
+		{"91.198.4.0", 256, []string{"91.198.4.0/24"}},
+		{"91.198.4.0", 1024, []string{"91.198.4.0/22"}},
+		// Non-power-of-two count: 768 = 512 + 256.
+		{"91.198.4.0", 768, []string{"91.198.4.0/23", "91.198.6.0/24"}},
+		// Alignment constraint: starting at .1.0 a /23 is not aligned.
+		{"10.0.1.0", 512, []string{"10.0.1.0/24", "10.0.2.0/24"}},
+	}
+	for _, c := range cases {
+		r := Record{Start: netmodel.MustParseAddr(c.start), Count: c.count}
+		ps := r.Prefixes(nil)
+		if len(ps) != len(c.want) {
+			t.Errorf("%s/%d: got %v, want %v", c.start, c.count, ps, c.want)
+			continue
+		}
+		total := uint64(0)
+		for i, p := range ps {
+			if p.String() != c.want[i] {
+				t.Errorf("%s/%d: prefix %d = %v, want %s", c.start, c.count, i, p, c.want[i])
+			}
+			total += p.NumAddrs()
+		}
+		if total != c.count {
+			t.Errorf("%s/%d: prefixes cover %d addrs", c.start, c.count, total)
+		}
+	}
+}
+
+func TestCountryPrefixes(t *testing.T) {
+	f, _ := Parse(strings.NewReader(sampleFile))
+	ps := f.CountryPrefixes("UA")
+	var blocks int
+	for _, p := range ps {
+		blocks += p.NumBlocks()
+	}
+	if blocks != 1+32+4 {
+		t.Errorf("UA /24 blocks = %d, want 37", blocks)
+	}
+}
+
+func TestDiffCountry(t *testing.T) {
+	oldF, _ := Parse(strings.NewReader(sampleFile))
+	newSample := `2|ripencc|20250101|4|4|19830705|00000000|+0200
+ripencc|UA|ipv4|91.198.4.0|256|20060912|allocated
+ripencc|RU|ipv4|176.8.0.0|8192|20110421|allocated
+ripencc|CZ|ipv4|185.66.0.0|512|20150101|allocated
+ripencc|UA|ipv4|45.155.0.0|512|20240101|allocated
+`
+	newF, err := Parse(strings.NewReader(newSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DiffCountry(oldF, newF, "UA")
+	if d.Kept != 1 {
+		t.Errorf("Kept = %d", d.Kept)
+	}
+	if d.Recoded["RU"] != 1 || d.RecodedTotal() != 1 {
+		t.Errorf("Recoded = %+v", d.Recoded)
+	}
+	if d.Withdrawn != 1 { // 193.151.240.0 gone
+		t.Errorf("Withdrawn = %d", d.Withdrawn)
+	}
+	if d.Added != 1 { // 45.155.0.0 new
+		t.Errorf("Added = %d", d.Added)
+	}
+}
+
+func TestAddrSeries(t *testing.T) {
+	f1, _ := Parse(strings.NewReader(sampleFile))
+	f2, _ := Parse(strings.NewReader("ripencc|UA|ipv4|91.198.4.0|256|20060912|allocated\n"))
+	s := AddrSeries([]*File{f1, f2}, "UA")
+	if s[0] != 9472 || s[1] != 256 {
+		t.Errorf("series = %v", s)
+	}
+}

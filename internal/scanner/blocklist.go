@@ -1,0 +1,42 @@
+package scanner
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"countrymon/internal/netmodel"
+)
+
+// ParseBlocklist reads a ZMap-style exclusion file: one CIDR per line,
+// with '#' comments and blank lines ignored. Bare addresses count as /32.
+//
+//	# ranges that asked to be excluded
+//	91.198.5.0/24   # opt-out 2022-06-01
+//	10.0.0.1
+func ParseBlocklist(r io.Reader) ([]netmodel.Prefix, error) {
+	sc := bufio.NewScanner(r)
+	var out []netmodel.Prefix
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if !strings.ContainsRune(line, '/') {
+			line += "/32"
+		}
+		p, err := netmodel.ParsePrefix(line)
+		if err != nil {
+			return nil, fmt.Errorf("blocklist line %d: %w", lineNo, err)
+		}
+		out = append(out, p)
+	}
+	return out, sc.Err()
+}

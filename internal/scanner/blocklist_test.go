@@ -1,0 +1,70 @@
+package scanner_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"countrymon/internal/netmodel"
+	"countrymon/internal/scanner"
+)
+
+func TestParseBlocklist(t *testing.T) {
+	in := `
+# opt-outs
+91.198.5.0/24   # requested 2022-06-01
+10.0.0.1
+
+  192.0.2.0/28
+`
+	ps, err := scanner.ParseBlocklist(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("prefixes = %d", len(ps))
+	}
+	if ps[0] != netmodel.MustParsePrefix("91.198.5.0/24") {
+		t.Errorf("p0 = %v", ps[0])
+	}
+	if ps[1] != netmodel.MustParsePrefix("10.0.0.1/32") {
+		t.Errorf("bare address = %v", ps[1])
+	}
+	if ps[2].Bits != 28 {
+		t.Errorf("p2 = %v", ps[2])
+	}
+}
+
+func TestParseBlocklistRejects(t *testing.T) {
+	if _, err := scanner.ParseBlocklist(strings.NewReader("not-an-address\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := scanner.ParseBlocklist(strings.NewReader("10.0.0.0/33\n")); err == nil {
+		t.Error("bad mask accepted")
+	}
+	ps, err := scanner.ParseBlocklist(strings.NewReader("# only comments\n\n"))
+	if err != nil || len(ps) != 0 {
+		t.Errorf("comment-only file: %v %v", ps, err)
+	}
+}
+
+// lossyTransport drops the first probe to every address, so only
+// retransmissions get through.
+type lossyTransport struct {
+	inner scanner.Transport
+	seen  map[netmodel.Addr]bool
+}
+
+func (l *lossyTransport) LocalAddr() netmodel.Addr { return l.inner.LocalAddr() }
+func (l *lossyTransport) ReadPacket(wait time.Duration) ([]byte, time.Time, error) {
+	return l.inner.ReadPacket(wait)
+}
+func (l *lossyTransport) WritePacket(b []byte) error {
+	// Destination address lives at bytes 16..20 of the IPv4 header.
+	dst := netmodel.AddrFromBytes([4]byte(b[16:20]))
+	if !l.seen[dst] {
+		l.seen[dst] = true
+		return nil // drop first attempt silently
+	}
+	return l.inner.WritePacket(b)
+}

@@ -1,0 +1,205 @@
+package scanner
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPermutationIsPermutation(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 10, 255, 256, 257, 1000, 65536} {
+		pm, err := NewPermutation(n, 42)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		seen := make([]bool, n)
+		c := pm.Iterate()
+		count := uint64(0)
+		for {
+			v, ok := c.Next()
+			if !ok {
+				break
+			}
+			if v >= n {
+				t.Fatalf("n=%d: out-of-range value %d", n, v)
+			}
+			if seen[v] {
+				t.Fatalf("n=%d: duplicate value %d", n, v)
+			}
+			seen[v] = true
+			count++
+		}
+		if count != n {
+			t.Fatalf("n=%d: emitted %d values", n, count)
+		}
+	}
+}
+
+func TestPermutationSeedsDiffer(t *testing.T) {
+	const n = 4096
+	collect := func(seed uint64) []uint64 {
+		pm, err := NewPermutation(n, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []uint64
+		c := pm.Iterate()
+		for {
+			v, ok := c.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, v)
+		}
+	}
+	a, b := collect(1), collect(2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > n/16 {
+		t.Errorf("seeds 1 and 2 agree on %d/%d positions", same, n)
+	}
+	// Same seed must reproduce exactly.
+	c := collect(1)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("same seed produced different order")
+		}
+	}
+}
+
+func TestPermutationScattersBlocks(t *testing.T) {
+	// Consecutive emissions should rarely hit the same /24 (i.e. the same
+	// 256-bucket), which is the ethics rationale for the permutation.
+	const n = 256 * 64
+	pm, err := NewPermutation(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := pm.Iterate()
+	prev, adjacentSameBlock := uint64(0), 0
+	first := true
+	for {
+		v, ok := c.Next()
+		if !ok {
+			break
+		}
+		if !first && v/256 == prev/256 {
+			adjacentSameBlock++
+		}
+		prev, first = v, false
+	}
+	if adjacentSameBlock > n/32 {
+		t.Errorf("%d/%d consecutive probes hit the same /24", adjacentSameBlock, n)
+	}
+}
+
+func TestShardsPartition(t *testing.T) {
+	const n = 10007
+	pm, err := NewPermutation(n, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 4
+	seen := make([]int, n)
+	total := 0
+	for s := 0; s < shards; s++ {
+		c, err := pm.IterateShard(s, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			v, ok := c.Next()
+			if !ok {
+				break
+			}
+			seen[v]++
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("shards emitted %d values, want %d", total, n)
+	}
+	for v, k := range seen {
+		if k != 1 {
+			t.Fatalf("value %d emitted %d times", v, k)
+		}
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	pm, _ := NewPermutation(100, 1)
+	if _, err := pm.IterateShard(2, 2); err == nil {
+		t.Error("shard index == shards accepted")
+	}
+	if _, err := pm.IterateShard(-1, 2); err == nil {
+		t.Error("negative shard accepted")
+	}
+	if _, err := pm.IterateShard(0, 0); err == nil {
+		t.Error("zero shards accepted")
+	}
+}
+
+func TestNewPermutationRejects(t *testing.T) {
+	if _, err := NewPermutation(0, 1); err == nil {
+		t.Error("empty domain accepted")
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := []uint64{2, 3, 5, 7, 4294967311, 1000003}
+	composites := []uint64{0, 1, 4, 9, 4294967310, 1000001}
+	for _, p := range primes {
+		if !isPrime(p) {
+			t.Errorf("isPrime(%d) = false", p)
+		}
+	}
+	for _, c := range composites {
+		if isPrime(c) {
+			t.Errorf("isPrime(%d) = true", c)
+		}
+	}
+}
+
+func TestPrimeAbove(t *testing.T) {
+	cases := map[uint64]uint64{0: 3, 1: 3, 2: 3, 3: 5, 4: 5, 10: 11, 4294967296: 4294967311}
+	for n, want := range cases {
+		if got := primeAbove(n); got != want {
+			t.Errorf("primeAbove(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMulmodMatchesBigWhenSmall(t *testing.T) {
+	f := func(a, b uint32, m uint32) bool {
+		if m == 0 {
+			m = 1
+		}
+		return mulmod(uint64(a), uint64(b), uint64(m)) == uint64(a)*uint64(b)%uint64(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulmodLargeOperands(t *testing.T) {
+	// Known case with operands > 2^32 where naive multiply would overflow.
+	const p = uint64(18446744073709551557) // largest 64-bit prime
+	a, b := p-1, p-1
+	// (p-1)^2 mod p == 1
+	if got := mulmod(a, b, p); got != 1 {
+		t.Errorf("mulmod((p-1)^2 mod p) = %d, want 1", got)
+	}
+}
+
+func TestPowmod(t *testing.T) {
+	// Fermat: a^(p-1) == 1 mod p.
+	const p = 1000003
+	for _, a := range []uint64{2, 3, 999999} {
+		if got := powmod(a, p-1, p); got != 1 {
+			t.Errorf("powmod(%d, p-1, p) = %d", a, got)
+		}
+	}
+}

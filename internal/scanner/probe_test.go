@@ -1,0 +1,118 @@
+package scanner
+
+import (
+	"testing"
+	"time"
+
+	"countrymon/internal/icmp"
+	"countrymon/internal/netmodel"
+)
+
+func TestProbeRoundTrip(t *testing.T) {
+	start := time.Unix(1000, 0)
+	v := NewValidator(0xdeadbeef, 7, start)
+	dst := netmodel.MustParseAddr("91.198.4.9")
+
+	sent := start.Add(123 * time.Millisecond)
+	pkt := v.EncodeProbe(dst, sent)
+	m, err := icmp.Parse(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err2 := icmp.Parse(icmp.EchoReplyFor(m))
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	recv := sent.Add(45 * time.Millisecond)
+	pr, ok := v.DecodeReply(dst, reply, recv)
+	if !ok {
+		t.Fatal("valid reply rejected")
+	}
+	if pr.From != dst {
+		t.Errorf("From = %v", pr.From)
+	}
+	if pr.RTT != 45*time.Millisecond {
+		t.Errorf("RTT = %v, want 45ms", pr.RTT)
+	}
+}
+
+func TestProbeRejectsWrongSource(t *testing.T) {
+	start := time.Unix(0, 0)
+	v := NewValidator(1, 1, start)
+	dst := netmodel.MustParseAddr("10.0.0.1")
+	other := netmodel.MustParseAddr("10.0.0.2")
+	pkt := v.EncodeProbe(dst, start)
+	m, _ := icmp.Parse(pkt)
+	reply, _ := icmp.Parse(icmp.EchoReplyFor(m))
+	if _, ok := v.DecodeReply(other, reply, start); ok {
+		t.Error("reply from wrong address accepted (spoofing not detected)")
+	}
+}
+
+func TestProbeRejectsWrongEpoch(t *testing.T) {
+	start := time.Unix(0, 0)
+	v1 := NewValidator(1, 1, start)
+	v2 := NewValidator(1, 2, start)
+	dst := netmodel.MustParseAddr("10.0.0.1")
+	pkt := v1.EncodeProbe(dst, start)
+	m, _ := icmp.Parse(pkt)
+	reply, _ := icmp.Parse(icmp.EchoReplyFor(m))
+	if _, ok := v2.DecodeReply(dst, reply, start); ok {
+		t.Error("stale-epoch reply accepted")
+	}
+}
+
+func TestProbeRejectsEchoRequest(t *testing.T) {
+	start := time.Unix(0, 0)
+	v := NewValidator(1, 1, start)
+	dst := netmodel.MustParseAddr("10.0.0.1")
+	m, _ := icmp.Parse(v.EncodeProbe(dst, start))
+	if _, ok := v.DecodeReply(dst, m, start); ok {
+		t.Error("echo *request* accepted as reply")
+	}
+}
+
+func TestProbeRejectsShortPayload(t *testing.T) {
+	start := time.Unix(0, 0)
+	v := NewValidator(1, 1, start)
+	dst := netmodel.MustParseAddr("10.0.0.1")
+	id, seq := v.idSeq(dst)
+	reply, _ := icmp.Parse(icmp.Marshal(icmp.Message{Type: icmp.TypeEchoReply, ID: id, Seq: seq, Payload: []byte{1, 2}}))
+	if _, ok := v.DecodeReply(dst, reply, start); ok {
+		t.Error("short-payload reply accepted")
+	}
+}
+
+func TestProbeNegativeRTTClamped(t *testing.T) {
+	start := time.Unix(0, 0)
+	v := NewValidator(1, 1, start)
+	dst := netmodel.MustParseAddr("10.0.0.1")
+	pkt := v.EncodeProbe(dst, start.Add(500*time.Millisecond))
+	m, _ := icmp.Parse(pkt)
+	reply, _ := icmp.Parse(icmp.EchoReplyFor(m))
+	// Receive "before" send (clock skew); RTT must clamp to 0, not go negative.
+	pr, ok := v.DecodeReply(dst, reply, start.Add(100*time.Millisecond))
+	if !ok {
+		t.Fatal("reply rejected")
+	}
+	if pr.RTT != 0 {
+		t.Errorf("RTT = %v, want 0", pr.RTT)
+	}
+}
+
+func TestIDSeqDispersion(t *testing.T) {
+	v := NewValidator(99, 1, time.Unix(0, 0))
+	seen := make(map[uint32]bool)
+	collisions := 0
+	for i := 0; i < 10000; i++ {
+		id, seq := v.idSeq(netmodel.Addr(i))
+		k := uint32(id)<<16 | uint32(seq)
+		if seen[k] {
+			collisions++
+		}
+		seen[k] = true
+	}
+	if collisions > 2 {
+		t.Errorf("%d id/seq collisions in 10k addresses", collisions)
+	}
+}

@@ -1,0 +1,83 @@
+package scanner
+
+import (
+	"time"
+)
+
+// Clock abstracts time so scans over the simulated network can run in
+// virtual time (deterministic, faster than real time) while real transports
+// use the wall clock.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// RealClock is the wall clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// RateLimiter is a token bucket limiting transmissions to a fixed packet
+// rate, as ZMap's --rate does. The paper's campaign used 8,000 pps (App. A).
+type RateLimiter struct {
+	clock    Clock
+	interval time.Duration // time per token
+	burst    int64
+	tokens   int64
+	last     time.Time
+}
+
+// DefaultRate is the campaign's probing rate in packets per second.
+const DefaultRate = 8000
+
+// NewRateLimiter builds a limiter for `rate` packets per second with the
+// given burst allowance (minimum 1). A rate ≤ 0 disables limiting.
+func NewRateLimiter(clock Clock, rate int, burst int) *RateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	rl := &RateLimiter{clock: clock, burst: int64(burst), tokens: int64(burst)}
+	if rate > 0 {
+		rl.interval = time.Second / time.Duration(rate)
+		if rl.interval <= 0 {
+			rl.interval = time.Nanosecond
+		}
+	}
+	rl.last = clock.Now()
+	return rl
+}
+
+// Wait blocks (via the clock) until one packet may be sent.
+func (rl *RateLimiter) Wait() {
+	if rl.interval == 0 {
+		return
+	}
+	now := rl.clock.Now()
+	rl.refill(now)
+	for rl.tokens <= 0 {
+		need := time.Duration(1-rl.tokens) * rl.interval
+		rl.clock.Sleep(need)
+		now = rl.clock.Now()
+		rl.refill(now)
+	}
+	rl.tokens--
+}
+
+func (rl *RateLimiter) refill(now time.Time) {
+	elapsed := now.Sub(rl.last)
+	if elapsed <= 0 {
+		return
+	}
+	n := int64(elapsed / rl.interval)
+	if n > 0 {
+		rl.tokens += n
+		if rl.tokens > rl.burst {
+			rl.tokens = rl.burst
+		}
+		rl.last = rl.last.Add(time.Duration(n) * rl.interval)
+	}
+}

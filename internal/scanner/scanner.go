@@ -1,0 +1,240 @@
+package scanner
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"countrymon/internal/icmp"
+	"countrymon/internal/netmodel"
+)
+
+// ErrTimeout is returned by Transport.ReadPacket when no packet arrived
+// within the wait budget.
+var ErrTimeout = errors.New("scanner: read timeout")
+
+// Transport carries raw IPv4 datagrams between the scanner and the network
+// (simulated or real).
+type Transport interface {
+	// WritePacket transmits one IPv4 datagram. Implementations must not
+	// retain b after returning (the scanner reuses the buffer).
+	WritePacket(b []byte) error
+	// ReadPacket returns the next inbound IPv4 datagram and its receive
+	// time, waiting at most `wait` (0 = poll). It returns ErrTimeout when
+	// nothing arrived in time.
+	ReadPacket(wait time.Duration) (pkt []byte, at time.Time, err error)
+	// LocalAddr is the vantage point's source address.
+	LocalAddr() netmodel.Addr
+}
+
+// Config controls one scan round.
+type Config struct {
+	Rate     int           // packets/second; 0 = unlimited. Default 8000.
+	Burst    int           // token bucket burst; default 64
+	TTL      uint8         // outgoing TTL; default 64
+	Cooldown time.Duration // how long to wait for stragglers; default 8s
+	Seed     uint64        // permutation + validation seed
+	Epoch    uint32        // scan round identifier baked into probes
+	// ProbesPerAddr retransmits each probe (ZMap's -P); duplicate replies
+	// are deduplicated per host. The campaign used 1 (App. A).
+	ProbesPerAddr int
+	Clock         Clock // defaults to RealClock
+	Shard         int   // this vantage's shard (default 0)
+	Shards        int   // total shards (default 1)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rate == 0 {
+		c.Rate = DefaultRate
+	}
+	if c.Burst == 0 {
+		c.Burst = 64
+	}
+	if c.TTL == 0 {
+		c.TTL = 64
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 8 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock{}
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.ProbesPerAddr == 0 {
+		c.ProbesPerAddr = 1
+	}
+	return c
+}
+
+// Stats summarizes one scan round.
+type Stats struct {
+	Sent       uint64
+	Received   uint64 // validated echo replies (incl. duplicates)
+	Valid      uint64 // unique validated echo replies
+	Duplicates uint64
+	Invalid    uint64 // failed validation (wrong id/seq/epoch, malformed)
+	NonEcho    uint64 // ICMP errors (unreachable, time exceeded, ...)
+	Elapsed    time.Duration
+}
+
+// BlockResult accumulates one /24 block's responses in a round.
+type BlockResult struct {
+	Block     netmodel.BlockID
+	RespMask  [4]uint64 // bit per host that replied
+	RespCount uint16
+	RTTSum    time.Duration
+	RTTCount  uint32
+}
+
+// Responded reports whether host h replied.
+func (b *BlockResult) Responded(h uint8) bool {
+	return b.RespMask[h/64]>>(h%64)&1 == 1
+}
+
+// MeanRTT returns the block's mean round-trip time (0 if no replies).
+func (b *BlockResult) MeanRTT() time.Duration {
+	if b.RTTCount == 0 {
+		return 0
+	}
+	return b.RTTSum / time.Duration(b.RTTCount)
+}
+
+// RoundData is the outcome of scanning a target set once.
+type RoundData struct {
+	Targets *TargetSet
+	Blocks  []BlockResult // aligned with Targets.Blocks()
+	Stats   Stats
+}
+
+// Scanner performs full-block ICMP scans over a transport.
+type Scanner struct {
+	cfg Config
+	tr  Transport
+}
+
+// New builds a scanner.
+func New(tr Transport, cfg Config) *Scanner {
+	return &Scanner{cfg: cfg.withDefaults(), tr: tr}
+}
+
+// Run scans the target set once: every address is probed exactly once in
+// permuted order, replies are validated and aggregated per /24 block.
+func (s *Scanner) Run(targets *TargetSet) (*RoundData, error) {
+	cfg := s.cfg
+	pm, err := NewPermutation(targets.Len(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := pm.IterateShard(cfg.Shard, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+
+	start := cfg.Clock.Now()
+	val := NewValidator(cfg.Seed^0xc0ffee, cfg.Epoch, start)
+	rl := NewRateLimiter(cfg.Clock, cfg.Rate, cfg.Burst)
+
+	rd := &RoundData{
+		Targets: targets,
+		Blocks:  make([]BlockResult, targets.NumBlocks()),
+	}
+	for i := range rd.Blocks {
+		rd.Blocks[i].Block = targets.Blocks()[i]
+	}
+
+	src := s.tr.LocalAddr()
+	// Reusable buffers keep the send path allocation-free. Transports must
+	// not retain the datagram after WritePacket returns.
+	probeBuf := make([]byte, 0, 64)
+	dgBuf := make([]byte, 0, 128)
+	for {
+		idx, ok := cur.Next()
+		if !ok {
+			break
+		}
+		dst := targets.Addr(idx)
+		for attempt := 0; attempt < cfg.ProbesPerAddr; attempt++ {
+			rl.Wait()
+			now := cfg.Clock.Now()
+			probeBuf = val.AppendProbe(probeBuf[:0], dst, now)
+			dgBuf = icmp.AppendIPv4(dgBuf[:0], icmp.IPv4Header{
+				TTL: cfg.TTL, Protocol: icmp.ProtoICMP, Src: src, Dst: dst,
+				ID: uint16(rd.Stats.Sent),
+			}, probeBuf)
+			if err := s.tr.WritePacket(dgBuf); err != nil {
+				return nil, fmt.Errorf("scanner: send to %v: %w", dst, err)
+			}
+			rd.Stats.Sent++
+		}
+		// Opportunistically drain replies between sends.
+		s.drain(rd, val, 0)
+	}
+
+	// Cooldown: collect stragglers.
+	deadline := cfg.Clock.Now().Add(cfg.Cooldown)
+	for {
+		left := deadline.Sub(cfg.Clock.Now())
+		if left <= 0 {
+			break
+		}
+		if !s.readOne(rd, val, left) {
+			break
+		}
+	}
+	rd.Stats.Elapsed = cfg.Clock.Now().Sub(start)
+	return rd, nil
+}
+
+// drain reads all immediately available packets.
+func (s *Scanner) drain(rd *RoundData, val *Validator, wait time.Duration) {
+	for s.readOne(rd, val, wait) {
+		wait = 0
+	}
+}
+
+// readOne reads and processes a single packet; it returns false on timeout.
+func (s *Scanner) readOne(rd *RoundData, val *Validator, wait time.Duration) bool {
+	pkt, at, err := s.tr.ReadPacket(wait)
+	if err != nil {
+		return false
+	}
+	h, body, err := icmp.ParseIPv4(pkt)
+	if err != nil || h.Protocol != icmp.ProtoICMP {
+		rd.Stats.Invalid++
+		return true
+	}
+	m, err := icmp.Parse(body)
+	if err != nil {
+		rd.Stats.Invalid++
+		return true
+	}
+	if m.Type != icmp.TypeEchoReply {
+		rd.Stats.NonEcho++
+		return true
+	}
+	reply, ok := val.DecodeReply(h.Src, m, at)
+	if !ok {
+		rd.Stats.Invalid++
+		return true
+	}
+	rd.Stats.Received++
+	bi := rd.Targets.BlockIndex(reply.From)
+	if bi < 0 {
+		rd.Stats.Invalid++
+		return true
+	}
+	br := &rd.Blocks[bi]
+	host := reply.From.HostByte()
+	if br.Responded(host) {
+		rd.Stats.Duplicates++
+		return true
+	}
+	br.RespMask[host/64] |= 1 << (host % 64)
+	br.RespCount++
+	br.RTTSum += reply.RTT
+	br.RTTCount++
+	rd.Stats.Valid++
+	return true
+}

@@ -1,0 +1,84 @@
+package scanner
+
+import (
+	"errors"
+	"sort"
+
+	"countrymon/internal/netmodel"
+)
+
+// TargetSet is the set of addresses a scan probes: the /24 blocks obtained
+// by de-aggregating the input prefixes (minus exclusions), each probed in
+// full. The set provides a dense index space 0..Len()-1 that the permutation
+// walks; index i maps to host i%256 of block i/256.
+type TargetSet struct {
+	blocks []netmodel.BlockID
+	index  map[netmodel.BlockID]int
+}
+
+// NewTargetSet builds the target set from prefixes, excluding any /24 that
+// overlaps one of the excluded prefixes (ZMap blacklist semantics).
+func NewTargetSet(prefixes []netmodel.Prefix, exclude []netmodel.Prefix) (*TargetSet, error) {
+	if len(prefixes) == 0 {
+		return nil, errors.New("scanner: no target prefixes")
+	}
+	var blocks []netmodel.BlockID
+	for _, p := range prefixes {
+		blocks = p.Blocks(blocks)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	out := blocks[:0]
+	var last netmodel.BlockID
+	first := true
+	for _, b := range blocks {
+		if !first && b == last {
+			continue
+		}
+		if blockExcluded(b, exclude) {
+			continue
+		}
+		out = append(out, b)
+		last, first = b, false
+	}
+	if len(out) == 0 {
+		return nil, errors.New("scanner: all targets excluded")
+	}
+	ts := &TargetSet{blocks: out, index: make(map[netmodel.BlockID]int, len(out))}
+	for i, b := range ts.blocks {
+		ts.index[b] = i
+	}
+	return ts, nil
+}
+
+func blockExcluded(b netmodel.BlockID, exclude []netmodel.Prefix) bool {
+	bp := netmodel.Prefix{Base: b.First(), Bits: 24}
+	for _, e := range exclude {
+		if e.Overlaps(bp) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of probe targets (blocks × 256).
+func (t *TargetSet) Len() uint64 { return uint64(len(t.blocks)) * netmodel.BlockSize }
+
+// NumBlocks returns the number of /24 blocks.
+func (t *TargetSet) NumBlocks() int { return len(t.blocks) }
+
+// Blocks returns the sorted block list. Callers must not mutate it.
+func (t *TargetSet) Blocks() []netmodel.BlockID { return t.blocks }
+
+// Addr maps a dense target index to its address.
+func (t *TargetSet) Addr(i uint64) netmodel.Addr {
+	return t.blocks[i/netmodel.BlockSize].Addr(uint8(i % netmodel.BlockSize))
+}
+
+// BlockIndex returns the dense block index of the block containing a, or -1
+// if a is not a target.
+func (t *TargetSet) BlockIndex(a netmodel.Addr) int {
+	if i, ok := t.index[a.Block()]; ok {
+		return i
+	}
+	return -1
+}

@@ -1,0 +1,142 @@
+package scanner6_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"countrymon/internal/netmodel"
+	"countrymon/internal/scanner6"
+	"countrymon/internal/sim"
+	"countrymon/internal/simnet"
+	"countrymon/internal/timeline"
+)
+
+func v6(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestHitlistBasics(t *testing.T) {
+	hl, err := scanner6.NewHitlist([]netip.Addr{
+		v6("2a0d:8480::2"), v6("2a0d:8480::1"), v6("2a0d:8480::1"), // dup
+		v6("2a0d:8481::9"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hl.Len() != 3 {
+		t.Fatalf("len = %d", hl.Len())
+	}
+	sites := hl.Sites()
+	if len(sites) != 2 {
+		t.Fatalf("sites = %v", sites)
+	}
+	if _, err := scanner6.NewHitlist(nil); err == nil {
+		t.Error("empty hitlist accepted")
+	}
+	if _, err := scanner6.NewHitlist([]netip.Addr{netip.MustParseAddr("10.0.0.1")}); err == nil {
+		t.Error("IPv4 address accepted")
+	}
+}
+
+func TestSite(t *testing.T) {
+	a := v6("2a0d:8480:7:abcd::42")
+	s := scanner6.Site(a)
+	if s.Bits() != 48 {
+		t.Fatalf("bits = %d", s.Bits())
+	}
+	if !s.Contains(a) {
+		t.Fatal("site does not contain its address")
+	}
+}
+
+func TestProbeRoundOverSimnet6(t *testing.T) {
+	sc := sim.MustBuild(sim.Config{Seed: 42, Scale: 0.02,
+		End: timeline.DefaultStart.AddDate(0, 2, 0)})
+	hl, err := sc.V6Hitlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hl.Len() < 100 {
+		t.Fatalf("hitlist too small: %d", hl.Len())
+	}
+	start := timeline.DefaultStart
+	wire := simnet.New6(v6("2001:db8::1"), sc.V6Responder(), start)
+	p := scanner6.New(wire, scanner6.Config{Rate: 0, Seed: 7, Epoch: 1, Clock: wire, Cooldown: time.Second})
+	rd, err := p.Run(hl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Stats.Sent != uint64(hl.Len()) {
+		t.Errorf("sent = %d, want %d", rd.Stats.Sent, hl.Len())
+	}
+	if rd.Stats.Valid == 0 {
+		t.Fatal("no valid replies")
+	}
+	if rd.Stats.Invalid != 0 {
+		t.Errorf("invalid = %d", rd.Stats.Invalid)
+	}
+	// Response share should be in the adoption band (1%..95%).
+	share := float64(rd.Stats.Valid) / float64(rd.Stats.Sent)
+	if share < 0.05 || share > 0.9 {
+		t.Errorf("responsive share = %.2f", share)
+	}
+	// Error harvesting reveals routers.
+	if len(rd.ErrorSources) == 0 {
+		t.Error("no routers harvested from ICMPv6 errors")
+	}
+	for _, es := range rd.ErrorSources {
+		if !es.Router.IsValid() || es.OriginalDst == es.Router {
+			t.Fatalf("bad error source %+v", es)
+		}
+	}
+	// Per-site accounting adds up.
+	totalTargets, totalResp := 0, 0
+	for i := range rd.Sites {
+		totalTargets += rd.Sites[i].Targets
+		totalResp += rd.Sites[i].Responses
+		if rd.Sites[i].Responses > rd.Sites[i].Targets {
+			t.Fatalf("site %v: more responses than targets", rd.Sites[i].Site)
+		}
+	}
+	if totalTargets != hl.Len() {
+		t.Errorf("site targets = %d", totalTargets)
+	}
+	if uint64(totalResp) != rd.Stats.Valid {
+		t.Errorf("site responses %d vs valid %d", totalResp, rd.Stats.Valid)
+	}
+}
+
+func TestV6AdoptionGrows(t *testing.T) {
+	sc := sim.MustBuild(sim.Config{Seed: 42, Scale: 0.02})
+	hl, err := sc.V6Hitlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(at time.Time) float64 {
+		wire := simnet.New6(v6("2001:db8::1"), sc.V6Responder(), at)
+		p := scanner6.New(wire, scanner6.Config{Rate: 0, Seed: 9, Epoch: 2, Clock: wire, Cooldown: time.Second})
+		rd, err := p.Run(hl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(rd.Stats.Valid) / float64(rd.Stats.Sent)
+	}
+	early := run(sc.TL.Start())
+	late := run(sc.TL.End())
+	if late <= early {
+		t.Errorf("IPv6 adoption should grow: early %.3f late %.3f (Fig 20)", early, late)
+	}
+	// Rivne is scripted with the strongest growth.
+	_ = netmodel.Rivne
+}
+
+func TestRegionPrefixRoundTrip(t *testing.T) {
+	for _, r := range netmodel.Regions() {
+		p := sim.V6RegionPrefix(r)
+		if p.Bits() != 40 {
+			t.Fatalf("%v prefix bits = %d", r, p.Bits())
+		}
+		if !p.Contains(p.Addr()) {
+			t.Fatal("prefix does not contain its base")
+		}
+	}
+}

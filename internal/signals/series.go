@@ -1,0 +1,182 @@
+// Package signals implements the paper's second core contribution (§3.1,
+// §5): the three Internet-availability signals —
+//
+//	BGP★  routed /24 address blocks,
+//	FBS■  active /24 blocks among those meeting the full-block-scan
+//	      eligibility E(b) ≥ 3 ever-active addresses per month,
+//	IPS▲  responsive IP addresses (gated on months averaging > 10),
+//
+// computed per AS and per region, plus outage detection against a seven-day
+// moving average with the static thresholds of Table 2, the "ongoing" flag
+// for total BGP loss, and ISP availability sensing (Baltra & Heidemann) to
+// filter dynamic-reallocation false positives out of the FBS signal.
+package signals
+
+import (
+	"countrymon/internal/dataset"
+	"countrymon/internal/netmodel"
+	"countrymon/internal/regional"
+	"countrymon/internal/timeline"
+)
+
+// MinEverActive is the FBS block-eligibility threshold (E(b) ≥ 3).
+const MinEverActive = 3
+
+// MinIPSMonthly gates the IPS signal: it is only evaluated in months whose
+// mean responsive-IP count exceeds this (§3.1).
+const MinIPSMonthly = 10.0
+
+// EntitySeries holds one entity's (AS or region) per-round signal values.
+type EntitySeries struct {
+	Name string
+	TL   *timeline.Timeline
+	// BGP, FBS and IPS are per-round values (see package doc).
+	BGP []float32
+	FBS []float32
+	IPS []float32
+	// IPSValidMonth marks months where the IPS signal is evaluated.
+	IPSValidMonth []bool
+	// Missing marks vantage outages (shared with the store).
+	Missing []bool
+}
+
+// IPSValid reports whether the IPS signal is evaluated at round r.
+func (e *EntitySeries) IPSValid(r int) bool {
+	return e.IPSValidMonth[e.TL.MonthOfRound(r)]
+}
+
+// Builder derives entity series from the measurement store.
+type Builder struct {
+	store *dataset.Store
+	space *netmodel.Space
+	tl    *timeline.Timeline
+	// elig[bi][m] is FBS eligibility of block bi in month m.
+	elig [][]bool
+	// asBlocks maps each AS to its dense block indices in the store.
+	asBlocks map[netmodel.ASN][]int
+}
+
+// NewBuilder precomputes eligibility for all blocks and months.
+func NewBuilder(store *dataset.Store, space *netmodel.Space) *Builder {
+	tl := store.Timeline()
+	b := &Builder{
+		store:    store,
+		space:    space,
+		tl:       tl,
+		elig:     make([][]bool, store.NumBlocks()),
+		asBlocks: make(map[netmodel.ASN][]int),
+	}
+	months := tl.NumMonths()
+	for bi := 0; bi < store.NumBlocks(); bi++ {
+		b.elig[bi] = make([]bool, months)
+		for m := 0; m < months; m++ {
+			b.elig[bi][m] = store.EligibleFBS(bi, m, MinEverActive)
+		}
+		blk := store.Blocks()[bi]
+		if asn := space.OriginOf(blk); asn != 0 {
+			b.asBlocks[asn] = append(b.asBlocks[asn], bi)
+		}
+	}
+	return b
+}
+
+// Store returns the underlying measurement store.
+func (b *Builder) Store() *dataset.Store { return b.store }
+
+// Timeline returns the campaign timeline.
+func (b *Builder) Timeline() *timeline.Timeline { return b.tl }
+
+// Eligible reports FBS eligibility of block bi in month m.
+func (b *Builder) Eligible(bi, m int) bool { return b.elig[bi][m] }
+
+// ASBlocks returns the dense block indices of an AS.
+func (b *Builder) ASBlocks(asn netmodel.ASN) []int { return b.asBlocks[asn] }
+
+// AS builds the AS-wide series over all the AS's blocks (as §5.4 does for
+// comparability with IODA).
+func (b *Builder) AS(asn netmodel.ASN) *EntitySeries {
+	es := b.newSeries(asn.String())
+	rounds := b.tl.NumRounds()
+	for _, bi := range b.asBlocks[asn] {
+		resp := b.store.RespSeries(bi)
+		for r := 0; r < rounds; r++ {
+			if es.Missing[r] {
+				continue
+			}
+			m := b.tl.MonthOfRound(r)
+			c := float32(resp[r])
+			es.IPS[r] += c
+			if b.store.Routed(bi, r) {
+				es.BGP[r]++
+			}
+			if b.elig[bi][m] && c > 0 {
+				es.FBS[r]++
+			}
+		}
+	}
+	b.fillIPSValidity(es)
+	return es
+}
+
+// Region builds the regional series: only blocks classified regional for
+// the region contribute, only in the months they meet the share threshold,
+// weighted by their regional share of addresses (§3.1 "Signal Properties").
+func (b *Builder) Region(rr *regional.RegionResult, cl *regional.Classifier) *EntitySeries {
+	es := b.newSeries(rr.Region.String())
+	rounds := b.tl.NumRounds()
+	for _, bc := range rr.Blocks {
+		if !bc.Regional {
+			continue
+		}
+		bi := bc.Index
+		resp := b.store.RespSeries(bi)
+		for r := 0; r < rounds; r++ {
+			if es.Missing[r] {
+				continue
+			}
+			m := b.tl.MonthOfRound(r)
+			if !bc.EvalMonths[m] {
+				continue
+			}
+			share := float32(cl.BlockShare(bi, m, rr.Region))
+			c := float32(resp[r]) * share
+			es.IPS[r] += c
+			if b.store.Routed(bi, r) {
+				es.BGP[r]++
+			}
+			if b.elig[bi][m] && resp[r] > 0 {
+				es.FBS[r]++
+			}
+		}
+	}
+	b.fillIPSValidity(es)
+	return es
+}
+
+func (b *Builder) newSeries(name string) *EntitySeries {
+	rounds := b.tl.NumRounds()
+	return &EntitySeries{
+		Name:          name,
+		TL:            b.tl,
+		BGP:           make([]float32, rounds),
+		FBS:           make([]float32, rounds),
+		IPS:           make([]float32, rounds),
+		IPSValidMonth: make([]bool, b.tl.NumMonths()),
+		Missing:       b.store.MissingRounds(),
+	}
+}
+
+func (b *Builder) fillIPSValidity(es *EntitySeries) {
+	for m := 0; m < b.tl.NumMonths(); m++ {
+		lo, hi := b.tl.MonthRounds(m)
+		sum, n := 0.0, 0
+		for r := lo; r < hi; r++ {
+			if es.Missing[r] {
+				continue
+			}
+			sum += float64(es.IPS[r])
+			n++
+		}
+		es.IPSValidMonth[m] = n > 0 && sum/float64(n) > MinIPSMonthly
+	}
+}

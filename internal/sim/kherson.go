@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"time"
+
+	"countrymon/internal/netmodel"
+)
+
+// Kherson ground truth, encoded from the paper's Table 5 and §5.2/§5.3.
+// These 34 ASes are always modelled exactly, regardless of Config.Scale.
+
+// khersonAS describes one Table-5 AS.
+type khersonAS struct {
+	ASN      netmodel.ASN
+	Name     string
+	HQ       netmodel.Region
+	Foreign  bool
+	Regional bool // classified regional for Kherson (first 13 rows)
+	// RegionalBlocks is the "Reg." column: /24s regional to Kherson.
+	RegionalBlocks int
+	// ExtraBlocks are additional blocks elsewhere (for local non-regional
+	// ASes whose spread keeps their AS-level share below the threshold).
+	ExtraBlocks int
+	// National links the entry to a nationally generated ISP: its Kherson
+	// blocks are carved from the national pool rather than newly invented.
+	National bool
+	// CeasedBy2025 marks the seven ASes with no BGP prefixes in 2025.
+	CeasedBy2025 bool
+	// ActiveFrom delays the AS's appearance (Brok-X, Genicheskonline, NTT
+	// blocks were announced during the measurement period).
+	ActiveFrom time.Time
+	// LeftBank marks providers headquartered on the occupied left bank
+	// (RubinTV/Kakhovka, RostNet/Oleshky, M-Net/Henichesk): their RTTs stay
+	// elevated after the liberation of the right bank.
+	LeftBank bool
+}
+
+func khersonTable5() []khersonAS {
+	kh := netmodel.Kherson
+	return []khersonAS{
+		// Regional ASes (13).
+		{ASN: 49465, Name: "RubinTV", HQ: kh, Regional: true, RegionalBlocks: 16, LeftBank: true},
+		{ASN: 56404, Name: "Norma4", HQ: kh, Regional: true, RegionalBlocks: 8},
+		{ASN: 56359, Name: "RostNet", HQ: kh, Regional: true, RegionalBlocks: 5, CeasedBy2025: true, LeftBank: true},
+		{ASN: 25482, Name: "Status", HQ: kh, Regional: true, RegionalBlocks: 3, ExtraBlocks: 1}, // 4th block regional in Kyiv
+		{ASN: 15458, Name: "TLC-K", HQ: kh, Regional: true, RegionalBlocks: 2, CeasedBy2025: true},
+		{ASN: 47598, Name: "Kherson Telecom", HQ: kh, Regional: true, RegionalBlocks: 2, CeasedBy2025: true},
+		{ASN: 56446, Name: "OstrovNet", HQ: kh, Regional: true, RegionalBlocks: 2},
+		{ASN: 25256, Name: "M-Net", HQ: kh, Regional: true, RegionalBlocks: 1, CeasedBy2025: true, LeftBank: true},
+		{ASN: 34720, Name: "JSC-Chumak", HQ: netmodel.Kyiv, Regional: true, RegionalBlocks: 1, CeasedBy2025: true},
+		{ASN: 42469, Name: "Askad", HQ: kh, Regional: true, RegionalBlocks: 1, CeasedBy2025: true},
+		{ASN: 44737, Name: "Next", HQ: kh, Regional: true, RegionalBlocks: 1, CeasedBy2025: true},
+		{ASN: 59500, Name: "LineVPS", HQ: kh, Regional: true, RegionalBlocks: 1},
+		{ASN: 211171, Name: "Pluton", HQ: kh, Regional: true, RegionalBlocks: 1},
+
+		// Non-regional ASes with regional blocks in Kherson (21).
+		{ASN: 25229, Name: "Volia", HQ: netmodel.Kyiv, RegionalBlocks: 32, National: true},
+		{ASN: 15895, Name: "Kyivstar", HQ: netmodel.Kyiv, RegionalBlocks: 10, National: true},
+		{ASN: 6877, Name: "Ukrtelecom", HQ: netmodel.Kyiv, RegionalBlocks: 10, National: true},
+		{ASN: 6849, Name: "Ukrtelecom", HQ: netmodel.Kyiv, RegionalBlocks: 6, National: true},
+		{ASN: 6703, Name: "Alkar-As", HQ: netmodel.Kyiv, RegionalBlocks: 3, National: true},
+		{ASN: 21151, Name: "Ukrcom", HQ: kh, RegionalBlocks: 3, ExtraBlocks: 8},
+		{ASN: 6698, Name: "Virtualsystems", HQ: netmodel.Kyiv, RegionalBlocks: 2, National: true},
+		{ASN: 30823, Name: "Aurologic", HQ: netmodel.RegionNone, Foreign: true, RegionalBlocks: 2, National: true},
+		{ASN: 205172, Name: "Yanina", HQ: kh, RegionalBlocks: 2, ExtraBlocks: 4},
+		{ASN: 39862, Name: "Digicom", HQ: kh, RegionalBlocks: 2, ExtraBlocks: 5},
+		{ASN: 57498, Name: "Smart-M", HQ: kh, RegionalBlocks: 2, ExtraBlocks: 2},
+		{ASN: 2914, Name: "NTT", HQ: netmodel.RegionNone, Foreign: true, RegionalBlocks: 1, ExtraBlocks: 1,
+			ActiveFrom: time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)},
+		{ASN: 12883, Name: "Vega", HQ: netmodel.Kyiv, RegionalBlocks: 1, National: true},
+		{ASN: 25082, Name: "Viner Telecom", HQ: kh, RegionalBlocks: 1, ExtraBlocks: 10},
+		{ASN: 35213, Name: "CompNetUA", HQ: kh, RegionalBlocks: 1, ExtraBlocks: 10},
+		{ASN: 49168, Name: "Brok-X", HQ: kh, RegionalBlocks: 1, ExtraBlocks: 1,
+			ActiveFrom: time.Date(2023, 3, 1, 0, 0, 0, 0, time.UTC)},
+		{ASN: 6846, Name: "Infocom", HQ: netmodel.Kyiv, RegionalBlocks: 1, National: true},
+		{ASN: 12687, Name: "Uran Kiev", HQ: netmodel.Kyiv, RegionalBlocks: 1, National: true},
+		{ASN: 45043, Name: "Viner Telecom", HQ: kh, RegionalBlocks: 1, ExtraBlocks: 3},
+		{ASN: 197361, Name: "LLC AIT", HQ: kh, RegionalBlocks: 1},
+		{ASN: 215654, Name: "Genicheskonline", HQ: kh, RegionalBlocks: 1,
+			ActiveFrom: time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC), LeftBank: true},
+	}
+}
+
+// KhersonRegionalASNs returns the 13 ground-truth regional ASes of Kherson.
+func KhersonRegionalASNs() []netmodel.ASN {
+	var out []netmodel.ASN
+	for _, k := range khersonTable5() {
+		if k.Regional {
+			out = append(out, k.ASN)
+		}
+	}
+	return out
+}
+
+// KhersonASNs returns all 34 Table-5 ASes.
+func KhersonASNs() []netmodel.ASN {
+	var out []netmodel.ASN
+	for _, k := range khersonTable5() {
+		out = append(out, k.ASN)
+	}
+	return out
+}
+
+// Named event identifiers used by experiments and examples.
+const (
+	EventMykolaivCable     = "mykolaiv-cable"
+	EventRerouting         = "occupation-rerouting"
+	EventKakhovkaDam       = "kakhovka-dam"
+	EventStatusSeizure     = "status-seizure"
+	EventLiberationRetreat = "liberation-retreat"
+	EventNov28Disruption   = "nov28-multi-as"
+)
+
+// Key dates.
+var (
+	dateCableCut   = time.Date(2022, 4, 30, 12, 0, 0, 0, time.UTC)
+	dateReroute    = time.Date(2022, 5, 30, 0, 0, 0, 0, time.UTC)
+	dateLiberation = time.Date(2022, 11, 11, 0, 0, 0, 0, time.UTC)
+	dateSeizure    = time.Date(2022, 5, 13, 6, 28, 0, 0, time.UTC)
+	dateDam        = time.Date(2023, 6, 6, 0, 0, 0, 0, time.UTC)
+)
+
+// khersonEvents scripts §5.2/§5.3. statusBlocks are Status's four blocks
+// (three Kherson + one Kyiv, in that order); volia/yanina etc. receive
+// block-scoped outages on their Kherson-regional blocks.
+func khersonEvents(statusBlocks []netmodel.BlockID, khersonBlocksOf map[netmodel.ASN][]netmodel.BlockID) []Event {
+	day := 24 * time.Hour
+	var evs []Event
+
+	// April 30 2022: the last backbone cable into the oblast is damaged —
+	// a three-day oblast-wide outage taking 24 ASes off BGP.
+	cableASes := []netmodel.ASN{
+		49465, 56404, 56359, 25482, 15458, 47598, 56446, 25256, 34720, 42469,
+		44737, 59500, 211171, 21151, 205172, 39862, 57498, 25082, 35213,
+		197361, 25229, 6703, 12883, 6877,
+	}
+	evs = append(evs, Event{
+		Name: EventMykolaivCable, From: dateCableCut, To: dateCableCut.Add(3 * day),
+		ASNs: cableASes, Kind: EffectBGPDown,
+	})
+	// Pluton and Alkar remain offline long after the repair.
+	evs = append(evs, Event{
+		Name: "pluton-extended", From: dateCableCut, To: time.Date(2023, 2, 1, 0, 0, 0, 0, time.UTC),
+		ASNs: []netmodel.ASN{211171}, Kind: EffectBGPDown,
+	})
+	evs = append(evs, Event{
+		Name: "alkar-extended", From: dateCableCut, To: time.Date(2022, 12, 15, 0, 0, 0, 0, time.UTC),
+		Blocks: khersonBlocksOf[6703], Kind: EffectBGPDown,
+	})
+
+	// May 13 2022 06:28: Russian troops search Status's server rooms — an
+	// IPS▲-only dip while BGP and FBS stay stable (Fig 13).
+	evs = append(evs, Event{
+		Name: EventStatusSeizure, From: dateSeizure, To: dateSeizure.Add(8 * time.Hour),
+		ASNs: []netmodel.ASN{25482}, Kind: EffectIPSDrop, Magnitude: 0.45,
+	})
+
+	// May 30 – Nov 11 2022: occupied-area traffic rerouted via Russian
+	// upstreams; RTTs rise for the regional providers (Fig 12).
+	reroutedASes := []netmodel.ASN{49465, 56404, 56359, 25482, 15458, 47598, 56446, 25256, 21151, 197361}
+	evs = append(evs, Event{
+		Name: EventRerouting, From: dateReroute, To: dateLiberation,
+		ASNs: reroutedASes, Kind: EffectReroute, RTTDeltaMS: 75,
+	})
+	// Left-bank providers keep the detour after the right bank's liberation.
+	evs = append(evs, Event{
+		Name: "leftbank-rtt", From: dateLiberation, To: time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC),
+		ASNs: []netmodel.ASN{49465, 56359, 25256, 215654}, Kind: EffectReroute, RTTDeltaMS: 70,
+	})
+	// Several non-regional ASes' Kherson blocks were disconnected outright
+	// during the occupation (Askad, Next, Volia, Yanina, Smart-M).
+	evs = append(evs, Event{
+		Name: "occupation-disconnects", From: dateReroute, To: dateLiberation.Add(10 * day),
+		ASNs: []netmodel.ASN{42469, 44737}, Kind: EffectBGPDown,
+	})
+	for _, asn := range []netmodel.ASN{25229, 205172, 57498} {
+		evs = append(evs, Event{
+			Name: "occupation-disconnects-blocks", From: dateReroute, To: dateLiberation.Add(14 * day),
+			Blocks: khersonBlocksOf[asn], Kind: EffectBGPDown,
+		})
+	}
+
+	// Nov 11 2022: Russian retreat destroys infrastructure. Status's three
+	// Kherson blocks go silent for ten days, then return on generator
+	// power with day-only service for three weeks (Fig 14); its Kyiv
+	// block is untouched.
+	kh3 := statusBlocks[:3]
+	evs = append(evs, Event{
+		Name: EventLiberationRetreat, From: dateLiberation, To: dateLiberation.Add(10 * day),
+		Blocks: kh3, Kind: EffectSilent,
+	})
+	evs = append(evs, Event{
+		Name: "status-diurnal-recovery", From: dateLiberation.Add(10 * day), To: dateLiberation.Add(31 * day),
+		Blocks: kh3, Kind: EffectDiurnalOnly,
+	})
+	// The retreat also briefly disrupts most regional providers.
+	evs = append(evs, Event{
+		Name: "retreat-disruption", From: dateLiberation.Add(-2 * day), To: dateLiberation.Add(4 * day),
+		ASNs: []netmodel.ASN{56404, 15458, 47598, 56446, 59500, 21151, 39862}, Kind: EffectSilent,
+	})
+
+	// Nov 28 2022: a clearly visible multi-AS disruption (App. F).
+	evs = append(evs, Event{
+		Name: EventNov28Disruption,
+		From: time.Date(2022, 11, 28, 4, 0, 0, 0, time.UTC),
+		To:   time.Date(2022, 11, 29, 2, 0, 0, 0, time.UTC),
+		ASNs: []netmodel.ASN{25482, 56404, 56446, 15458, 47598, 21151, 39862, 59500},
+		Kind: EffectBGPDown,
+	})
+
+	// June 6 2023: the Kakhovka dam is destroyed. OstrovNet (port district,
+	// Korabel Island) is flooded and takes three months to restore; Viner
+	// Telecom, TLC-K and Digicom show FBS/IPS disruptions; Volia has a
+	// one-day outage on June 14.
+	evs = append(evs, Event{
+		Name: EventKakhovkaDam, From: dateDam, To: time.Date(2023, 9, 5, 0, 0, 0, 0, time.UTC),
+		ASNs: []netmodel.ASN{56446}, Kind: EffectBGPDown,
+	})
+	evs = append(evs, Event{
+		Name: "dam-partial", From: dateDam, To: dateDam.Add(14 * day),
+		ASNs: []netmodel.ASN{25082, 15458, 39862}, Kind: EffectIPSDrop, Magnitude: 0.6,
+	})
+	evs = append(evs, Event{
+		Name: "dam-volia", From: time.Date(2023, 6, 14, 0, 0, 0, 0, time.UTC), To: time.Date(2023, 6, 15, 0, 0, 0, 0, time.UTC),
+		Blocks: khersonBlocksOf[25229], Kind: EffectBGPDown,
+	})
+	return evs
+}

@@ -1,0 +1,77 @@
+package sim
+
+import "sync"
+
+// Deterministic hashing: every stochastic decision in the simulator is a
+// pure function of (seed, identifiers), so scenarios are exactly
+// reproducible and state can be evaluated at any (block, time) without
+// history.
+
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hash2(a, b uint64) uint64 { return mix64(mix64(a) ^ b) }
+
+func hash3(a, b, c uint64) uint64 { return mix64(hash2(a, b) ^ mix64(c)) }
+
+// unitFloat maps a hash to [0, 1).
+func unitFloat(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// liveOrderCache lazily computes each block's host liveness ranking: a
+// permutation of 0..255 per block, derived from the scenario seed. Rank 0 is
+// the "most alive" host; host h responds in a round iff rank(h) < count.
+type liveOrderCache struct {
+	mu    sync.Mutex
+	seed  uint64
+	ranks map[netmodel32]*[256]uint8
+}
+
+// netmodel32 avoids importing netmodel here just for the key type.
+type netmodel32 = uint32
+
+func (c *liveOrderCache) rank(block uint32, host uint8) uint8 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ranks == nil {
+		c.ranks = make(map[uint32]*[256]uint8)
+	}
+	r, ok := c.ranks[block]
+	if !ok {
+		r = c.buildLocked(block)
+	}
+	return r[host]
+}
+
+func (c *liveOrderCache) buildLocked(block uint32) *[256]uint8 {
+	// Sort hosts by hash; equal hashes are impossible to matter (ties are
+	// broken by host number for determinism).
+	type hk struct {
+		h    uint64
+		host uint8
+	}
+	var keys [256]hk
+	for i := 0; i < 256; i++ {
+		keys[i] = hk{h: hash3(c.seed, uint64(block), uint64(i)), host: uint8(i)}
+	}
+	// Insertion sort on 256 elements is fine and allocation-free.
+	for i := 1; i < 256; i++ {
+		k := keys[i]
+		j := i - 1
+		for j >= 0 && (keys[j].h > k.h || (keys[j].h == k.h && keys[j].host > k.host)) {
+			keys[j+1] = keys[j]
+			j--
+		}
+		keys[j+1] = k
+	}
+	var ranks [256]uint8
+	for pos := 0; pos < 256; pos++ {
+		ranks[keys[pos].host] = uint8(pos)
+	}
+	r := &ranks
+	c.ranks[block] = r
+	return r
+}

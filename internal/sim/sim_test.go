@@ -1,0 +1,351 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"countrymon/internal/netmodel"
+)
+
+var (
+	testOnce sync.Once
+	testSc   *Scenario
+)
+
+// testScenario builds one small-but-complete scenario shared by all tests.
+func testScenario(t *testing.T) *Scenario {
+	t.Helper()
+	testOnce.Do(func() {
+		testSc = MustBuild(Config{Seed: 42, Scale: 0.05})
+	})
+	return testSc
+}
+
+func TestBuildStructure(t *testing.T) {
+	s := testScenario(t)
+	if s.Space.NumASes() < 100 {
+		t.Fatalf("ASes = %d, too few", s.Space.NumASes())
+	}
+	if s.Space.NumBlocks() < 1200 {
+		t.Fatalf("blocks = %d, too few", s.Space.NumBlocks())
+	}
+	// All 34 Table-5 Kherson ASes exist.
+	for _, asn := range KhersonASNs() {
+		if s.Space.Lookup(asn) == nil {
+			t.Errorf("Kherson %v missing", asn)
+		}
+	}
+	// Status has exactly 4 blocks: 3 home in Kherson, 1 in Kyiv.
+	status := s.Space.Lookup(25482)
+	if got := len(status.Blocks()); got != 4 {
+		t.Fatalf("Status blocks = %d, want 4", got)
+	}
+	kh, kyiv := 0, 0
+	for _, blk := range status.Blocks() {
+		bt := s.BlockTraitsAt(s.Space.BlockIndex(blk))
+		switch bt.HomeRegion {
+		case netmodel.Kherson:
+			kh++
+		case netmodel.Kyiv:
+			kyiv++
+		}
+	}
+	if kh != 3 || kyiv != 1 {
+		t.Errorf("Status regions = %d Kherson / %d Kyiv, want 3/1", kh, kyiv)
+	}
+	// Leased ASes exist but are outside the probed space.
+	if len(s.LeasedASes()) < 2 {
+		t.Error("leased ASes missing")
+	}
+	for _, as := range s.LeasedASes() {
+		if s.Space.Lookup(as.ASN) != nil {
+			t.Errorf("leased %v must not be in the UA space", as.ASN)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := MustBuild(Config{Seed: 7, Scale: 0.02})
+	b := MustBuild(Config{Seed: 7, Scale: 0.02})
+	if a.Space.NumBlocks() != b.Space.NumBlocks() {
+		t.Fatal("block counts differ across identical builds")
+	}
+	at := a.TL.Time(500)
+	for bi := 0; bi < a.Space.NumBlocks(); bi += 97 {
+		sa, sb := a.BlockStateAt(bi, at), b.BlockStateAt(bi, at)
+		if sa != sb {
+			t.Fatalf("state differs at block %d: %+v vs %+v", bi, sa, sb)
+		}
+	}
+	c := MustBuild(Config{Seed: 8, Scale: 0.02})
+	diff := 0
+	for bi := 0; bi < min(a.Space.NumBlocks(), c.Space.NumBlocks()); bi += 11 {
+		if a.BlockStateAt(bi, at) != c.BlockStateAt(bi, at) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical states")
+	}
+}
+
+func blockOf(t *testing.T, s *Scenario, asn netmodel.ASN, region netmodel.Region) int {
+	t.Helper()
+	as := s.Space.Lookup(asn)
+	if as == nil {
+		t.Fatalf("%v missing", asn)
+	}
+	for _, blk := range as.Blocks() {
+		bi := s.Space.BlockIndex(blk)
+		if s.BlockTraitsAt(bi).HomeRegion == region {
+			return bi
+		}
+	}
+	t.Fatalf("%v has no block in %v", asn, region)
+	return -1
+}
+
+func TestCableCutEvent(t *testing.T) {
+	s := testScenario(t)
+	bi := blockOf(t, s, 56404, netmodel.Kherson) // Norma4
+	before := s.BlockStateAt(bi, time.Date(2022, 4, 28, 12, 0, 0, 0, time.UTC))
+	during := s.BlockStateAt(bi, time.Date(2022, 5, 1, 12, 0, 0, 0, time.UTC))
+	after := s.BlockStateAt(bi, time.Date(2022, 5, 10, 12, 0, 0, 0, time.UTC))
+	if !before.Routed || before.Resp == 0 {
+		t.Errorf("before cable cut: %+v", before)
+	}
+	if during.Routed || during.Resp != 0 {
+		t.Errorf("during cable cut Norma4 should be BGP-down: %+v", during)
+	}
+	if !after.Routed {
+		t.Errorf("after repair: %+v", after)
+	}
+}
+
+func TestSeizureIPSDip(t *testing.T) {
+	s := testScenario(t)
+	bi := blockOf(t, s, 25482, netmodel.Kherson)
+	before := s.BlockStateAt(bi, time.Date(2022, 5, 12, 8, 0, 0, 0, time.UTC))
+	during := s.BlockStateAt(bi, time.Date(2022, 5, 13, 8, 0, 0, 0, time.UTC))
+	if !during.Routed {
+		t.Error("seizure must not affect BGP")
+	}
+	if during.Resp >= before.Resp {
+		t.Errorf("seizure IPS dip missing: before=%d during=%d", before.Resp, during.Resp)
+	}
+	if during.Resp == 0 {
+		t.Error("seizure is a partial outage, not a full one")
+	}
+}
+
+func TestReroutingRTT(t *testing.T) {
+	s := testScenario(t)
+	bi := blockOf(t, s, 56404, netmodel.Kherson)
+	before := s.BlockStateAt(bi, time.Date(2022, 4, 10, 12, 0, 0, 0, time.UTC))
+	during := s.BlockStateAt(bi, time.Date(2022, 8, 10, 12, 0, 0, 0, time.UTC))
+	after := s.BlockStateAt(bi, time.Date(2023, 3, 10, 12, 0, 0, 0, time.UTC))
+	if int(during.RTTMS) < int(before.RTTMS)+50 {
+		t.Errorf("occupation RTT: before=%d during=%d", before.RTTMS, during.RTTMS)
+	}
+	if !during.Rerouted {
+		t.Error("Rerouted flag missing during occupation")
+	}
+	if int(after.RTTMS) > int(before.RTTMS)+20 {
+		t.Errorf("Norma4 RTT should normalize after liberation: %d", after.RTTMS)
+	}
+	// Left-bank RubinTV keeps elevated RTTs after liberation.
+	ri := blockOf(t, s, 49465, netmodel.Kherson)
+	rAfter := s.BlockStateAt(ri, time.Date(2023, 3, 10, 12, 0, 0, 0, time.UTC))
+	if int(rAfter.RTTMS) < int(before.RTTMS)+40 {
+		t.Errorf("RubinTV left-bank RTT should stay high: %d", rAfter.RTTMS)
+	}
+}
+
+func TestKakhovkaDam(t *testing.T) {
+	s := testScenario(t)
+	bi := blockOf(t, s, 56446, netmodel.Kherson) // OstrovNet
+	before := s.BlockStateAt(bi, time.Date(2023, 6, 1, 12, 0, 0, 0, time.UTC))
+	during := s.BlockStateAt(bi, time.Date(2023, 7, 15, 12, 0, 0, 0, time.UTC))
+	after := s.BlockStateAt(bi, time.Date(2023, 9, 20, 12, 0, 0, 0, time.UTC))
+	if !before.Routed {
+		t.Errorf("OstrovNet should be up before the dam: %+v", before)
+	}
+	if during.Routed {
+		t.Error("OstrovNet should be flooded offline in July 2023")
+	}
+	if !after.Routed {
+		t.Error("OstrovNet should restore by late September 2023")
+	}
+}
+
+func TestLiberationStatusBlocks(t *testing.T) {
+	s := testScenario(t)
+	status := s.Space.Lookup(25482)
+	var khBlocks, kyivBlocks []int
+	for _, blk := range status.Blocks() {
+		bi := s.Space.BlockIndex(blk)
+		if s.BlockTraitsAt(bi).HomeRegion == netmodel.Kherson {
+			khBlocks = append(khBlocks, bi)
+		} else {
+			kyivBlocks = append(kyivBlocks, bi)
+		}
+	}
+	gap := time.Date(2022, 11, 15, 12, 0, 0, 0, time.UTC)
+	for _, bi := range khBlocks {
+		st := s.BlockStateAt(bi, gap)
+		if st.Resp != 0 {
+			t.Errorf("Kherson Status block responding during the 10-day gap: %+v", st)
+		}
+		if !st.Routed {
+			t.Error("retreat damage is Silent (routes stay up)")
+		}
+	}
+	for _, bi := range kyivBlocks {
+		if st := s.BlockStateAt(bi, gap); st.Resp == 0 {
+			t.Error("Kyiv Status block must stay responsive through the retreat")
+		}
+	}
+	// Diurnal-only recovery: day up, night down.
+	dayT := time.Date(2022, 11, 25, 10, 0, 0, 0, time.UTC)    // 12:00 local
+	nightT := time.Date(2022, 11, 25, 23, 30, 0, 0, time.UTC) // 01:30 local
+	for _, bi := range khBlocks {
+		if st := s.BlockStateAt(bi, dayT); st.Resp == 0 {
+			t.Error("diurnal recovery: day service missing")
+		}
+		if st := s.BlockStateAt(bi, nightT); st.Resp != 0 {
+			t.Error("diurnal recovery: night should be silent")
+		}
+	}
+}
+
+func TestCeasedASes(t *testing.T) {
+	s := testScenario(t)
+	end := time.Date(2025, 2, 1, 12, 0, 0, 0, time.UTC)
+	ceased := []netmodel.ASN{15458, 25256, 56359, 34720, 47598, 42469, 44737}
+	for _, asn := range ceased {
+		tr := s.ASTraitsOf(asn)
+		if tr == nil || tr.ActiveTo.IsZero() {
+			t.Errorf("%v should have an end date", asn)
+			continue
+		}
+		if tr.Active(end) {
+			t.Errorf("%v should be inactive by 2025", asn)
+		}
+		if !tr.Active(time.Date(2022, 4, 1, 0, 0, 0, 0, time.UTC)) {
+			t.Errorf("%v should be active early in the war", asn)
+		}
+	}
+	// Late arrivals.
+	for _, asn := range []netmodel.ASN{49168, 215654} {
+		tr := s.ASTraitsOf(asn)
+		if tr.Active(time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)) {
+			t.Errorf("%v should not be active in mid-2022", asn)
+		}
+		if !tr.Active(time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)) {
+			t.Errorf("%v should be active by mid-2024", asn)
+		}
+	}
+}
+
+func TestPowerCoupling(t *testing.T) {
+	s := testScenario(t)
+	// Find a grid-sensitive non-frontline block and a power-out hour in
+	// winter 2022/23.
+	for bi := range s.Blocks() {
+		bt := s.BlockTraitsAt(bi)
+		if bt.HomeRegion != netmodel.Lviv || !bt.GridSensitive || bt.Density < 50 || bt.Dynamic || bt.MoveMonth >= 0 {
+			continue
+		}
+		day := time.Date(2022, 12, 20, 0, 0, 0, 0, time.UTC)
+		var outAt, onAt time.Time
+		for h := 0; h < 24; h++ {
+			at := day.Add(time.Duration(h) * time.Hour)
+			if out, since := s.Power.OutSince(netmodel.Lviv, at); out && since > 2 {
+				outAt = at
+			} else if !out {
+				onAt = at
+			}
+		}
+		if outAt.IsZero() || onAt.IsZero() {
+			continue
+		}
+		stOut := s.BlockStateAt(bi, outAt)
+		stOn := s.BlockStateAt(bi, onAt)
+		if stOut.Resp >= stOn.Resp {
+			t.Errorf("power outage did not dent responsiveness: out=%d on=%d", stOut.Resp, stOn.Resp)
+		}
+		if !stOut.Routed {
+			t.Error("power outage must not kill BGP for grid-sensitive edge blocks")
+		}
+		return
+	}
+	t.Skip("no suitable Lviv block found at this scale")
+}
+
+func TestChurnMoves(t *testing.T) {
+	s := testScenario(t)
+	// Luhansk must lose most blocks; Chernihiv should gain inbound movers.
+	luhanskMoved, luhanskTotal := 0, 0
+	inboundChernihiv := 0
+	for bi := range s.Blocks() {
+		bt := s.BlockTraitsAt(bi)
+		if bt.HomeRegion == netmodel.Luhansk && !bt.Dynamic {
+			luhanskTotal++
+			if bt.MoveMonth >= 0 {
+				luhanskMoved++
+			}
+		}
+		if bt.MoveRegion == netmodel.Chernihiv && bt.MoveMonth >= 0 {
+			inboundChernihiv++
+		}
+	}
+	if luhanskTotal == 0 {
+		t.Fatal("no Luhansk blocks modelled")
+	}
+	frac := float64(luhanskMoved) / float64(luhanskTotal)
+	if frac < 0.4 {
+		t.Errorf("Luhansk move fraction = %.2f, want ≈0.67", frac)
+	}
+	if inboundChernihiv == 0 {
+		t.Error("no churn into Chernihiv")
+	}
+	// Volia Kherson blocks that moved abroad go to Amazon.
+	amazon := 0
+	for bi := range s.Blocks() {
+		bt := s.BlockTraitsAt(bi)
+		if bt.ASN == 25229 && bt.MoveASN == 16509 {
+			amazon++
+		}
+	}
+	if amazon == 0 {
+		t.Error("no Volia→Amazon reassignments")
+	}
+}
+
+func TestFrontlineNoiseEvents(t *testing.T) {
+	s := testScenario(t)
+	front, back := 0, 0
+	for _, ev := range s.Events() {
+		if len(ev.Regions) > 0 {
+			continue
+		}
+		if len(ev.ASNs) == 1 {
+			as := s.Space.Lookup(ev.ASNs[0])
+			if as == nil {
+				continue
+			}
+			if as.HQ.Frontline() {
+				front++
+			} else if as.HQ.Valid() {
+				back++
+			}
+		}
+	}
+	if front < back {
+		t.Errorf("frontline noise (%d) should dominate non-frontline (%d)", front, back)
+	}
+	if front < 50 {
+		t.Errorf("too few frontline noise events: %d", front)
+	}
+}

@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"time"
+
+	"countrymon/internal/dataset"
+	"countrymon/internal/netmodel"
+	"countrymon/internal/simnet"
+)
+
+// BlockState is a block's ground-truth condition at one instant.
+type BlockState struct {
+	// Routed reports BGP coverage.
+	Routed bool
+	// Resp is the number of hosts answering probes right now.
+	Resp int
+	// RTTMS is the mean round-trip time to responding hosts.
+	RTTMS uint16
+	// Rerouted reports whether the BGP path crosses a Russian upstream.
+	Rerouted bool
+}
+
+// BlockStateAt evaluates ground truth for block index bi at time at.
+func (s *Scenario) BlockStateAt(bi int, at time.Time) BlockState {
+	round := s.TL.Round(at)
+	return s.stateAt(bi, round, at)
+}
+
+func (s *Scenario) stateAt(bi int, round int, at time.Time) BlockState {
+	bt := &s.blocks[bi]
+	as := s.asTraits[bt.ASN]
+
+	st := BlockState{Routed: as == nil || as.Active(at)}
+	month := s.TL.MonthOfRound(round)
+
+	// Address-churn decline: activity interpolates from 1 to DeclineTo.
+	frac := float64(round) / float64(s.TL.NumRounds()-1)
+	mult := 1 + (float64(bt.DeclineTo)-1)*frac
+
+	movedAbroad := bt.Moved(month) && !bt.MoveRegion.Valid()
+	region := bt.HomeRegion
+	if bt.Moved(month) && bt.MoveRegion.Valid() {
+		region = bt.MoveRegion
+	}
+	if movedAbroad && bt.MoveASN != 0 {
+		// Announced by the foreign acquirer (e.g. Amazon) from the move on.
+		st.Routed = true
+	}
+
+	resp := float64(bt.Density) * mult * float64(bt.RespRate)
+	silent := false
+	rttDelta := 0
+	diurnalOnly := false
+
+	// Dynamic pools reallocate: every couple of weeks roughly half of a
+	// national ISP's dynamic blocks go quiet while the displaced users
+	// appear in the other half — total responsiveness is conserved, but
+	// the set of active blocks shifts. This is the false-positive source
+	// ISP availability sensing exists to filter (§3.1, Baltra et al.).
+	if bt.Dynamic {
+		epoch := int(at.Sub(s.TL.Start()) / (14 * 24 * time.Hour))
+		// The fraction of the ISP's dynamic pool in use varies per epoch
+		// (consolidation and renumbering): the count of active blocks
+		// swings while total responsiveness is conserved — exactly the
+		// block-level false positive availability sensing filters.
+		pa := 0.10 + 0.80*unitFloat(hash3(s.Cfg.Seed^0x90a1, uint64(bt.ASN), uint64(epoch)))
+		if unitFloat(hash3(s.Cfg.Seed^0x2ea1, uint64(bi), uint64(epoch))) < pa {
+			m := 0.7 / pa
+			if m > 2.3 {
+				m = 2.3
+			}
+			resp *= m
+		} else {
+			resp *= 0.02
+		}
+	}
+
+	// Electricity: regional grid failures suppress responsiveness once the
+	// outage outlasts the block's backup capacity. Blocks moved abroad are
+	// off the Ukrainian grid. In frontline oblasts the grid is damaged
+	// kinetically rather than shed on the published rolling schedule, so
+	// the scheduled windows only partially apply there — which is why
+	// frontline Internet outages correlate weakly with the reported power
+	// outages (§5.1: r = 0.298 vs 0.725).
+	if !movedAbroad && region.Valid() {
+		applies := true
+		if region.Frontline() {
+			day := at.YearDay() + at.Year()*400
+			applies = hash3(s.Cfg.Seed^0xf18e, uint64(region), uint64(day))%100 < 35
+		}
+		if out, since := s.Power.OutSince(region, at); applies && out && since > float64(bt.BackupHours) {
+			if bt.GridSensitive {
+				resp *= 0.05
+			} else {
+				resp *= 0.70
+			}
+		}
+	}
+
+	// Scripted events.
+	for _, ei := range s.blockEvents[bi] {
+		ev := &s.events[ei]
+		if at.Before(ev.From) || !at.Before(ev.To) {
+			continue
+		}
+		switch ev.Kind {
+		case EffectBGPDown:
+			st.Routed = false
+		case EffectSilent:
+			silent = true
+		case EffectIPSDrop:
+			resp *= 1 - ev.Magnitude
+		case EffectReroute:
+			rttDelta += ev.RTTDeltaMS
+			st.Rerouted = true
+		case EffectDiurnalOnly:
+			diurnalOnly = true
+		}
+	}
+
+	// Day/night cycles (local time ≈ UTC+2..+3; use +2).
+	hour := (at.Hour() + 2) % 24
+	day := hour >= 7 && hour < 22
+	if bt.Diurnal {
+		if day {
+			resp *= 1.0
+		} else {
+			resp *= 0.72
+		}
+	}
+	if diurnalOnly {
+		if day {
+			resp *= 0.8
+		} else {
+			resp = 0
+		}
+	}
+
+	if silent || !st.Routed {
+		resp = 0
+	}
+
+	// Deterministic rounding: the fractional part becomes an extra host for
+	// a hash-chosen subset of rounds, so means are preserved.
+	if resp > 0 {
+		w := int(resp)
+		fracPart := resp - float64(w)
+		if unitFloat(hash3(s.Cfg.Seed^0x5eed, uint64(bi), uint64(round))) < fracPart {
+			w++
+		}
+		if w > int(bt.Density) {
+			w = int(bt.Density)
+		}
+		if w > 255 {
+			w = 255
+		}
+		st.Resp = w
+	}
+
+	// Round-trip time: base per region plus rerouting detours and jitter.
+	base := 32 + int(hash2(uint64(s.Cfg.Seed), uint64(region))%22)
+	if movedAbroad {
+		base = 105 // transatlantic cloud
+	}
+	jitter := int(hash3(s.Cfg.Seed^0x177, uint64(bi), uint64(round))%9) - 4
+	rtt := base + rttDelta + jitter
+	if rtt < 1 {
+		rtt = 1
+	}
+	st.RTTMS = uint16(rtt)
+	return st
+}
+
+// CurrentRegion returns where the block's addresses geolocate in the given
+// campaign month (RegionNone when abroad).
+func (s *Scenario) CurrentRegion(bi, month int) netmodel.Region {
+	bt := &s.blocks[bi]
+	if !bt.Moved(month) {
+		return bt.HomeRegion
+	}
+	return bt.MoveRegion
+}
+
+// GenerateStore runs the fast statistical campaign: it evaluates every
+// block's state at every round and fills a dataset.Store, marking vantage
+// outages as missing. RTT series are tracked for the blocks listed in
+// trackRTT.
+func (s *Scenario) GenerateStore(trackRTT []netmodel.BlockID) *dataset.Store {
+	store := dataset.NewStore(s.TL, s.Space.Blocks())
+	for _, b := range trackRTT {
+		if bi := store.BlockIndex(b); bi >= 0 {
+			store.TrackRTT(bi)
+		}
+	}
+	rounds := s.TL.NumRounds()
+	times := make([]time.Time, rounds)
+	for r := 0; r < rounds; r++ {
+		times[r] = s.TL.Time(r)
+		if s.Missing[r] {
+			store.SetMissing(r)
+		}
+	}
+	for bi := range s.blocks {
+		tracked := store.RTTTracked(bi)
+		for r := 0; r < rounds; r++ {
+			if s.Missing[r] {
+				continue
+			}
+			st := s.stateAt(bi, r, times[r])
+			store.SetRound(bi, r, st.Resp, st.Routed)
+			if tracked && st.Resp > 0 {
+				store.SetRTT(bi, r, st.RTTMS)
+			}
+		}
+	}
+	return store
+}
+
+// Responder exposes the scenario as a packet-level simnet.Responder so the
+// real scanner can probe it.
+func (s *Scenario) Responder() simnet.Responder {
+	return simnet.ResponderFunc(func(dst netmodel.Addr, at time.Time) simnet.Reply {
+		bi := s.Space.BlockIndex(dst.Block())
+		if bi < 0 {
+			return simnet.Reply{Kind: simnet.NoReply}
+		}
+		st := s.BlockStateAt(bi, at)
+		if !st.Routed {
+			return simnet.Reply{Kind: simnet.NoReply}
+		}
+		if st.Resp <= 0 {
+			return simnet.Reply{Kind: simnet.NoReply}
+		}
+		rank := s.liveOrder.rank(uint32(dst.Block()), dst.HostByte())
+		if int(rank) >= st.Resp {
+			return simnet.Reply{Kind: simnet.NoReply}
+		}
+		// Per-host RTT jitter around the block mean.
+		j := int(hash3(s.Cfg.Seed^0x99, uint64(dst), uint64(at.Unix())/600)%7) - 3
+		rtt := int(st.RTTMS) + j
+		if rtt < 1 {
+			rtt = 1
+		}
+		return simnet.Reply{Kind: simnet.EchoReply, RTT: time.Duration(rtt) * time.Millisecond}
+	})
+}
+
+// repStride spreads a Trinocular-style ever-active selection across the
+// block's historical liveness ranks: census-derived E(b) sets include
+// addresses that were active once but have churned away (DHCP pools), so a
+// representative at rank 3i only answers when the block's current live
+// population exceeds 3i. This staleness is what drags real Trinocular
+// availabilities down (Table 4's 24% indeterminate share) and makes
+// single-probe inference of partially-alive blocks unstable (Fig 27).
+const repStride = 3
+
+// Representatives returns a block's k representative addresses as a
+// historical census would select them: ordered by long-term liveness, but
+// spread across ranks (see repStride).
+func (s *Scenario) Representatives(blk netmodel.BlockID, k int) []netmodel.Addr {
+	if s.Space.BlockIndex(blk) < 0 || k <= 0 {
+		return nil
+	}
+	if k > 256/repStride {
+		k = 256 / repStride
+	}
+	out := make([]netmodel.Addr, k)
+	found := 0
+	for h := 0; h < 256 && found < k; h++ {
+		r := int(s.liveOrder.rank(uint32(blk), uint8(h)))
+		if r%repStride == 0 && r/repStride < k {
+			out[r/repStride] = blk.Addr(uint8(h))
+			found++
+		}
+	}
+	return out
+}
+
+// Single unvalidated probes experience per-address transient loss (rate
+// limiting, intermittent hosts, congestion — "pingin' in the rain"): each
+// address has an individual short-term availability between MinProbeAvail
+// and MaxProbeAvail. The full-block scanner's per-round counts fold the
+// expected loss into RespRate; for a 256-probe census the residual variance
+// is negligible (< 2 addresses per block-round), while for single-probe
+// inference it is the dominant noise source the paper's Fig 27 measures.
+const (
+	MinProbeAvail = 0.55
+	MaxProbeAvail = 0.98
+)
+
+// ProbeFunc adapts the scenario to a single-address ground-truth probe (the
+// Trinocular baseline's view of the world). Outcomes are deterministic per
+// (address, round-quantized time): retrying the same address in the same
+// ten-minute window does not help, as with real rate limiting.
+func (s *Scenario) ProbeFunc() func(addr netmodel.Addr, at time.Time) bool {
+	return func(addr netmodel.Addr, at time.Time) bool {
+		bi := s.Space.BlockIndex(addr.Block())
+		if bi < 0 {
+			return false
+		}
+		st := s.BlockStateAt(bi, at)
+		if !st.Routed || st.Resp <= 0 {
+			return false
+		}
+		if int(s.liveOrder.rank(uint32(addr.Block()), addr.HostByte())) >= st.Resp {
+			return false
+		}
+		avail := MinProbeAvail + (MaxProbeAvail-MinProbeAvail)*unitFloat(hash2(s.Cfg.Seed^0xa7a, uint64(addr)))
+		h := hash3(s.Cfg.Seed^0x10ff, uint64(addr), uint64(at.Unix()/600))
+		return unitFloat(h) < avail
+	}
+}
+
+// indexEvents builds the event↔block indices after the scenario's blocks
+// and events are final.
+func (s *Scenario) indexEvents() {
+	s.blockEvents = make([][]int16, len(s.blocks))
+	asnSet := make(map[netmodel.ASN]bool)
+	regionSet := make(map[netmodel.Region]bool)
+	blockSet := make(map[netmodel.BlockID]bool)
+	for ei := range s.events {
+		ev := &s.events[ei]
+		clear(asnSet)
+		clear(regionSet)
+		clear(blockSet)
+		for _, a := range ev.ASNs {
+			asnSet[a] = true
+		}
+		for _, r := range ev.Regions {
+			regionSet[r] = true
+		}
+		for _, b := range ev.Blocks {
+			blockSet[b] = true
+		}
+		for bi := range s.blocks {
+			bt := &s.blocks[bi]
+			if asnSet[bt.ASN] || regionSet[bt.HomeRegion] || blockSet[bt.Block] {
+				s.blockEvents[bi] = append(s.blockEvents[bi], int16(ei))
+			}
+		}
+	}
+}

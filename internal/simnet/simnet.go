@@ -1,0 +1,203 @@
+// Package simnet provides the packet-level simulated "wire" that stands in
+// for the Internet path between the vantage point and Ukraine. It implements
+// scanner.Transport and scanner.Clock over a virtual clock, so scans are
+// deterministic and run at CPU speed rather than wire speed, while the
+// scanner still encodes, transmits, receives, validates and parses real
+// ICMP/IPv4 packets.
+//
+// Ground truth is supplied by a Responder (normally internal/sim), which
+// decides per address and per (virtual) time whether an echo reply, an ICMP
+// error, or silence comes back, and with what round-trip time.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+
+	"countrymon/internal/icmp"
+	"countrymon/internal/netmodel"
+	"countrymon/internal/scanner"
+)
+
+// ReplyKind says how a probed address reacts.
+type ReplyKind uint8
+
+const (
+	// NoReply means the probe is dropped silently.
+	NoReply ReplyKind = iota
+	// EchoReply means the address answers the echo request.
+	EchoReply
+	// HostUnreachable means a gateway answers with ICMP dest-unreachable.
+	HostUnreachable
+)
+
+// Reply is a Responder's verdict for one probe.
+type Reply struct {
+	Kind ReplyKind
+	RTT  time.Duration
+}
+
+// Responder supplies ground truth for probes.
+type Responder interface {
+	Respond(dst netmodel.Addr, at time.Time) Reply
+}
+
+// ResponderFunc adapts a function to the Responder interface.
+type ResponderFunc func(dst netmodel.Addr, at time.Time) Reply
+
+// Respond implements Responder.
+func (f ResponderFunc) Respond(dst netmodel.Addr, at time.Time) Reply { return f(dst, at) }
+
+// Network is a virtual-time transport. It is safe for concurrent use,
+// though the scanner drives it from one goroutine.
+type Network struct {
+	mu    sync.Mutex
+	now   time.Time
+	local netmodel.Addr
+	resp  Responder
+	queue replyHeap
+	seq   uint64 // tiebreaker for deterministic ordering
+
+	// Stats
+	sent, delivered, dropped uint64
+}
+
+// New creates a network whose virtual clock starts at `start`.
+func New(local netmodel.Addr, resp Responder, start time.Time) *Network {
+	return &Network{now: start, local: local, resp: resp}
+}
+
+// LocalAddr implements scanner.Transport.
+func (n *Network) LocalAddr() netmodel.Addr { return n.local }
+
+// Now implements scanner.Clock (virtual time).
+func (n *Network) Now() time.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.now
+}
+
+// Sleep implements scanner.Clock by advancing virtual time.
+func (n *Network) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	n.mu.Lock()
+	n.now = n.now.Add(d)
+	n.mu.Unlock()
+}
+
+// WritePacket implements scanner.Transport: it parses the outgoing datagram,
+// consults the responder, and enqueues any reply for delivery RTT later.
+func (n *Network) WritePacket(b []byte) error {
+	h, body, err := icmp.ParseIPv4(b)
+	if err != nil {
+		return fmt.Errorf("simnet: outgoing packet: %w", err)
+	}
+	if h.Protocol != icmp.ProtoICMP {
+		return fmt.Errorf("simnet: unsupported protocol %d", h.Protocol)
+	}
+	req, err := icmp.Parse(body)
+	if err != nil {
+		return fmt.Errorf("simnet: outgoing ICMP: %w", err)
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sent++
+	at := n.now
+	r := n.resp.Respond(h.Dst, at)
+	switch r.Kind {
+	case NoReply:
+		n.dropped++
+		return nil
+	case EchoReply:
+		if req.Type != icmp.TypeEchoRequest {
+			n.dropped++
+			return nil
+		}
+		reply := icmp.MarshalIPv4(icmp.IPv4Header{
+			TTL: 55, Protocol: icmp.ProtoICMP, Src: h.Dst, Dst: h.Src,
+		}, icmp.EchoReplyFor(req))
+		n.push(reply, at.Add(r.RTT))
+	case HostUnreachable:
+		reply := icmp.MarshalIPv4(icmp.IPv4Header{
+			TTL: 55, Protocol: icmp.ProtoICMP, Src: h.Dst, Dst: h.Src,
+		}, icmp.DestUnreachable(icmp.CodeHostUnreachable, b))
+		n.push(reply, at.Add(r.RTT))
+	}
+	return nil
+}
+
+func (n *Network) push(pkt []byte, deliverAt time.Time) {
+	heap.Push(&n.queue, pendingReply{pkt: pkt, at: deliverAt, seq: n.seq})
+	n.seq++
+}
+
+// ReadPacket implements scanner.Transport. With wait == 0 it returns only
+// packets already due at the current virtual time; with wait > 0 it advances
+// the virtual clock to the next delivery within the window, or by the whole
+// window if nothing is pending.
+func (n *Network) ReadPacket(wait time.Duration) ([]byte, time.Time, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.queue) > 0 {
+		head := n.queue[0]
+		if !head.at.After(n.now) {
+			heap.Pop(&n.queue)
+			n.delivered++
+			return head.pkt, head.at, nil
+		}
+		if wait > 0 && !head.at.After(n.now.Add(wait)) {
+			n.now = head.at
+			heap.Pop(&n.queue)
+			n.delivered++
+			return head.pkt, head.at, nil
+		}
+	}
+	if wait > 0 {
+		n.now = n.now.Add(wait)
+	}
+	return nil, time.Time{}, scanner.ErrTimeout
+}
+
+// Pending returns how many replies are queued but not yet delivered.
+func (n *Network) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.queue)
+}
+
+// Counters returns (sent, delivered, dropped) packet counts.
+func (n *Network) Counters() (sent, delivered, dropped uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.delivered, n.dropped
+}
+
+type pendingReply struct {
+	pkt []byte
+	at  time.Time
+	seq uint64
+}
+
+type replyHeap []pendingReply
+
+func (h replyHeap) Len() int { return len(h) }
+func (h replyHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h replyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *replyHeap) Push(x interface{}) { *h = append(*h, x.(pendingReply)) }
+func (h *replyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,138 @@
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"countrymon/internal/icmp6"
+	"countrymon/internal/scanner"
+)
+
+// Reply6 is a v6 responder's verdict.
+type Reply6 struct {
+	Kind ReplyKind
+	RTT  time.Duration
+	// Router, for HostUnreachable-style error replies, is the device that
+	// emits the ICMPv6 error (revealed per §6's error-message harvesting).
+	Router netip.Addr
+}
+
+// Responder6 supplies IPv6 ground truth.
+type Responder6 func(dst netip.Addr, at time.Time) Reply6
+
+// Network6 is the IPv6 simulated wire: a virtual-time transport for
+// internal/scanner6, mirroring Network for IPv4.
+type Network6 struct {
+	mu    sync.Mutex
+	now   time.Time
+	local netip.Addr
+	resp  Responder6
+	queue replyHeap
+	seq   uint64
+}
+
+// New6 creates an IPv6 network with its virtual clock at start.
+func New6(local netip.Addr, resp Responder6, start time.Time) *Network6 {
+	return &Network6{now: start, local: local, resp: resp}
+}
+
+// LocalAddr implements scanner6.Transport.
+func (n *Network6) LocalAddr() netip.Addr { return n.local }
+
+// Now implements scanner.Clock.
+func (n *Network6) Now() time.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.now
+}
+
+// Sleep implements scanner.Clock.
+func (n *Network6) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	n.mu.Lock()
+	n.now = n.now.Add(d)
+	n.mu.Unlock()
+}
+
+// WritePacket implements scanner6.Transport.
+func (n *Network6) WritePacket(b []byte) error {
+	h, body, err := icmp6.ParseIPv6(b)
+	if err != nil {
+		return fmt.Errorf("simnet6: outgoing packet: %w", err)
+	}
+	if h.NextHeader != icmp6.NextHeaderICMPv6 {
+		return fmt.Errorf("simnet6: unsupported next header %d", h.NextHeader)
+	}
+	req, err := icmp6.Parse(h.Src, h.Dst, body)
+	if err != nil {
+		return fmt.Errorf("simnet6: outgoing ICMPv6: %w", err)
+	}
+	// The scanner's buffer is reused; copy what the error path quotes.
+	orig := append([]byte(nil), b...)
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	at := n.now
+	r := n.resp(h.Dst, at)
+	switch r.Kind {
+	case EchoReply:
+		if req.Type != icmp6.TypeEchoRequest {
+			return nil
+		}
+		reply := icmp6.EchoReplyFor(h.Src, h.Dst, req)
+		dg, err := icmp6.MarshalIPv6(icmp6.IPv6Header{
+			NextHeader: icmp6.NextHeaderICMPv6, HopLimit: 55, Src: h.Dst, Dst: h.Src,
+		}, reply)
+		if err != nil {
+			return err
+		}
+		n.push6(dg, at.Add(r.RTT))
+	case HostUnreachable:
+		router := r.Router
+		if !router.IsValid() {
+			router = h.Dst
+		}
+		msg := icmp6.TimeExceeded(router, h.Src, orig)
+		dg, err := icmp6.MarshalIPv6(icmp6.IPv6Header{
+			NextHeader: icmp6.NextHeaderICMPv6, HopLimit: 55, Src: router, Dst: h.Src,
+		}, msg)
+		if err != nil {
+			return err
+		}
+		n.push6(dg, at.Add(r.RTT))
+	}
+	return nil
+}
+
+func (n *Network6) push6(pkt []byte, deliverAt time.Time) {
+	heap.Push(&n.queue, pendingReply{pkt: pkt, at: deliverAt, seq: n.seq})
+	n.seq++
+}
+
+// ReadPacket implements scanner6.Transport with the same virtual-time
+// semantics as Network.ReadPacket.
+func (n *Network6) ReadPacket(wait time.Duration) ([]byte, time.Time, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.queue) > 0 {
+		head := n.queue[0]
+		if !head.at.After(n.now) {
+			heap.Pop(&n.queue)
+			return head.pkt, head.at, nil
+		}
+		if wait > 0 && !head.at.After(n.now.Add(wait)) {
+			n.now = head.at
+			heap.Pop(&n.queue)
+			return head.pkt, head.at, nil
+		}
+	}
+	if wait > 0 {
+		n.now = n.now.Add(wait)
+	}
+	return nil, time.Time{}, scanner.ErrTimeout
+}

@@ -1,0 +1,147 @@
+package simnet
+
+import (
+	"errors"
+	"net"
+	"os"
+	"time"
+
+	"countrymon/internal/icmp"
+	"countrymon/internal/netmodel"
+	"countrymon/internal/scanner"
+)
+
+// UDP tunnel transport: the same IPv4+ICMP datagrams the scanner would put
+// on a raw socket are carried as UDP payloads to a WireServer, which plays
+// the role of the Internet path and the probed hosts. This exercises real
+// sockets, real concurrency and real timing without requiring privileges,
+// and is used by integration tests and the fbscan tool's udp mode.
+
+// WireServer terminates the UDP tunnel and answers probes per its Responder.
+type WireServer struct {
+	conn *net.UDPConn
+	resp Responder
+	done chan struct{}
+}
+
+// NewWireServer starts a server on addr (e.g. "127.0.0.1:0").
+func NewWireServer(addr string, resp Responder) (*WireServer, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	s := &WireServer{conn: conn, resp: resp, done: make(chan struct{})}
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the server's UDP address.
+func (s *WireServer) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// Close shuts the server down.
+func (s *WireServer) Close() error {
+	close(s.done)
+	return s.conn.Close()
+}
+
+func (s *WireServer) serve() {
+	buf := make([]byte, 64*1024)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		go s.handle(pkt, peer)
+	}
+}
+
+func (s *WireServer) handle(pkt []byte, peer *net.UDPAddr) {
+	h, body, err := icmp.ParseIPv4(pkt)
+	if err != nil || h.Protocol != icmp.ProtoICMP {
+		return
+	}
+	req, err := icmp.Parse(body)
+	if err != nil {
+		return
+	}
+	r := s.resp.Respond(h.Dst, time.Now())
+	var reply []byte
+	switch r.Kind {
+	case EchoReply:
+		if req.Type != icmp.TypeEchoRequest {
+			return
+		}
+		reply = icmp.MarshalIPv4(icmp.IPv4Header{
+			TTL: 55, Protocol: icmp.ProtoICMP, Src: h.Dst, Dst: h.Src,
+		}, icmp.EchoReplyFor(req))
+	case HostUnreachable:
+		reply = icmp.MarshalIPv4(icmp.IPv4Header{
+			TTL: 55, Protocol: icmp.ProtoICMP, Src: h.Dst, Dst: h.Src,
+		}, icmp.DestUnreachable(icmp.CodeHostUnreachable, pkt))
+	default:
+		return
+	}
+	if r.RTT > 0 {
+		time.Sleep(r.RTT)
+	}
+	s.conn.WriteToUDP(reply, peer)
+}
+
+// UDPTransport implements scanner.Transport over the tunnel.
+type UDPTransport struct {
+	conn  *net.UDPConn
+	local netmodel.Addr
+}
+
+// DialUDP connects a transport to a WireServer.
+func DialUDP(server *net.UDPAddr, local netmodel.Addr) (*UDPTransport, error) {
+	conn, err := net.DialUDP("udp", nil, server)
+	if err != nil {
+		return nil, err
+	}
+	return &UDPTransport{conn: conn, local: local}, nil
+}
+
+// LocalAddr implements scanner.Transport.
+func (t *UDPTransport) LocalAddr() netmodel.Addr { return t.local }
+
+// WritePacket implements scanner.Transport.
+func (t *UDPTransport) WritePacket(b []byte) error {
+	_, err := t.conn.Write(b)
+	return err
+}
+
+// ReadPacket implements scanner.Transport.
+func (t *UDPTransport) ReadPacket(wait time.Duration) ([]byte, time.Time, error) {
+	if wait <= 0 {
+		wait = time.Millisecond
+	}
+	if err := t.conn.SetReadDeadline(time.Now().Add(wait)); err != nil {
+		return nil, time.Time{}, err
+	}
+	buf := make([]byte, 64*1024)
+	n, err := t.conn.Read(buf)
+	at := time.Now()
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() || errors.Is(err, os.ErrDeadlineExceeded) {
+			return nil, time.Time{}, scanner.ErrTimeout
+		}
+		return nil, time.Time{}, err
+	}
+	return buf[:n], at, nil
+}
+
+// Close releases the socket.
+func (t *UDPTransport) Close() error { return t.conn.Close() }

@@ -1,0 +1,50 @@
+package timeline
+
+import "time"
+
+// VantageOutage is a period during which the single vantage point was offline
+// and no measurement data exists.
+type VantageOutage struct {
+	From, To time.Time // inclusive dates (whole days, UTC)
+}
+
+func day(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// DefaultVantageOutages lists the vantage-point outages the paper reports
+// (§3.1): March 6-7 2022, March 14-28 2022, October 12-19 2022,
+// March 5 - April 2 2024, July 13 2024, August 7-19 2024, September 16 2024.
+func DefaultVantageOutages() []VantageOutage {
+	return []VantageOutage{
+		{day(2022, time.March, 6), day(2022, time.March, 7)},
+		{day(2022, time.March, 14), day(2022, time.March, 28)},
+		{day(2022, time.October, 12), day(2022, time.October, 19)},
+		{day(2024, time.March, 5), day(2024, time.April, 2)},
+		{day(2024, time.July, 13), day(2024, time.July, 13)},
+		{day(2024, time.August, 7), day(2024, time.August, 19)},
+		{day(2024, time.September, 16), day(2024, time.September, 16)},
+	}
+}
+
+// Contains reports whether the given time falls inside the outage (the whole
+// To day is included).
+func (v VantageOutage) Contains(at time.Time) bool {
+	return !at.Before(v.From) && at.Before(v.To.Add(24*time.Hour))
+}
+
+// MissingRounds marks which rounds of the timeline fall inside any of the
+// outages. The result is indexed by round.
+func MissingRounds(t *Timeline, outages []VantageOutage) []bool {
+	missing := make([]bool, t.NumRounds())
+	for _, o := range outages {
+		lo := t.Round(o.From)
+		hi := t.Round(o.To.Add(24 * time.Hour))
+		for i := lo; i <= hi && i < t.NumRounds(); i++ {
+			if o.Contains(t.Time(i)) {
+				missing[i] = true
+			}
+		}
+	}
+	return missing
+}

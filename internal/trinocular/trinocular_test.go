@@ -1,0 +1,179 @@
+package trinocular
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"countrymon/internal/dataset"
+	"countrymon/internal/netmodel"
+	"countrymon/internal/sim"
+	"countrymon/internal/timeline"
+)
+
+func addrs(blk netmodel.BlockID, n int) []netmodel.Addr {
+	out := make([]netmodel.Addr, n)
+	for i := range out {
+		out[i] = blk.Addr(uint8(i))
+	}
+	return out
+}
+
+func TestBeliefConvergesUp(t *testing.T) {
+	blk := netmodel.MustParseBlock("10.0.0.0/24")
+	tr := NewBlockTracker(blk, addrs(blk, 15), 0.6)
+	probe := Probe(func(netmodel.Addr, time.Time) bool { return true })
+	state, probes := tr.Round(probe, time.Unix(0, 0))
+	if state != StateUp {
+		t.Fatalf("state = %v", state)
+	}
+	if probes != 1 {
+		t.Errorf("a positive first probe should end the round, sent %d", probes)
+	}
+	if tr.Belief() < BeliefUp {
+		t.Errorf("belief = %f", tr.Belief())
+	}
+}
+
+func TestBeliefConvergesDown(t *testing.T) {
+	blk := netmodel.MustParseBlock("10.0.0.0/24")
+	tr := NewBlockTracker(blk, addrs(blk, 15), 0.6)
+	probe := Probe(func(netmodel.Addr, time.Time) bool { return false })
+	var state State
+	for i := 0; i < 3; i++ {
+		state, _ = tr.Round(probe, time.Unix(0, 0))
+	}
+	if state != StateDown {
+		t.Fatalf("state = %v belief=%f", state, tr.Belief())
+	}
+}
+
+func TestAdaptiveProbingOnUncertainty(t *testing.T) {
+	// Low availability: single negative probes are weak evidence, so the
+	// tracker must probe adaptively within the round.
+	blk := netmodel.MustParseBlock("10.0.0.0/24")
+	tr := NewBlockTracker(blk, addrs(blk, 15), 0.15)
+	probe := Probe(func(netmodel.Addr, time.Time) bool { return false })
+	_, probes := tr.Round(probe, time.Unix(0, 0))
+	if probes < 2 {
+		t.Errorf("expected adaptive probing, sent %d", probes)
+	}
+	if probes > maxAdaptiveProbes {
+		t.Errorf("probe burst exceeded cap: %d", probes)
+	}
+}
+
+func TestLowAvailabilityUnstable(t *testing.T) {
+	// Fig 27 behaviour: with low availability, a partially-up block can
+	// flap between inferred states even though ground truth is constant.
+	blk := netmodel.MustParseBlock("10.0.0.0/24")
+	tr := NewBlockTracker(blk, addrs(blk, 15), 0.2)
+	// 1 of 15 representative addresses is alive, and like any single
+	// unvalidated probe it misses ~12% of attempts (rate limiting).
+	probe := Probe(func(a netmodel.Addr, at time.Time) bool {
+		if a.HostByte() >= 1 {
+			return false
+		}
+		h := (uint64(a) * 2654435761) ^ (uint64(at.Unix()) * 2246822519)
+		h ^= h >> 13
+		return h%8 != 0
+	})
+	states := map[State]int{}
+	for i := 0; i < 400; i++ {
+		s, _ := tr.Round(probe, time.Unix(int64(i*600), 0))
+		states[s]++
+	}
+	if len(states) < 2 || states[StateUp] == 0 {
+		t.Errorf("expected unstable inference over a sparse block, got %v", states)
+	}
+}
+
+func TestEligible(t *testing.T) {
+	if !Eligible(15, 0.1) || Eligible(14, 0.9) || Eligible(100, 0.05) {
+		t.Error("eligibility rule wrong")
+	}
+}
+
+var (
+	runnerOnce sync.Once
+	runnerSc   *sim.Scenario
+	runnerSt   *dataset.Store
+)
+
+func runnerFixture(t *testing.T) (*sim.Scenario, *dataset.Store) {
+	t.Helper()
+	runnerOnce.Do(func() {
+		runnerSc = sim.MustBuild(sim.Config{Seed: 42, Scale: 0.02,
+			End: timeline.DefaultStart.AddDate(0, 8, 0)})
+		runnerSt = runnerSc.GenerateStore(nil)
+	})
+	return runnerSc, runnerSt
+}
+
+func TestRunnerAgainstScenario(t *testing.T) {
+	sc, st := runnerFixture(t)
+	r := NewRunner(st, sc.Space, sc.Representatives, sc.ProbeFunc())
+	if r.NumBlocks() == 0 {
+		t.Fatal("no eligible blocks")
+	}
+	if r.NumBlocks() >= st.NumBlocks() {
+		t.Error("Trinocular eligibility should exclude sparse blocks")
+	}
+	res := r.Run(sc.ProbeFunc())
+	if res.ProbesSent == 0 {
+		t.Fatal("no probes sent")
+	}
+	// Probe budget: ≤ 15 per block per round (Table 1).
+	rounds := uint64(0)
+	for _, m := range res.Missing {
+		if !m {
+			rounds++
+		}
+	}
+	if max := rounds * uint64(r.NumBlocks()) * maxAdaptiveProbes; res.ProbesSent > max {
+		t.Errorf("probes %d exceed budget %d", res.ProbesSent, max)
+	}
+	// Sanity: in a random mid-campaign round most eligible blocks are up.
+	up := res.UpSeries()
+	mid := len(up) / 2
+	if st.Missing(mid) {
+		mid++
+	}
+	if up[mid] < float32(r.NumBlocks())/4 {
+		t.Errorf("only %f of %d blocks up mid-campaign", up[mid], r.NumBlocks())
+	}
+}
+
+func TestRunnerDetectsCableCut(t *testing.T) {
+	sc, st := runnerFixture(t)
+	r := NewRunner(st, sc.Space, sc.Representatives, sc.ProbeFunc())
+	res := r.Run(sc.ProbeFunc())
+	// Status (AS25482) blocks must be inferred down during the May 1 2022
+	// cable cut if tracked.
+	series, ok := res.PerAS[25482]
+	if !ok {
+		t.Skip("Status blocks not eligible at this scale")
+	}
+	tl := st.Timeline()
+	cut := tl.Round(time.Date(2022, 5, 1, 12, 0, 0, 0, time.UTC))
+	before := tl.Round(time.Date(2022, 4, 20, 12, 0, 0, 0, time.UTC))
+	if series[cut] >= series[before] {
+		t.Errorf("TRIN signal missed the cable cut: before=%f during=%f", series[before], series[cut])
+	}
+}
+
+func TestRunnerTenMinuteInterval(t *testing.T) {
+	// Exercise the baseline's native cadence on a one-day window.
+	sc := sim.MustBuild(sim.Config{Seed: 9, Scale: 0.01,
+		Start: timeline.DefaultStart, End: timeline.DefaultStart.AddDate(0, 2, 0),
+		Interval: ProbeInterval})
+	st := sc.GenerateStore(nil)
+	r := NewRunner(st, sc.Space, sc.Representatives, sc.ProbeFunc())
+	if r.NumBlocks() == 0 {
+		t.Skip("no eligible blocks at this scale")
+	}
+	res := r.Run(sc.ProbeFunc())
+	if res.ProbesSent == 0 {
+		t.Fatal("no probes")
+	}
+}

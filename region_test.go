@@ -1,0 +1,124 @@
+package countrymon
+
+import (
+	"testing"
+	"time"
+
+	"countrymon/internal/geodb"
+	"countrymon/internal/netmodel"
+	"countrymon/internal/simnet"
+)
+
+// TestMonitorRegionalPipeline exercises the public API's region-level path:
+// scan → routedness → geolocation snapshots → classification → detection.
+func TestMonitorRegionalPipeline(t *testing.T) {
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	const rounds = 750 // ~62 days bi-hourly, 3 months touched
+
+	// Two providers: one in Kherson (fails mid-campaign), one in Lviv.
+	khBlock := netmodel.MustParseBlock("91.198.4.0/24")
+	lvBlock := netmodel.MustParseBlock("91.198.5.0/24")
+	outFrom := start.Add(40 * 24 * time.Hour)
+	outTo := outFrom.Add(3 * 24 * time.Hour)
+	truth := simnet.ResponderFunc(func(dst netmodel.Addr, at time.Time) simnet.Reply {
+		if dst.Block() == khBlock && !at.Before(outFrom) && at.Before(outTo) {
+			return simnet.Reply{Kind: simnet.NoReply}
+		}
+		if dst.HostByte() < 50 {
+			return simnet.Reply{Kind: simnet.EchoReply, RTT: 35 * time.Millisecond}
+		}
+		return simnet.Reply{Kind: simnet.NoReply}
+	})
+	wire := simnet.New(netmodel.MustParseAddr("198.51.100.1"), truth, start)
+
+	mon, err := New(Options{
+		Transport: wire,
+		Targets:   []Prefix{netmodel.MustParsePrefix("91.198.4.0/23")},
+		Start:     start, Rounds: rounds, Interval: 2 * time.Hour,
+		Rate: 0, Seed: 21,
+		Origins: map[BlockID]ASN{khBlock: 64512, lvBlock: 64513},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mon.NextRound() {
+		round := mon.Round()
+		for _, blk := range mon.Store().Blocks() {
+			mon.SetRouted(blk, round, true, 0)
+		}
+		if _, err := mon.ScanRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Region detection before classification must error.
+	if _, err := mon.DetectRegion(netmodel.Kherson); err == nil {
+		t.Fatal("DetectRegion worked without classification")
+	}
+
+	// Monthly geolocation snapshots: stable assignments.
+	months := mon.Timeline().NumMonths()
+	snaps := make([]*geodb.Snapshot, months)
+	for m := range snaps {
+		snaps[m] = geodb.NewSnapshot([]geodb.Entry{
+			{Prefix: Prefix{Base: khBlock.First(), Bits: 24}, Country: "UA", Region: netmodel.Kherson, RadiusKM: 50},
+			{Prefix: Prefix{Base: lvBlock.First(), Bits: 24}, Country: "UA", Region: netmodel.Lviv, RadiusKM: 50},
+		})
+	}
+	if err := mon.ClassifyRegions(geodb.NewDB(snaps)); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := mon.RegionalASes(netmodel.Kherson); len(got) != 1 || got[0] != 64512 {
+		t.Errorf("Kherson regional ASes = %v", got)
+	}
+	if got := mon.RegionalASes(netmodel.Lviv); len(got) != 1 || got[0] != 64513 {
+		t.Errorf("Lviv regional ASes = %v", got)
+	}
+
+	dKh, err := mon.DetectRegion(netmodel.Kherson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	cut := mon.Timeline().Round(outFrom.Add(12 * time.Hour))
+	for _, o := range dKh.Outages {
+		if o.Start <= cut && cut < o.End {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Kherson regional outage not detected (%d outages)", len(dKh.Outages))
+	}
+
+	dLv, err := mon.DetectRegion(netmodel.Lviv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range dLv.Outages {
+		if o.Start <= cut && cut < o.End {
+			t.Error("Kherson's outage bled into Lviv despite classification")
+		}
+	}
+}
+
+func TestClassifyRegionsValidation(t *testing.T) {
+	wire := simnet.New(1, simnet.ResponderFunc(func(netmodel.Addr, time.Time) simnet.Reply {
+		return simnet.Reply{}
+	}), time.Unix(0, 0))
+	mon, err := New(Options{
+		Transport: wire,
+		Targets:   []Prefix{netmodel.MustParsePrefix("10.0.0.0/24")},
+		Start:     time.Unix(0, 0).UTC(), Rounds: 3, Interval: time.Hour,
+		Origins: map[BlockID]ASN{netmodel.MustParseBlock("10.0.0.0/24"): 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.ClassifyRegions(nil); err == nil {
+		t.Error("nil DB accepted")
+	}
+	if err := mon.ClassifyRegions(geodb.NewDB(nil)); err == nil {
+		t.Error("empty DB accepted")
+	}
+}
