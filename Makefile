@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# The full gate: formatting, static analysis, tests, and the race detector.
+ci: fmt vet test race

@@ -38,6 +38,8 @@ func main() {
 	packetRounds := flag.Int("packet-rounds", 0, "additionally run N packet-level scan rounds through the real scanner")
 	region := flag.String("region", "Kherson", "region to detail")
 	asn := flag.Uint("as", 25482, "AS to detail")
+	minCov := flag.Float64("min-coverage", signals.DefaultMinCoverage,
+		"treat rounds below this probed-target fraction as missing")
 	flag.Parse()
 
 	cfg := sim.Config{Seed: *seed, Scale: *scale, Interval: time.Duration(*interval) * time.Hour}
@@ -80,8 +82,22 @@ func main() {
 	log.Printf("  regional %d / non-regional %d / temporal %d ASes",
 		counts[regional.ASRegional], counts[regional.ASNonRegional], counts[regional.ASTemporal])
 
-	b := signals.NewBuilder(store, sc.Space)
+	b := signals.NewBuilderMinCoverage(store, sc.Space, *minCov)
 	tl := store.Timeline()
+
+	// Data-quality summary: rounds without usable observations.
+	outages, partial := 0, 0
+	for r := 0; r < tl.NumRounds(); r++ {
+		switch {
+		case store.Missing(r):
+			outages++
+		case store.Coverage(r) < *minCov:
+			partial++
+		}
+	}
+	effMissing := store.EffectiveMissing(*minCov)
+	log.Printf("data quality: %d vantage-outage rounds, %d partial rounds below %.0f%% coverage (both gated from signals)",
+		outages, partial, 100**minCov)
 
 	fmt.Printf("\n%-16s %8s %8s %10s\n", "region", "events", "rounds", "hours")
 	var rows []render.LabeledDetection
@@ -93,7 +109,7 @@ func main() {
 			fl = "  [frontline]"
 		}
 		fmt.Printf("%-16s %8d %8d %10.0f%s\n", r, len(d.Outages), d.TotalRounds(), hours, fl)
-		rows = append(rows, render.LabeledDetection{Label: r.String(), Detection: d, Missing: store.MissingRounds()})
+		rows = append(rows, render.LabeledDetection{Label: r.String(), Detection: d, Missing: effMissing})
 	}
 	fmt.Println()
 	fmt.Print(render.Timeline(tl, rows, 100))

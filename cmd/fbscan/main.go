@@ -7,10 +7,18 @@
 //	-mode udp   probe through a UDP tunnel wire-server started in-process
 //	            (real sockets, real timing)
 //
+// With -rounds N (N > 1, sim mode) fbscan runs a multi-round campaign
+// through the monitor instead of a single scan, optionally checkpointing to
+// -checkpoint and resuming a killed campaign with -resume. -faults injects
+// scripted and probabilistic transport faults (see internal/faults) to
+// exercise the recovery machinery; fbscan exits non-zero when a round ends
+// below the -min-coverage threshold.
+//
 // Usage:
 //
 //	fbscan [-mode sim|udp] [-rate 8000] [-at 2022-05-01T12:00:00Z]
-//	       [-seed 1] [-scale 0.05] [cidr ...]
+//	       [-seed 1] [-scale 0.05] [-faults spec] [-rounds N]
+//	       [-checkpoint file] [-resume file] [-min-coverage 0.8] [cidr ...]
 package main
 
 import (
@@ -20,6 +28,8 @@ import (
 	"os"
 	"time"
 
+	"countrymon"
+	"countrymon/internal/faults"
 	"countrymon/internal/netmodel"
 	"countrymon/internal/scanner"
 	"countrymon/internal/sim"
@@ -37,6 +47,12 @@ func main() {
 	shard := flag.Int("shard", 0, "this vantage's shard index")
 	shards := flag.Int("shards", 1, "total shards")
 	probes := flag.Int("probes", 1, "probes per address (retransmissions)")
+	faultSpec := flag.String("faults", "", "fault-injection profile, e.g. \"seed=7,senderr=0.01,blackout=24h+8h\"")
+	rounds := flag.Int("rounds", 1, "campaign length in rounds (>1 runs the monitor, sim mode only)")
+	interval := flag.Duration("interval", 2*time.Hour, "campaign probing interval")
+	checkpoint := flag.String("checkpoint", "", "campaign checkpoint file (atomic, written periodically)")
+	resume := flag.String("resume", "", "resume a killed campaign from this checkpoint file")
+	minCov := flag.Float64("min-coverage", 0.8, "round coverage below this fraction is a failure")
 	flag.Parse()
 
 	var exclude []netmodel.Prefix
@@ -57,6 +73,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("bad -at: %v", err)
 	}
+	prof, err := faults.ParseProfile(*faultSpec, at)
+	if err != nil {
+		log.Fatal(err)
+	}
+	injecting := *faultSpec != ""
 
 	sc := sim.MustBuild(sim.Config{Seed: *seed, Scale: *scale})
 	var prefixes []netmodel.Prefix
@@ -76,6 +97,19 @@ func main() {
 			}
 		}
 	}
+
+	if *rounds > 1 {
+		if *mode != "sim" {
+			log.Fatal("campaign mode (-rounds > 1) requires -mode sim")
+		}
+		runCampaign(sc, prefixes, exclude, at, prof, injecting,
+			*rounds, *interval, *rate, *seed, *checkpoint, *resume, *minCov)
+		return
+	}
+	if *checkpoint != "" || *resume != "" {
+		log.Fatal("-checkpoint/-resume need campaign mode (-rounds > 1)")
+	}
+
 	targets, err := scanner.NewTargetSet(prefixes, exclude)
 	if err != nil {
 		log.Fatal(err)
@@ -87,8 +121,14 @@ func main() {
 	switch *mode {
 	case "sim":
 		net := simnet.New(netmodel.MustParseAddr("198.51.100.1"), sc.Responder(), at)
-		s := scanner.New(net, scanner.Config{
-			Rate: *rate, Seed: *seed, Epoch: 1, Clock: net, Cooldown: 4 * time.Second,
+		var tr scanner.Transport = net
+		var clock scanner.Clock = net
+		if injecting {
+			ftr := faults.NewTransport(net, nil, prof)
+			tr, clock = ftr, ftr
+		}
+		s := scanner.New(tr, scanner.Config{
+			Rate: *rate, Seed: *seed, Epoch: 1, Clock: clock, Cooldown: 4 * time.Second,
 			Shard: *shard, Shards: *shards, ProbesPerAddr: *probes,
 		})
 		rd, err = s.Run(targets)
@@ -98,11 +138,15 @@ func main() {
 			log.Fatal(serr)
 		}
 		defer srv.Close()
-		tr, derr := simnet.DialUDP(srv.Addr(), netmodel.MustParseAddr("198.51.100.1"))
+		tun, derr := simnet.DialUDP(srv.Addr(), netmodel.MustParseAddr("198.51.100.1"))
 		if derr != nil {
 			log.Fatal(derr)
 		}
-		defer tr.Close()
+		defer tun.Close()
+		var tr scanner.Transport = tun
+		if injecting {
+			tr = faults.NewTransport(tun, nil, prof)
+		}
 		s := scanner.New(tr, scanner.Config{
 			Rate: *rate, Seed: *seed, Epoch: 1, Cooldown: 2 * time.Second,
 			Shard: *shard, Shards: *shards, ProbesPerAddr: *probes,
@@ -128,4 +172,77 @@ func main() {
 	fmt.Printf("\nsent %d, valid %d (%.1f%%), dup %d, invalid %d, non-echo %d, elapsed %v\n",
 		st.Sent, st.Valid, 100*float64(st.Valid)/float64(st.Sent), st.Duplicates, st.Invalid, st.NonEcho,
 		st.Elapsed.Round(time.Millisecond))
+	if st.SendErrors > 0 || st.Retries > 0 || st.RecvErrors > 0 {
+		fmt.Printf("resilience: %d retries, %d probes abandoned, %d receive errors\n",
+			st.Retries, st.SendErrors, st.RecvErrors)
+	}
+	if cov := rd.Coverage(); rd.Partial || cov < *minCov {
+		fmt.Fprintf(os.Stderr, "fbscan: round covered %.1f%% of %d targets (threshold %.0f%%)\n",
+			100*cov, rd.ShardTargets, 100**minCov)
+		if cov < *minCov {
+			os.Exit(1)
+		}
+	}
+}
+
+// runCampaign drives a multi-round scan through the monitor, with optional
+// checkpointing, resume and fault injection.
+func runCampaign(sc *sim.Scenario, prefixes, exclude []netmodel.Prefix, at time.Time,
+	prof faults.Profile, injecting bool, rounds int, interval time.Duration,
+	rate int, seed uint64, checkpoint, resume string, minCov float64) {
+
+	net := simnet.New(netmodel.MustParseAddr("198.51.100.1"), sc.Responder(), at)
+	var tr countrymon.Transport = net
+	if injecting {
+		tr = faults.NewTransport(net, nil, prof)
+	}
+	mon, err := countrymon.New(countrymon.Options{
+		Transport: tr,
+		Targets:   prefixes, Exclude: exclude,
+		Start: at, Rounds: rounds, Interval: interval,
+		Rate: rate, Seed: seed,
+		CheckpointPath: checkpoint, ResumeFrom: resume,
+		MinCoverage: minCov,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resume != "" {
+		log.Printf("resumed from %s at round %d of %d", resume, mon.Round(), rounds)
+	}
+	log.Printf("campaign: %d /24 blocks, %d rounds every %v, mode=sim", mon.Store().NumBlocks(), rounds, interval)
+
+	for mon.NextRound() {
+		r := mon.Round()
+		stats, err := mon.ScanRound()
+		if err != nil {
+			log.Fatalf("round %d: %v", r, err)
+		}
+		note := ""
+		switch {
+		case mon.Store().Missing(r):
+			note = "  [receive path dead: recorded missing]"
+		case mon.Store().Coverage(r) < 1:
+			note = fmt.Sprintf("  [partial: %.1f%% coverage]", 100*mon.Store().Coverage(r))
+		}
+		log.Printf("round %3d: sent %d valid %d%s", r, stats.Sent, stats.Valid, note)
+	}
+
+	low := 0
+	for r := 0; r < mon.Timeline().NumRounds(); r++ {
+		if mon.Store().Missing(r) || mon.Store().Coverage(r) < minCov {
+			low++
+		}
+	}
+	if ft, ok := tr.(*faults.Transport); ok {
+		c := ft.Counters()
+		log.Printf("injected faults: %d send errors, %d drops, %d recv errors, %d truncated, %d silenced reads",
+			c.SendErrors, c.Drops, c.RecvErrors, c.Truncated, c.Blackouts)
+	}
+	if low > 0 {
+		fmt.Fprintf(os.Stderr, "fbscan: %d of %d rounds ended below the %.0f%% coverage threshold (gated from signals)\n",
+			low, rounds, 100*minCov)
+		os.Exit(1)
+	}
+	log.Printf("campaign complete: all %d rounds at full coverage", rounds)
 }

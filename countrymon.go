@@ -24,6 +24,7 @@ package countrymon
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
@@ -104,6 +105,24 @@ type Options struct {
 	// need ApplyBGPSnapshot to have been called (origins are learned from
 	// routing).
 	Origins map[BlockID]ASN
+
+	// CheckpointPath enables durability: the store is written there (via an
+	// atomic temp-file rename) every CheckpointEvery completed rounds and at
+	// campaign end, so a killed campaign loses at most CheckpointEvery
+	// rounds of work.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence in rounds (default 16 when
+	// CheckpointPath is set).
+	CheckpointEvery int
+	// ResumeFrom restarts a killed campaign from a checkpoint file: the
+	// store is loaded, validated against the options, and scanning resumes
+	// at the first round not yet handled.
+	ResumeFrom string
+
+	// MinCoverage is the probed-target fraction below which a salvaged
+	// partial round is treated like a vantage outage in signal derivation.
+	// Zero means signals.DefaultMinCoverage; negative disables the gate.
+	MinCoverage float64
 }
 
 // Monitor is the orchestrated measurement pipeline.
@@ -115,8 +134,12 @@ type Monitor struct {
 	origins map[BlockID]ASN
 	round   int
 
+	// sinceCkpt counts rounds handled since the last checkpoint write.
+	sinceCkpt int
+
 	sigOnce  bool
 	sigBuild *signals.Builder
+	space    *netmodel.Space
 
 	classifier     *regional.Classifier
 	classification *regional.Result
@@ -150,6 +173,9 @@ func New(opts Options) (*Monitor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("countrymon: %w", err)
 	}
+	if opts.CheckpointPath != "" && opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 16
+	}
 	tl := timeline.New(opts.Start, opts.End, opts.Interval)
 	m := &Monitor{
 		opts:    opts,
@@ -158,10 +184,45 @@ func New(opts Options) (*Monitor, error) {
 		store:   dataset.NewStore(tl, targets.Blocks()),
 		origins: make(map[BlockID]ASN),
 	}
+	if opts.ResumeFrom != "" {
+		if err := m.resume(opts.ResumeFrom); err != nil {
+			return nil, err
+		}
+	}
 	for b, asn := range opts.Origins {
 		m.origins[b] = asn
 	}
 	return m, nil
+}
+
+// resume replaces the fresh store with a checkpointed one and positions the
+// campaign at its first unscanned round. The checkpoint must describe the
+// same campaign: identical timeline and identical target blocks.
+func (m *Monitor) resume(path string) error {
+	st, err := dataset.Load(path)
+	if err != nil {
+		return fmt.Errorf("countrymon: resume: %w", err)
+	}
+	ctl := st.Timeline()
+	if !ctl.Start().Equal(m.tl.Start()) || ctl.Interval() != m.tl.Interval() ||
+		ctl.NumRounds() != m.tl.NumRounds() {
+		return fmt.Errorf("countrymon: resume: checkpoint timeline %v+%v×%d does not match campaign %v+%v×%d",
+			ctl.Start(), ctl.Interval(), ctl.NumRounds(),
+			m.tl.Start(), m.tl.Interval(), m.tl.NumRounds())
+	}
+	want := m.store.Blocks()
+	got := st.Blocks()
+	if len(got) != len(want) {
+		return fmt.Errorf("countrymon: resume: checkpoint has %d blocks, campaign has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("countrymon: resume: checkpoint block %v differs from campaign block %v", got[i], want[i])
+		}
+	}
+	m.store = st
+	m.round = st.NextUndone()
+	return nil
 }
 
 // Timeline returns the campaign timeline.
@@ -181,11 +242,15 @@ func (m *Monitor) MarkMissing() {
 	if m.NextRound() {
 		m.store.SetMissing(m.round)
 		m.round++
+		m.maybeCheckpoint()
 	}
 }
 
 // ScanRound probes every target once and ingests the results at the current
-// round index.
+// round index. A round salvaged by the scanner's error budget is recorded
+// with its achieved coverage (signals gate it via Options.MinCoverage); a
+// round whose receive path died is recorded as missing, like a vantage
+// outage. Only a hard scan failure returns an error.
 func (m *Monitor) ScanRound() (Stats, error) {
 	if !m.NextRound() {
 		return Stats{}, errors.New("countrymon: campaign complete")
@@ -205,10 +270,55 @@ func (m *Monitor) ScanRound() (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	m.store.AddRoundData(m.round, rd)
+	if rd.RecvDead {
+		// Probes may have gone out, but with the receive path dead the
+		// response counts are not trustworthy measurements.
+		m.store.SetMissing(m.round)
+	} else {
+		m.store.AddRoundData(m.round, rd)
+		if rd.Partial {
+			m.store.SetCoverage(m.round, rd.Coverage())
+		}
+		m.store.SetDone(m.round)
+	}
 	m.invalidate()
 	m.round++
+	if err := m.maybeCheckpoint(); err != nil {
+		return rd.Stats, err
+	}
 	return rd.Stats, nil
+}
+
+// Checkpoint writes the store to Options.CheckpointPath atomically (temp
+// file + rename), so a crash mid-write never corrupts the previous
+// checkpoint.
+func (m *Monitor) Checkpoint() error {
+	if m.opts.CheckpointPath == "" {
+		return errors.New("countrymon: no CheckpointPath configured")
+	}
+	tmp := m.opts.CheckpointPath + ".tmp"
+	if err := m.store.Save(tmp); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, m.opts.CheckpointPath); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	m.sinceCkpt = 0
+	return nil
+}
+
+// maybeCheckpoint persists the store when the cadence is due or the
+// campaign just completed.
+func (m *Monitor) maybeCheckpoint() error {
+	if m.opts.CheckpointPath == "" {
+		return nil
+	}
+	m.sinceCkpt++
+	if m.sinceCkpt >= m.opts.CheckpointEvery || !m.NextRound() {
+		return m.Checkpoint()
+	}
+	return nil
 }
 
 // ApplyBGPSnapshot marks routedness for the current or given round from a
@@ -247,11 +357,8 @@ func (m *Monitor) SetRouted(blk BlockID, round int, routed bool, origin ASN) {
 
 func (m *Monitor) invalidate() { m.sigOnce = false }
 
-// space materializes a netmodel.Space from the learned origins.
-func (m *Monitor) builder() *signals.Builder {
-	if m.sigOnce && m.sigBuild != nil {
-		return m.sigBuild
-	}
+// buildSpace materializes a netmodel.Space from the learned origins.
+func (m *Monitor) buildSpace() *netmodel.Space {
 	byAS := make(map[ASN][]Prefix)
 	for _, blk := range m.store.Blocks() {
 		asn := m.origins[blk]
@@ -264,13 +371,30 @@ func (m *Monitor) builder() *signals.Builder {
 	for asn, ps := range byAS {
 		ases = append(ases, &netmodel.AS{ASN: asn, Prefixes: ps})
 	}
-	space, err := netmodel.BuildSpace(ases)
-	if err != nil {
-		// Origins come from our own map keyed by block, so overlaps are
-		// impossible; a failure here is a programming error.
-		panic(err)
+	// Origins come from our own map keyed by block, so overlaps are
+	// impossible; a failure here is a programming error.
+	return netmodel.MustBuildSpace(ases)
+}
+
+// minCoverage resolves the partial-round gate from the options.
+func (m *Monitor) minCoverage() float64 {
+	switch {
+	case m.opts.MinCoverage > 0:
+		return m.opts.MinCoverage
+	case m.opts.MinCoverage < 0:
+		return 0
+	default:
+		return signals.DefaultMinCoverage
 	}
-	m.sigBuild = signals.NewBuilder(m.store, space)
+}
+
+// builder returns the (cached) signals builder and its Space.
+func (m *Monitor) builder() *signals.Builder {
+	if m.sigOnce && m.sigBuild != nil {
+		return m.sigBuild
+	}
+	m.space = m.buildSpace()
+	m.sigBuild = signals.NewBuilderMinCoverage(m.store, m.space, m.minCoverage())
 	m.sigOnce = true
 	return m.sigBuild
 }
@@ -291,27 +415,11 @@ func (m *Monitor) ClassifyRegions(db *geodb.DB) error {
 	if db == nil || db.Months() == 0 {
 		return errors.New("countrymon: geolocation database required")
 	}
-	b := m.builder() // materializes the Space from learned origins
-	cl := regional.NewClassifier(m.spaceOf(b), db, m.store)
+	m.builder() // materializes (and caches) the Space from learned origins
+	cl := regional.NewClassifier(m.space, db, m.store)
 	m.classifier = cl
 	m.classification = cl.ClassifyAll(regional.DefaultParams())
 	return nil
-}
-
-// spaceOf rebuilds the Space used by the current builder (origins must not
-// have changed since).
-func (m *Monitor) spaceOf(_ *signals.Builder) *netmodel.Space {
-	byAS := make(map[ASN][]Prefix)
-	for _, blk := range m.store.Blocks() {
-		if asn := m.origins[blk]; asn != 0 {
-			byAS[asn] = append(byAS[asn], Prefix{Base: blk.First(), Bits: 24})
-		}
-	}
-	var ases []*netmodel.AS
-	for asn, ps := range byAS {
-		ases = append(ases, &netmodel.AS{ASN: asn, Prefixes: ps})
-	}
-	return netmodel.MustBuildSpace(ases)
 }
 
 // DetectRegion runs regional outage detection with the paper's region-level

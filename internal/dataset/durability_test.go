@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestCoverageDefaultsFull(t *testing.T) {
+	s := testStore(t)
+	for _, r := range []int{0, 1, s.Timeline().NumRounds() - 1} {
+		if got := s.Coverage(r); got != 1 {
+			t.Errorf("Coverage(%d) = %v, want 1 by default", r, got)
+		}
+	}
+}
+
+func TestSetCoverageClampsAndRoundtrips(t *testing.T) {
+	s := testStore(t)
+	s.SetCoverage(2, 0.5)
+	if got := s.Coverage(2); math.Abs(got-0.5) > 1e-4 {
+		t.Errorf("Coverage(2) = %v, want ≈0.5", got)
+	}
+	s.SetCoverage(3, -1)
+	if got := s.Coverage(3); got != 0 {
+		t.Errorf("negative coverage stored as %v", got)
+	}
+	s.SetCoverage(4, 2)
+	if got := s.Coverage(4); got != 1 {
+		t.Errorf("overflowing coverage stored as %v", got)
+	}
+}
+
+func TestDoneCursor(t *testing.T) {
+	s := testStore(t)
+	if s.NextUndone() != 0 {
+		t.Fatalf("fresh store NextUndone = %d", s.NextUndone())
+	}
+	s.SetDone(0)
+	s.SetDone(1)
+	if s.NextUndone() != 2 {
+		t.Errorf("NextUndone = %d after 2 done rounds", s.NextUndone())
+	}
+	// Missing rounds count as handled: a resume must not rescan them.
+	s.SetMissing(2)
+	if !s.Done(2) {
+		t.Error("SetMissing must mark the round done")
+	}
+	if s.NextUndone() != 3 {
+		t.Errorf("NextUndone = %d after a missing round", s.NextUndone())
+	}
+	// A gap earlier than the frontier wins.
+	s2 := testStore(t)
+	s2.SetDone(0)
+	s2.SetDone(5)
+	if s2.NextUndone() != 1 {
+		t.Errorf("NextUndone = %d, want first gap", s2.NextUndone())
+	}
+	// Complete campaign.
+	s3 := testStore(t)
+	for r := 0; r < s3.Timeline().NumRounds(); r++ {
+		s3.SetDone(r)
+	}
+	if s3.NextUndone() != s3.Timeline().NumRounds() {
+		t.Errorf("complete campaign NextUndone = %d", s3.NextUndone())
+	}
+}
+
+func TestEffectiveMissing(t *testing.T) {
+	s := testStore(t)
+	s.SetMissing(1)
+	s.SetCoverage(2, 0.5)  // below the 0.8 gate
+	s.SetCoverage(3, 0.95) // above it
+	em := s.EffectiveMissing(0.8)
+	want := map[int]bool{0: false, 1: true, 2: true, 3: false, 4: false}
+	for r, w := range want {
+		if em[r] != w {
+			t.Errorf("EffectiveMissing[%d] = %v, want %v", r, em[r], w)
+		}
+	}
+	// minCoverage 0 gates nothing but true outages.
+	em0 := s.EffectiveMissing(0)
+	if em0[2] || !em0[1] {
+		t.Error("minCoverage=0 must only flag real outages")
+	}
+	// The returned mask is a copy, not the store's internal slice.
+	em[0] = true
+	if s.Missing(0) {
+		t.Error("EffectiveMissing leaked internal state")
+	}
+	// Out-of-range thresholds clamp instead of exploding.
+	_ = s.EffectiveMissing(-3)
+	_ = s.EffectiveMissing(7)
+}
+
+func TestSaveLoadDurabilityRoundtrip(t *testing.T) {
+	s := testStore(t)
+	s.SetRound(0, 4, 17, true)
+	s.SetMissing(1)
+	s.SetDone(0)
+	s.SetDone(4)
+	s.SetCoverage(4, 0.25)
+
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Done(0) || !got.Done(1) || !got.Done(4) || got.Done(2) {
+		t.Error("done bits lost in roundtrip")
+	}
+	if got.NextUndone() != 2 {
+		t.Errorf("loaded NextUndone = %d, want 2", got.NextUndone())
+	}
+	if !got.Missing(1) {
+		t.Error("missing flag lost")
+	}
+	if c := got.Coverage(4); math.Abs(c-0.25) > 1e-4 {
+		t.Errorf("coverage lost: %v", c)
+	}
+	if c := got.Coverage(0); c != 1 {
+		t.Errorf("untouched coverage = %v, want 1", c)
+	}
+	if got.Resp(0, 4) != 17 || !got.Routed(0, 4) {
+		t.Error("observation data lost")
+	}
+}
+
+func TestWriteToIdenticalBytesForIdenticalStores(t *testing.T) {
+	build := func() *bytes.Buffer {
+		s := testStore(t)
+		s.SetRound(2, 7, 3, true)
+		s.SetMissing(9)
+		s.SetCoverage(8, 0.4)
+		s.SetDone(8)
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	if !bytes.Equal(build().Bytes(), build().Bytes()) {
+		t.Error("WriteTo is not deterministic — checkpoint/resume byte-equality depends on it")
+	}
+}

@@ -18,6 +18,9 @@ import (
 //	magic "CMDS" | version u32 | startUnixNano i64 | interval i64 | rounds u32
 //	nblocks u32 | blockIDs [nblocks]u32
 //	missing bitset [(rounds+63)/64]u64
+//	v3+: done bitset [(rounds+63)/64]u64
+//	v3+: npartial u32 | npartial × (round u32, coverage u16) — only rounds
+//	     below full coverage are listed (normally none)
 //	resp rows: nblocks × rounds u8
 //	routed rows: nblocks × words u64
 //	ntracked u32 | per tracked: blockIdx u32, rounds × u16 RTT ms
@@ -25,8 +28,10 @@ import (
 const (
 	fileMagic = "CMDS"
 	// Version 1 stores resp rows raw; version 2 run-length codes them
-	// (rowLen u32 + RLE bytes), typically 5-20x smaller for real campaigns.
-	fileVersion = 2
+	// (rowLen u32 + RLE bytes), typically 5-20x smaller for real
+	// campaigns; version 3 adds the done bitset and per-round coverage
+	// used by checkpoint/resume and partial-round gating.
+	fileVersion = 3
 )
 
 // WriteTo serializes the store.
@@ -65,6 +70,34 @@ func (s *Store) WriteTo(w io.Writer) (int64, error) {
 	}
 	if err := write(miss); err != nil {
 		return cw.n, err
+	}
+	done := make([]uint64, (s.tl.NumRounds()+63)/64)
+	for r, d := range s.done {
+		if d {
+			done[r/64] |= 1 << (r % 64)
+		}
+	}
+	if err := write(done); err != nil {
+		return cw.n, err
+	}
+	var npartial uint32
+	for _, c := range s.coverage {
+		if c != coverageFull {
+			npartial++
+		}
+	}
+	if err := write(npartial); err != nil {
+		return cw.n, err
+	}
+	for r, c := range s.coverage {
+		if c != coverageFull {
+			if err := write(uint32(r)); err != nil {
+				return cw.n, err
+			}
+			if err := write(c); err != nil {
+				return cw.n, err
+			}
+		}
 	}
 	var rle []byte
 	for _, row := range s.resp {
@@ -119,7 +152,7 @@ func ReadFrom(r io.Reader) (*Store, error) {
 			return nil, err
 		}
 	}
-	if version != 1 && version != 2 {
+	if version < 1 || version > fileVersion {
 		return nil, fmt.Errorf("dataset: unsupported version %d", version)
 	}
 	if rounds == 0 || rounds > 1<<22 || nblocks > 1<<22 {
@@ -152,6 +185,42 @@ func ReadFrom(r io.Reader) (*Store, error) {
 	for r := 0; r < int(rounds); r++ {
 		if miss[r/64]>>(r%64)&1 == 1 {
 			s.missing[r] = true
+		}
+	}
+	if version >= 3 {
+		done := make([]uint64, (rounds+63)/64)
+		if err := read(done); err != nil {
+			return nil, err
+		}
+		for r := 0; r < int(rounds); r++ {
+			s.done[r] = done[r/64]>>(r%64)&1 == 1
+		}
+		var npartial uint32
+		if err := read(&npartial); err != nil {
+			return nil, err
+		}
+		if npartial > rounds {
+			return nil, fmt.Errorf("dataset: implausible partial-round count %d", npartial)
+		}
+		for i := 0; i < int(npartial); i++ {
+			var r uint32
+			var c uint16
+			if err := read(&r); err != nil {
+				return nil, err
+			}
+			if err := read(&c); err != nil {
+				return nil, err
+			}
+			if r >= rounds {
+				return nil, fmt.Errorf("dataset: partial round %d out of range", r)
+			}
+			s.coverage[r] = c
+		}
+	} else {
+		// Legacy files predate progress tracking: treat them as complete
+		// campaigns at full coverage (NewStore's default).
+		for r := range s.done {
+			s.done[r] = true
 		}
 	}
 	for i := range s.resp {

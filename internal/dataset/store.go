@@ -35,6 +35,13 @@ type Store struct {
 	routed [][]uint64
 	// missing[r] marks vantage-point outages (no data).
 	missing []bool
+	// coverage[r] is the probed-target fraction of round r in 1/65535
+	// units. Full by default, so generated and legacy stores behave as
+	// before; the packet pipeline lowers it for salvaged partial rounds.
+	coverage []uint16
+	// done[r] marks rounds the campaign has handled (scanned or marked
+	// missing) — the resume cursor for checkpoint/restart.
+	done []bool
 
 	// rtt[b] is per-round mean RTT in milliseconds for tracked blocks
 	// (nil for untracked blocks to bound memory).
@@ -43,6 +50,9 @@ type Store struct {
 
 // RespCap is the saturation value of per-round responsive counts.
 const RespCap = 255
+
+// coverageFull is the fixed-point encoding of 100% round coverage.
+const coverageFull = 0xFFFF
 
 // NewStore allocates a store for the given blocks (sorted + deduplicated
 // internally) over the timeline.
@@ -56,13 +66,18 @@ func NewStore(tl *timeline.Timeline, blocks []netmodel.BlockID) *Store {
 		}
 	}
 	s := &Store{
-		tl:      tl,
-		blocks:  out,
-		index:   make(map[netmodel.BlockID]int, len(out)),
-		resp:    make([][]uint8, len(out)),
-		routed:  make([][]uint64, len(out)),
-		missing: make([]bool, tl.NumRounds()),
-		rtt:     make(map[int][]uint16),
+		tl:       tl,
+		blocks:   out,
+		index:    make(map[netmodel.BlockID]int, len(out)),
+		resp:     make([][]uint8, len(out)),
+		routed:   make([][]uint64, len(out)),
+		missing:  make([]bool, tl.NumRounds()),
+		coverage: make([]uint16, tl.NumRounds()),
+		done:     make([]bool, tl.NumRounds()),
+		rtt:      make(map[int][]uint16),
+	}
+	for r := range s.coverage {
+		s.coverage[r] = coverageFull
 	}
 	words := (tl.NumRounds() + 63) / 64
 	for i, b := range out {
@@ -90,14 +105,72 @@ func (s *Store) BlockIndex(b netmodel.BlockID) int {
 	return -1
 }
 
-// SetMissing marks round r as a vantage outage.
-func (s *Store) SetMissing(r int) { s.missing[r] = true }
+// SetMissing marks round r as a vantage outage. The round counts as done:
+// a resumed campaign does not rescan it.
+func (s *Store) SetMissing(r int) {
+	s.missing[r] = true
+	s.done[r] = true
+}
 
 // Missing reports whether round r has no data.
 func (s *Store) Missing(r int) bool { return s.missing[r] }
 
 // MissingRounds returns the full missing-round mask (do not mutate).
 func (s *Store) MissingRounds() []bool { return s.missing }
+
+// SetCoverage records the fraction of targets actually probed in round r
+// (clamped to [0, 1]); rounds default to full coverage.
+func (s *Store) SetCoverage(r int, frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	s.coverage[r] = uint16(frac*coverageFull + 0.5)
+}
+
+// Coverage returns the probed-target fraction of round r.
+func (s *Store) Coverage(r int) float64 {
+	return float64(s.coverage[r]) / coverageFull
+}
+
+// SetDone marks round r as handled by the campaign (resume cursor).
+func (s *Store) SetDone(r int) { s.done[r] = true }
+
+// Done reports whether round r has been handled.
+func (s *Store) Done(r int) bool { return s.done[r] }
+
+// NextUndone returns the first round not yet handled, or NumRounds when
+// the campaign is complete — where a resumed campaign picks up.
+func (s *Store) NextUndone() int {
+	for r, d := range s.done {
+		if !d {
+			return r
+		}
+	}
+	return s.tl.NumRounds()
+}
+
+// EffectiveMissing returns a fresh mask of rounds with no usable data:
+// vantage outages plus partial rounds that probed less than minCoverage of
+// their targets. Signals treat such rounds like missing ones, so a salvaged
+// sliver of a round cannot fabricate an IPS/FBS collapse (§3.1's
+// missing-round handling).
+func (s *Store) EffectiveMissing(minCoverage float64) []bool {
+	out := make([]bool, len(s.missing))
+	if minCoverage < 0 {
+		minCoverage = 0
+	}
+	if minCoverage > 1 {
+		minCoverage = 1
+	}
+	threshold := uint16(minCoverage * coverageFull)
+	for r := range out {
+		out[r] = s.missing[r] || s.coverage[r] < threshold
+	}
+	return out
+}
 
 // SetRound records one block's observation for a round. resp is clamped to
 // RespCap.

@@ -1,0 +1,349 @@
+// Package faults wraps a scanner.Transport with deterministic fault
+// injection, so the resilience of the measurement pipeline can be exercised
+// in tests, benchmarks and the CLIs without a misbehaving network at hand.
+//
+// Two fault classes compose:
+//
+//   - Scripted windows: absolute time ranges during which the vantage point
+//     is blacked out (sends fail, replies vanish), the receive path errors,
+//     sends fail transiently, reads stall, or connectivity flaps with a
+//     period. Windows model the paper's vantage-point outages (§3.1).
+//   - Probabilistic noise: per-packet transient send errors, silent probe
+//     drops and reply truncation, drawn from a seeded deterministic RNG so
+//     a faulty run is exactly reproducible.
+//
+// Injected errors implement `Transient() bool`, which the scanner's retry
+// and error-budget machinery keys on; the wrapper forwards the underlying
+// clock, so it can stand in wherever the wrapped transport did.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"countrymon/internal/netmodel"
+	"countrymon/internal/scanner"
+)
+
+// Kind is the behaviour of a scripted fault window.
+type Kind uint8
+
+const (
+	// Blackout takes the vantage offline: sends fail transiently and the
+	// receive path is silent (reads time out).
+	Blackout Kind = iota
+	// SendErrors fails every send transiently; the receive path still
+	// delivers replies to probes that got out earlier.
+	SendErrors
+	// RecvErrors fails every read with a transient receive error.
+	RecvErrors
+	// Stall makes reads consume their whole wait budget and return
+	// nothing, emulating a wedged receive path.
+	Stall
+	// Flap alternates Blackout on/off every Period within the window.
+	Flap
+)
+
+var kindNames = map[Kind]string{
+	Blackout: "blackout", SendErrors: "senderr-window", RecvErrors: "recverr",
+	Stall: "stall", Flap: "flap",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", k)
+}
+
+// Window is one scripted fault interval [From, To).
+type Window struct {
+	From, To time.Time
+	Kind     Kind
+	// Period is the Flap on/off half-cycle (ignored for other kinds).
+	Period time.Duration
+}
+
+// active reports whether the window's fault applies at t.
+func (w Window) active(t time.Time) bool {
+	if t.Before(w.From) || !t.Before(w.To) {
+		return false
+	}
+	if w.Kind == Flap && w.Period > 0 {
+		return (t.Sub(w.From)/w.Period)%2 == 0
+	}
+	return true
+}
+
+// Profile is a complete fault specification.
+type Profile struct {
+	// Seed drives the probabilistic faults deterministically.
+	Seed uint64
+	// SendErrorProb fails a send with a transient error.
+	SendErrorProb float64
+	// DropProb silently discards a probe (the send "succeeds").
+	DropProb float64
+	// TruncateProb truncates a delivered reply to half its length,
+	// which the scanner must reject as invalid rather than crash on.
+	TruncateProb float64
+	// Windows are the scripted fault intervals.
+	Windows []Window
+}
+
+// Counters tallies injected faults (for assertions and CLI reporting).
+type Counters struct {
+	SendErrors uint64 // failed sends (windows + probability)
+	Drops      uint64 // silently discarded probes
+	RecvErrors uint64 // injected read errors
+	Truncated  uint64 // truncated replies
+	Blackouts  uint64 // reads swallowed by blackout/stall windows
+}
+
+// Err is an injected fault error. It reports itself transient so the
+// scanner's retry/budget machinery treats it like a real flaky network.
+type Err struct{ Op string }
+
+func (e *Err) Error() string   { return "faults: injected " + e.Op + " error" }
+func (e *Err) Transient() bool { return true }
+
+// Transport wraps an inner scanner.Transport with fault injection. It also
+// implements scanner.Clock by delegation, so it can replace a clock-bearing
+// transport (like simnet.Network) wholesale.
+type Transport struct {
+	inner scanner.Transport
+	clock scanner.Clock
+	prof  Profile
+
+	mu  sync.Mutex
+	rng uint64
+	cnt Counters
+}
+
+// NewTransport wraps inner with the given profile. When clock is nil, the
+// inner transport is used if it implements scanner.Clock, else the wall
+// clock; fault windows are evaluated against this clock.
+func NewTransport(inner scanner.Transport, clock scanner.Clock, prof Profile) *Transport {
+	if clock == nil {
+		if c, ok := inner.(scanner.Clock); ok {
+			clock = c
+		} else {
+			clock = scanner.RealClock{}
+		}
+	}
+	return &Transport{inner: inner, clock: clock, prof: prof, rng: splitmix(prof.Seed ^ 0xfa17)}
+}
+
+// Inner returns the wrapped transport.
+func (t *Transport) Inner() scanner.Transport { return t.inner }
+
+// Counters returns a snapshot of the injected-fault tallies.
+func (t *Transport) Counters() Counters {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cnt
+}
+
+// LocalAddr implements scanner.Transport.
+func (t *Transport) LocalAddr() netmodel.Addr { return t.inner.LocalAddr() }
+
+// Now implements scanner.Clock by delegation.
+func (t *Transport) Now() time.Time { return t.clock.Now() }
+
+// Sleep implements scanner.Clock by delegation.
+func (t *Transport) Sleep(d time.Duration) { t.clock.Sleep(d) }
+
+// windowAt returns the first active scripted window at time now.
+func (t *Transport) windowAt(now time.Time) (Window, bool) {
+	for _, w := range t.prof.Windows {
+		if w.active(now) {
+			return w, true
+		}
+	}
+	return Window{}, false
+}
+
+// roll draws a deterministic Bernoulli sample.
+func (t *Transport) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	t.rng = splitmix(t.rng)
+	return float64(t.rng>>11)/(1<<53) < p
+}
+
+// WritePacket implements scanner.Transport with injected send faults.
+func (t *Transport) WritePacket(b []byte) error {
+	now := t.clock.Now()
+	t.mu.Lock()
+	if w, ok := t.windowAt(now); ok {
+		switch w.Kind {
+		case Blackout, SendErrors, Stall, Flap:
+			t.cnt.SendErrors++
+			t.mu.Unlock()
+			return &Err{Op: "send"}
+		}
+	}
+	if t.roll(t.prof.SendErrorProb) {
+		t.cnt.SendErrors++
+		t.mu.Unlock()
+		return &Err{Op: "send"}
+	}
+	if t.roll(t.prof.DropProb) {
+		t.cnt.Drops++
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Unlock()
+	return t.inner.WritePacket(b)
+}
+
+// ReadPacket implements scanner.Transport with injected receive faults.
+func (t *Transport) ReadPacket(wait time.Duration) ([]byte, time.Time, error) {
+	now := t.clock.Now()
+	t.mu.Lock()
+	if w, ok := t.windowAt(now); ok {
+		switch w.Kind {
+		case Blackout, Stall, Flap:
+			// Silence: consume the wait so virtual clocks keep moving and
+			// real callers don't spin.
+			t.cnt.Blackouts++
+			t.mu.Unlock()
+			if wait > 0 {
+				t.clock.Sleep(wait)
+			}
+			return nil, time.Time{}, scanner.ErrTimeout
+		case RecvErrors:
+			t.cnt.RecvErrors++
+			t.mu.Unlock()
+			return nil, time.Time{}, &Err{Op: "recv"}
+		}
+	}
+	t.mu.Unlock()
+	pkt, at, err := t.inner.ReadPacket(wait)
+	if err == nil && len(pkt) > 0 {
+		t.mu.Lock()
+		trunc := t.roll(t.prof.TruncateProb)
+		if trunc {
+			t.cnt.Truncated++
+		}
+		t.mu.Unlock()
+		if trunc {
+			pkt = pkt[:len(pkt)/2]
+		}
+	}
+	return pkt, at, err
+}
+
+// ParseProfile parses a comma-separated fault specification. Offsets and
+// durations are Go durations relative to base (the campaign start):
+//
+//	seed=7                  RNG seed for the probabilistic faults
+//	senderr=0.01            transient send-error probability
+//	drop=0.005              silent probe-drop probability
+//	trunc=0.01              reply-truncation probability
+//	blackout=24h+8h         vantage offline from base+24h for 8h
+//	stall=100h+2h           reads wedge from base+100h for 2h
+//	recverr=30m+10m         receive path errors from base+30m for 10m
+//	senderrwin=1h+30m       sends fail from base+1h for 30m
+//	flap=48h+12h/30m        connectivity flaps for 12h with 30m half-cycle
+//
+// Example: "seed=7,senderr=0.01,blackout=60h+4h".
+func ParseProfile(spec string, base time.Time) (Profile, error) {
+	p := Profile{Seed: 1}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	kinds := map[string]Kind{
+		"blackout": Blackout, "stall": Stall, "recverr": RecvErrors,
+		"senderrwin": SendErrors, "flap": Flap,
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return p, fmt.Errorf("faults: clause %q is not key=value", clause)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		switch key {
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return p, fmt.Errorf("faults: bad seed %q", val)
+			}
+			p.Seed = n
+		case "senderr", "drop", "trunc":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return p, fmt.Errorf("faults: bad probability %q for %s", val, key)
+			}
+			switch key {
+			case "senderr":
+				p.SendErrorProb = f
+			case "drop":
+				p.DropProb = f
+			case "trunc":
+				p.TruncateProb = f
+			}
+		default:
+			kind, ok := kinds[key]
+			if !ok {
+				return p, fmt.Errorf("faults: unknown fault %q", key)
+			}
+			w, err := parseWindow(val, base, kind)
+			if err != nil {
+				return p, err
+			}
+			p.Windows = append(p.Windows, w)
+		}
+	}
+	sort.SliceStable(p.Windows, func(i, j int) bool { return p.Windows[i].From.Before(p.Windows[j].From) })
+	return p, nil
+}
+
+// parseWindow parses "offset+duration" or "offset+duration/period".
+func parseWindow(val string, base time.Time, kind Kind) (Window, error) {
+	var period time.Duration
+	if kind == Flap {
+		body, per, ok := strings.Cut(val, "/")
+		if !ok {
+			return Window{}, fmt.Errorf("faults: flap window %q needs offset+dur/period", val)
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(per))
+		if err != nil || d <= 0 {
+			return Window{}, fmt.Errorf("faults: bad flap period %q", per)
+		}
+		period, val = d, body
+	}
+	offStr, durStr, ok := strings.Cut(val, "+")
+	if !ok {
+		return Window{}, fmt.Errorf("faults: window %q is not offset+duration", val)
+	}
+	off, err := time.ParseDuration(strings.TrimSpace(offStr))
+	if err != nil {
+		return Window{}, fmt.Errorf("faults: bad window offset %q", offStr)
+	}
+	dur, err := time.ParseDuration(strings.TrimSpace(durStr))
+	if err != nil || dur <= 0 {
+		return Window{}, fmt.Errorf("faults: bad window duration %q", durStr)
+	}
+	from := base.Add(off)
+	return Window{From: from, To: from.Add(dur), Kind: kind, Period: period}, nil
+}
+
+// splitmix is SplitMix64 for deterministic fault decisions.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

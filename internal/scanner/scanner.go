@@ -1,8 +1,9 @@
 package scanner
 
 import (
+	"context"
 	"errors"
-	"fmt"
+	"sync/atomic"
 	"time"
 
 	"countrymon/internal/icmp"
@@ -12,6 +13,18 @@ import (
 // ErrTimeout is returned by Transport.ReadPacket when no packet arrived
 // within the wait budget.
 var ErrTimeout = errors.New("scanner: read timeout")
+
+// ErrStopped is returned by RunContext when Stop was called mid-round.
+var ErrStopped = errors.New("scanner: stopped")
+
+// IsTransient reports whether a transport error is worth retrying: the
+// error (or one it wraps) advertises itself via a `Transient() bool`
+// method, as the fault-injection layer and flaky real transports do.
+// Timeouts are not transient sends; they never reach the send path.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
 
 // Transport carries raw IPv4 datagrams between the scanner and the network
 // (simulated or real).
@@ -41,6 +54,25 @@ type Config struct {
 	Clock         Clock // defaults to RealClock
 	Shard         int   // this vantage's shard (default 0)
 	Shards        int   // total shards (default 1)
+
+	// Retries is the number of extra send attempts after a transient
+	// transport error (default 3; negative disables retrying). Each retry
+	// re-encodes the probe so its embedded timestamp stays accurate.
+	Retries int
+	// RetryBackoff is the delay before the first retry, doubled per
+	// attempt with ±50% deterministic jitter (default 2ms).
+	RetryBackoff time.Duration
+	// ErrorBudget is the fraction of this shard's targets that may fail
+	// to send (after retries) before the round is abandoned early and
+	// returned partial instead of erroring out (default 0.10; ≥1 never
+	// abandons). Failed addresses are skipped, not fatal.
+	ErrorBudget float64
+	// MaxRecvErrors is how many hard (non-timeout, transient) receive
+	// errors are tolerated before the receive path is declared dead and
+	// the round marked partial (default 32; negative = fail on the first
+	// hard receive error). Non-transient receive errors kill the receive
+	// path immediately.
+	MaxRecvErrors int
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +97,24 @@ func (c Config) withDefaults() Config {
 	if c.ProbesPerAddr == 0 {
 		c.ProbesPerAddr = 1
 	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	} else if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 2 * time.Millisecond
+	}
+	if c.ErrorBudget == 0 {
+		c.ErrorBudget = 0.10
+	} else if c.ErrorBudget < 0 {
+		c.ErrorBudget = 0
+	}
+	if c.MaxRecvErrors == 0 {
+		c.MaxRecvErrors = 32
+	} else if c.MaxRecvErrors < 0 {
+		c.MaxRecvErrors = 0
+	}
 	return c
 }
 
@@ -76,6 +126,12 @@ type Stats struct {
 	Duplicates uint64
 	Invalid    uint64 // failed validation (wrong id/seq/epoch, malformed)
 	NonEcho    uint64 // ICMP errors (unreachable, time exceeded, ...)
+	// SendErrors counts probes abandoned after the retry budget; Retries
+	// counts individual re-send attempts; RecvErrors counts hard
+	// (non-timeout) receive failures.
+	SendErrors uint64
+	Retries    uint64
+	RecvErrors uint64
 	Elapsed    time.Duration
 }
 
@@ -105,13 +161,39 @@ func (b *BlockResult) MeanRTT() time.Duration {
 type RoundData struct {
 	Targets *TargetSet
 	Blocks  []BlockResult // aligned with Targets.Blocks()
-	Stats   Stats
+
+	// ShardTargets is how many addresses this shard was due to probe;
+	// Probed is how many actually had at least one probe transmitted.
+	ShardTargets int
+	Probed       int
+	// Partial marks a salvaged round: the error budget ran out, the
+	// receive path died, or the round was stopped, so part of the target
+	// set was never probed. Callers should gate such rounds on Coverage
+	// rather than treat them as full observations.
+	Partial bool
+	// RecvDead marks rounds whose receive path failed hard: reply counts
+	// are unreliable even for probed addresses.
+	RecvDead bool
+	// Err records the last hard transport error observed (the round is
+	// still returned; salvage what was measured).
+	Err error
+
+	Stats Stats
+}
+
+// Coverage returns the fraction of this shard's targets that were probed.
+func (rd *RoundData) Coverage() float64 {
+	if rd.ShardTargets == 0 {
+		return 0
+	}
+	return float64(rd.Probed) / float64(rd.ShardTargets)
 }
 
 // Scanner performs full-block ICMP scans over a transport.
 type Scanner struct {
-	cfg Config
-	tr  Transport
+	cfg     Config
+	tr      Transport
+	stopped atomic.Bool
 }
 
 // New builds a scanner.
@@ -119,9 +201,38 @@ func New(tr Transport, cfg Config) *Scanner {
 	return &Scanner{cfg: cfg.withDefaults(), tr: tr}
 }
 
+// Stop aborts the in-flight round at the next send or read boundary. It is
+// safe to call from another goroutine; the round returns partial data and
+// ErrStopped.
+func (s *Scanner) Stop() { s.stopped.Store(true) }
+
+// interrupted reports why the round should abort, or nil.
+func (s *Scanner) interrupted(ctx context.Context) error {
+	if s.stopped.Load() {
+		return ErrStopped
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
 // Run scans the target set once: every address is probed exactly once in
 // permuted order, replies are validated and aggregated per /24 block.
 func (s *Scanner) Run(targets *TargetSet) (*RoundData, error) {
+	return s.RunContext(context.Background(), targets)
+}
+
+// RunContext is Run with cancellation: the round aborts at the next probe
+// or read boundary when ctx is done (or Stop is called), returning the
+// partial results gathered so far alongside the context error. Transient
+// send errors are retried with exponential backoff; addresses that still
+// fail are skipped and counted, and once more than ErrorBudget of the
+// shard's targets have failed the rest of the round is abandoned and the
+// result marked Partial — a degraded round is data, not an error.
+func (s *Scanner) RunContext(ctx context.Context, targets *TargetSet) (*RoundData, error) {
 	cfg := s.cfg
 	pm, err := NewPermutation(targets.Len(), cfg.Seed)
 	if err != nil {
@@ -137,54 +248,126 @@ func (s *Scanner) Run(targets *TargetSet) (*RoundData, error) {
 	rl := NewRateLimiter(cfg.Clock, cfg.Rate, cfg.Burst)
 
 	rd := &RoundData{
-		Targets: targets,
-		Blocks:  make([]BlockResult, targets.NumBlocks()),
+		Targets:      targets,
+		Blocks:       make([]BlockResult, targets.NumBlocks()),
+		ShardTargets: shardLen(targets.Len(), cfg.Shard, cfg.Shards),
 	}
 	for i := range rd.Blocks {
 		rd.Blocks[i].Block = targets.Blocks()[i]
 	}
+	maxFail := int(cfg.ErrorBudget * float64(rd.ShardTargets))
 
 	src := s.tr.LocalAddr()
 	// Reusable buffers keep the send path allocation-free. Transports must
 	// not retain the datagram after WritePacket returns.
 	probeBuf := make([]byte, 0, 64)
 	dgBuf := make([]byte, 0, 128)
+	// Deterministic jitter source for retry backoff.
+	rng := splitmix(cfg.Seed ^ uint64(cfg.Epoch)<<32 ^ 0xfa17)
+
+	var abortErr error
+	failed := 0
 	for {
+		if abortErr = s.interrupted(ctx); abortErr != nil {
+			rd.Partial = true
+			break
+		}
 		idx, ok := cur.Next()
 		if !ok {
 			break
 		}
 		dst := targets.Addr(idx)
+		sent := false
 		for attempt := 0; attempt < cfg.ProbesPerAddr; attempt++ {
 			rl.Wait()
-			now := cfg.Clock.Now()
-			probeBuf = val.AppendProbe(probeBuf[:0], dst, now)
-			dgBuf = icmp.AppendIPv4(dgBuf[:0], icmp.IPv4Header{
-				TTL: cfg.TTL, Protocol: icmp.ProtoICMP, Src: src, Dst: dst,
-				ID: uint16(rd.Stats.Sent),
-			}, probeBuf)
-			if err := s.tr.WritePacket(dgBuf); err != nil {
-				return nil, fmt.Errorf("scanner: send to %v: %w", dst, err)
+			if err := s.sendProbe(ctx, rd, val, &rng, &probeBuf, &dgBuf, src, dst); err != nil {
+				rd.Stats.SendErrors++
+				rd.Err = err
+			} else {
+				sent = true
 			}
-			rd.Stats.Sent++
+		}
+		if sent {
+			rd.Probed++
+		} else {
+			failed++
+			if failed > maxFail {
+				// Error budget exhausted: salvage the round as partial
+				// rather than losing everything measured so far.
+				rd.Partial = true
+				break
+			}
 		}
 		// Opportunistically drain replies between sends.
 		s.drain(rd, val, 0)
 	}
 
-	// Cooldown: collect stragglers.
-	deadline := cfg.Clock.Now().Add(cfg.Cooldown)
-	for {
-		left := deadline.Sub(cfg.Clock.Now())
-		if left <= 0 {
-			break
-		}
-		if !s.readOne(rd, val, left) {
-			break
+	// Cooldown: collect stragglers (skipped once the round was aborted by
+	// cancellation, but kept for budget-exhausted rounds so the replies to
+	// probes already sent still count).
+	if abortErr == nil {
+		deadline := cfg.Clock.Now().Add(cfg.Cooldown)
+		for {
+			if abortErr = s.interrupted(ctx); abortErr != nil {
+				rd.Partial = true
+				break
+			}
+			left := deadline.Sub(cfg.Clock.Now())
+			if left <= 0 {
+				break
+			}
+			if !s.readOne(rd, val, left) {
+				break
+			}
 		}
 	}
+	if rd.Probed < rd.ShardTargets {
+		rd.Partial = true
+	}
 	rd.Stats.Elapsed = cfg.Clock.Now().Sub(start)
-	return rd, nil
+	return rd, abortErr
+}
+
+// sendProbe transmits one probe, retrying transient transport errors with
+// exponential backoff and deterministic jitter. The probe is re-encoded on
+// every attempt so the embedded send timestamp stays accurate for RTT.
+func (s *Scanner) sendProbe(ctx context.Context, rd *RoundData, val *Validator, rng *uint64, probeBuf, dgBuf *[]byte, src, dst netmodel.Addr) error {
+	cfg := s.cfg
+	backoff := cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		now := cfg.Clock.Now()
+		*probeBuf = val.AppendProbe((*probeBuf)[:0], dst, now)
+		*dgBuf = icmp.AppendIPv4((*dgBuf)[:0], icmp.IPv4Header{
+			TTL: cfg.TTL, Protocol: icmp.ProtoICMP, Src: src, Dst: dst,
+			ID: uint16(rd.Stats.Sent),
+		}, *probeBuf)
+		err := s.tr.WritePacket(*dgBuf)
+		if err == nil {
+			rd.Stats.Sent++
+			return nil
+		}
+		if attempt >= cfg.Retries || !IsTransient(err) {
+			return err
+		}
+		rd.Stats.Retries++
+		*rng = splitmix(*rng)
+		cfg.Clock.Sleep(backoff/2 + time.Duration(*rng%uint64(backoff)))
+		if backoff < time.Second {
+			backoff *= 2
+		}
+		if ierr := s.interrupted(ctx); ierr != nil {
+			return ierr
+		}
+	}
+}
+
+// shardLen is how many of the n permuted indices shard receives: every
+// shards-th emitted element starting at offset shard.
+func shardLen(n uint64, shard, shards int) int {
+	if uint64(shard) >= n {
+		return 0
+	}
+	return int((n - uint64(shard) + uint64(shards) - 1) / uint64(shards))
 }
 
 // drain reads all immediately available packets.
@@ -194,11 +377,30 @@ func (s *Scanner) drain(rd *RoundData, val *Validator, wait time.Duration) {
 	}
 }
 
-// readOne reads and processes a single packet; it returns false on timeout.
+// readOne reads and processes a single packet. It returns false when the
+// caller should stop reading: on ErrTimeout (the expected idle outcome) or
+// once the receive path is declared dead. Hard receive errors are counted
+// in Stats.RecvErrors rather than swallowed, so a dead receive path is
+// never misreported as 0 responsive IPs: transient errors are tolerated up
+// to MaxRecvErrors, non-transient ones kill the path immediately, and
+// either way the round is marked Partial/RecvDead.
 func (s *Scanner) readOne(rd *RoundData, val *Validator, wait time.Duration) bool {
+	if rd.RecvDead {
+		return false
+	}
 	pkt, at, err := s.tr.ReadPacket(wait)
 	if err != nil {
-		return false
+		if errors.Is(err, ErrTimeout) {
+			return false
+		}
+		rd.Stats.RecvErrors++
+		rd.Err = err
+		if !IsTransient(err) || rd.Stats.RecvErrors > uint64(s.cfg.MaxRecvErrors) {
+			rd.RecvDead = true
+			rd.Partial = true
+			return false
+		}
+		return true
 	}
 	h, body, err := icmp.ParseIPv4(pkt)
 	if err != nil || h.Protocol != icmp.ProtoICMP {

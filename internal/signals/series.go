@@ -26,6 +26,12 @@ const MinEverActive = 3
 // mean responsive-IP count exceeds this (§3.1).
 const MinIPSMonthly = 10.0
 
+// DefaultMinCoverage is the probed-target fraction below which a salvaged
+// partial round is treated like a vantage outage. A round that only probed a
+// sliver of its targets would otherwise read as a fabricated IPS/FBS
+// collapse.
+const DefaultMinCoverage = 0.8
+
 // EntitySeries holds one entity's (AS or region) per-round signal values.
 type EntitySeries struct {
 	Name string
@@ -36,7 +42,8 @@ type EntitySeries struct {
 	IPS []float32
 	// IPSValidMonth marks months where the IPS signal is evaluated.
 	IPSValidMonth []bool
-	// Missing marks vantage outages (shared with the store).
+	// Missing marks rounds without usable data: vantage outages plus
+	// partial rounds below the builder's coverage gate.
 	Missing []bool
 }
 
@@ -54,10 +61,21 @@ type Builder struct {
 	elig [][]bool
 	// asBlocks maps each AS to its dense block indices in the store.
 	asBlocks map[netmodel.ASN][]int
+	// missing is the effective no-data mask: vantage outages plus partial
+	// rounds below the coverage gate.
+	missing []bool
 }
 
-// NewBuilder precomputes eligibility for all blocks and months.
+// NewBuilder precomputes eligibility for all blocks and months, gating
+// partial rounds at DefaultMinCoverage.
 func NewBuilder(store *dataset.Store, space *netmodel.Space) *Builder {
+	return NewBuilderMinCoverage(store, space, DefaultMinCoverage)
+}
+
+// NewBuilderMinCoverage is NewBuilder with an explicit coverage gate:
+// rounds that probed less than minCoverage of their targets count as
+// missing for every derived series.
+func NewBuilderMinCoverage(store *dataset.Store, space *netmodel.Space, minCoverage float64) *Builder {
 	tl := store.Timeline()
 	b := &Builder{
 		store:    store,
@@ -65,6 +83,7 @@ func NewBuilder(store *dataset.Store, space *netmodel.Space) *Builder {
 		tl:       tl,
 		elig:     make([][]bool, store.NumBlocks()),
 		asBlocks: make(map[netmodel.ASN][]int),
+		missing:  store.EffectiveMissing(minCoverage),
 	}
 	months := tl.NumMonths()
 	for bi := 0; bi < store.NumBlocks(); bi++ {
@@ -162,7 +181,7 @@ func (b *Builder) newSeries(name string) *EntitySeries {
 		FBS:           make([]float32, rounds),
 		IPS:           make([]float32, rounds),
 		IPSValidMonth: make([]bool, b.tl.NumMonths()),
-		Missing:       b.store.MissingRounds(),
+		Missing:       b.missing,
 	}
 }
 

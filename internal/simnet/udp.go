@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net"
 	"os"
+	"syscall"
 	"time"
 
 	"countrymon/internal/icmp"
@@ -119,7 +120,7 @@ func (t *UDPTransport) LocalAddr() netmodel.Addr { return t.local }
 // WritePacket implements scanner.Transport.
 func (t *UDPTransport) WritePacket(b []byte) error {
 	_, err := t.conn.Write(b)
-	return err
+	return classifyErr(err)
 }
 
 // ReadPacket implements scanner.Transport.
@@ -138,10 +139,40 @@ func (t *UDPTransport) ReadPacket(wait time.Duration) ([]byte, time.Time, error)
 		if errors.As(err, &ne) && ne.Timeout() || errors.Is(err, os.ErrDeadlineExceeded) {
 			return nil, time.Time{}, scanner.ErrTimeout
 		}
-		return nil, time.Time{}, err
+		return nil, time.Time{}, classifyErr(err)
 	}
 	return buf[:n], at, nil
 }
 
 // Close releases the socket.
 func (t *UDPTransport) Close() error { return t.conn.Close() }
+
+// transientSocketErr marks socket errors that a retry can plausibly clear,
+// so the scanner's backoff machinery keys on them instead of treating the
+// address (or the whole receive path) as dead.
+type transientSocketErr struct{ err error }
+
+func (e *transientSocketErr) Error() string   { return e.err.Error() }
+func (e *transientSocketErr) Unwrap() error   { return e.err }
+func (e *transientSocketErr) Transient() bool { return true }
+
+// classifyErr wraps recoverable socket conditions — full send buffers,
+// interrupted syscalls, momentary refusals while the far end restarts —
+// as transient. Anything else passes through unchanged.
+func classifyErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var errno syscall.Errno
+	if errors.As(err, &errno) {
+		switch errno {
+		case syscall.EAGAIN, syscall.ENOBUFS, syscall.EINTR, syscall.ECONNREFUSED:
+			return &transientSocketErr{err: err}
+		}
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return &transientSocketErr{err: err}
+	}
+	return err
+}

@@ -1,0 +1,42 @@
+package simnet
+
+import (
+	"errors"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+
+	"countrymon/internal/scanner"
+)
+
+func TestClassifyErrTransientSocketConditions(t *testing.T) {
+	for _, errno := range []syscall.Errno{
+		syscall.EAGAIN, syscall.ENOBUFS, syscall.EINTR, syscall.ECONNREFUSED,
+	} {
+		wrapped := &net.OpError{Op: "write", Net: "udp",
+			Err: os.NewSyscallError("sendto", errno)}
+		got := classifyErr(wrapped)
+		if !scanner.IsTransient(got) {
+			t.Errorf("%v not classified transient", errno)
+		}
+		if !errors.Is(got, errno) {
+			t.Errorf("%v lost from the error chain", errno)
+		}
+	}
+}
+
+func TestClassifyErrPassesHardErrorsThrough(t *testing.T) {
+	hard := &net.OpError{Op: "write", Net: "udp",
+		Err: os.NewSyscallError("sendto", syscall.ENETUNREACH)}
+	if got := classifyErr(hard); got != hard || scanner.IsTransient(got) {
+		t.Errorf("hard error mangled: %v", got)
+	}
+	plain := errors.New("broken")
+	if got := classifyErr(plain); got != plain {
+		t.Errorf("plain error mangled: %v", got)
+	}
+	if classifyErr(nil) != nil {
+		t.Error("nil error mangled")
+	}
+}

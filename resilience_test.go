@@ -1,0 +1,260 @@
+package countrymon
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"countrymon/internal/faults"
+	"countrymon/internal/geodb"
+	"countrymon/internal/netmodel"
+	"countrymon/internal/simnet"
+)
+
+// faultCampaign runs a full campaign over the outage responder, optionally
+// wrapped in a fault-injecting transport, and returns the finished monitor.
+func faultCampaign(t *testing.T, rounds int, prof *faults.Profile) *Monitor {
+	t.Helper()
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	outFrom := start.Add(120 * 2 * time.Hour)
+	outTo := outFrom.Add(20 * 2 * time.Hour)
+	net := simnet.New(netmodel.MustParseAddr("198.51.100.1"), outageResponder(40, outFrom, outTo), start)
+	var tr Transport = net
+	if prof != nil {
+		tr = faults.NewTransport(net, nil, *prof)
+	}
+	mon, err := New(Options{
+		Transport: tr,
+		Targets:   []Prefix{netmodel.MustParsePrefix("91.198.4.0/23")},
+		Start:     start, Rounds: rounds, Interval: 2 * time.Hour,
+		Seed: 7,
+		Origins: map[BlockID]ASN{
+			netmodel.MustParseBlock("91.198.4.0/24"): 25482,
+			netmodel.MustParseBlock("91.198.5.0/24"): 25482,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mon.NextRound() {
+		round := mon.Round()
+		for _, blk := range mon.Store().Blocks() {
+			mon.SetRouted(blk, round, true, 25482)
+		}
+		if _, err := mon.ScanRound(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	return mon
+}
+
+// khersonDB geolocates every target block to Kherson for all months.
+func khersonDB(months int) *geodb.DB {
+	snap := geodb.NewSnapshot([]geodb.Entry{
+		{Prefix: netmodel.MustParsePrefix("91.198.4.0/23"), Country: geodb.CountryUA,
+			Region: netmodel.Kherson, RadiusKM: 50},
+	})
+	snaps := make([]*geodb.Snapshot, months)
+	for i := range snaps {
+		snaps[i] = snap
+	}
+	return geodb.NewDB(snaps)
+}
+
+func sameOutages(t *testing.T, label string, got, want []Outage) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d outages, fault-free run has %d\nfaulty:     %+v\nfault-free: %+v",
+			label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i].Start != want[i].Start || got[i].End != want[i].End {
+			t.Errorf("%s: outage %d is [%d,%d), fault-free [%d,%d)",
+				label, i, got[i].Start, got[i].End, want[i].Start, want[i].End)
+		}
+	}
+}
+
+// TestFaultInjectionEndToEnd scripts a vantage blackout over one full round
+// plus 1% send-error noise, and checks the campaign completes with the
+// blacked-out round gated as unusable — fabricating no outage events that a
+// fault-free run does not also report.
+func TestFaultInjectionEndToEnd(t *testing.T) {
+	const rounds = 200
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	clean := faultCampaign(t, rounds, nil)
+	faulty := faultCampaign(t, rounds, &faults.Profile{
+		Seed:          5,
+		SendErrorProb: 0.01,
+		Windows: []faults.Window{{
+			// Covers round 60's whole scan (scheduled at start+120h).
+			From: start.Add(120*time.Hour - 30*time.Minute),
+			To:   start.Add(120*time.Hour + 90*time.Minute),
+			Kind: faults.Blackout,
+		}},
+	})
+
+	// The blacked-out round was salvaged as (near-)empty, not fabricated
+	// into data: its coverage is below the signals gate.
+	if cov := faulty.Store().Coverage(60); cov >= 0.8 && !faulty.Store().Missing(60) {
+		t.Fatalf("blacked-out round 60 has coverage %v and is not missing", cov)
+	}
+	// The noise rounds were fully recovered by retries.
+	for _, r := range []int{0, 59, 61, rounds - 1} {
+		if cov := faulty.Store().Coverage(r); cov != 1 {
+			t.Errorf("round %d coverage %v, want 1 (noise must be retried away)", r, cov)
+		}
+	}
+
+	cleanAS := clean.DetectAS(25482)
+	faultyAS := faulty.DetectAS(25482)
+	sameOutages(t, "DetectAS", faultyAS.Outages, cleanAS.Outages)
+	if len(cleanAS.Outages) != 1 || cleanAS.Outages[0].Start != 120 {
+		t.Fatalf("fault-free baseline lost the real outage: %+v", cleanAS.Outages)
+	}
+
+	months := clean.Timeline().NumMonths()
+	for _, m := range []*Monitor{clean, faulty} {
+		if err := m.ClassifyRegions(khersonDB(months)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cleanReg, err := clean.DetectRegion(netmodel.Kherson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultyReg, err := faulty.DetectRegion(netmodel.Kherson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutages(t, "DetectRegion", faultyReg.Outages, cleanReg.Outages)
+}
+
+// killResumeOpts builds the shared option set of the kill/resume test.
+func killResumeOpts(t *testing.T, rounds int, ckpt string) (Options, time.Time) {
+	t.Helper()
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	outFrom := start.Add(30 * 2 * time.Hour)
+	outTo := outFrom.Add(10 * 2 * time.Hour)
+	net := simnet.New(netmodel.MustParseAddr("198.51.100.1"), outageResponder(40, outFrom, outTo), start)
+	return Options{
+		Transport: net,
+		Targets:   []Prefix{netmodel.MustParsePrefix("91.198.4.0/23")},
+		Start:     start, Rounds: rounds, Interval: 2 * time.Hour,
+		Seed: 7,
+		Origins: map[BlockID]ASN{
+			netmodel.MustParseBlock("91.198.4.0/24"): 25482,
+			netmodel.MustParseBlock("91.198.5.0/24"): 25482,
+		},
+		CheckpointPath:  ckpt,
+		CheckpointEvery: 10,
+	}, start
+}
+
+func runRounds(t *testing.T, mon *Monitor, stopAt int) {
+	t.Helper()
+	for mon.NextRound() && (stopAt < 0 || mon.Round() < stopAt) {
+		round := mon.Round()
+		for _, blk := range mon.Store().Blocks() {
+			mon.SetRouted(blk, round, true, 25482)
+		}
+		if _, err := mon.ScanRound(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+// TestKillResumeByteIdentical kills a checkpointed campaign mid-run,
+// resumes it from disk in a fresh monitor, and requires the final store to
+// be byte-identical to — and the detections indistinguishable from — an
+// uninterrupted run.
+func TestKillResumeByteIdentical(t *testing.T) {
+	const rounds = 60
+	dir := t.TempDir()
+
+	// Uninterrupted reference run.
+	refOpts, _ := killResumeOpts(t, rounds, dir+"/ref.cmds")
+	ref, err := New(refOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRounds(t, ref, -1)
+	var refBytes bytes.Buffer
+	if _, err := ref.Store().WriteTo(&refBytes); err != nil {
+		t.Fatal(err)
+	}
+
+	// Killed run: stops after round 25. The last checkpoint on disk is
+	// from round 20 (cadence 10), so up to CheckpointEvery rounds of work
+	// are redone on resume.
+	killOpts, _ := killResumeOpts(t, rounds, dir+"/killed.cmds")
+	killed, err := New(killOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRounds(t, killed, 25)
+
+	// Resume in a fresh monitor over a fresh virtual network: rounds are
+	// scheduled on the timeline, so the replayed rounds land at the same
+	// virtual instants and the scan is deterministic.
+	resOpts, _ := killResumeOpts(t, rounds, dir+"/killed.cmds")
+	resOpts.ResumeFrom = dir + "/killed.cmds"
+	res, err := New(resOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Round() != 20 {
+		t.Fatalf("resumed at round %d, want 20 (last checkpoint)", res.Round())
+	}
+	runRounds(t, res, -1)
+
+	var resBytes bytes.Buffer
+	if _, err := res.Store().WriteTo(&resBytes); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refBytes.Bytes(), resBytes.Bytes()) {
+		t.Fatalf("resumed store differs from uninterrupted run (%d vs %d bytes)",
+			resBytes.Len(), refBytes.Len())
+	}
+
+	refDet := ref.DetectAS(25482)
+	resDet := res.DetectAS(25482)
+	sameOutages(t, "DetectAS after resume", resDet.Outages, refDet.Outages)
+	if len(refDet.Outages) != 1 {
+		t.Fatalf("reference run outages = %+v, want the scripted one", refDet.Outages)
+	}
+}
+
+// TestResumeRejectsMismatchedCampaign guards the resume validation: a
+// checkpoint from a different campaign must not be silently adopted.
+func TestResumeRejectsMismatchedCampaign(t *testing.T) {
+	const rounds = 30
+	dir := t.TempDir()
+	opts, _ := killResumeOpts(t, rounds, dir+"/a.cmds")
+	mon, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRounds(t, mon, 12)
+
+	// Different round count.
+	bad, _ := killResumeOpts(t, rounds+5, "")
+	bad.ResumeFrom = dir + "/a.cmds"
+	if _, err := New(bad); err == nil {
+		t.Error("timeline mismatch accepted")
+	}
+	// Different targets.
+	bad2, _ := killResumeOpts(t, rounds, "")
+	bad2.ResumeFrom = dir + "/a.cmds"
+	bad2.Targets = []Prefix{netmodel.MustParsePrefix("10.0.0.0/23")}
+	if _, err := New(bad2); err == nil {
+		t.Error("target mismatch accepted")
+	}
+	// Missing file.
+	bad3, _ := killResumeOpts(t, rounds, "")
+	bad3.ResumeFrom = dir + "/nope.cmds"
+	if _, err := New(bad3); err == nil {
+		t.Error("missing checkpoint accepted")
+	}
+}
