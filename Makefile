@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci
+# Benchmark time per benchmark; 1x records one iteration (the smoke /
+# baseline default), bump to e.g. 3s for stable timing comparisons.
+BENCHTIME ?= 1x
+
+.PHONY: all build test race vet fmt bench bench-smoke ci
 
 all: build
 
@@ -22,5 +26,19 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# The full gate: formatting, static analysis, tests, and the race detector.
-ci: fmt vet test race
+# Record a benchmark baseline: every benchmark (including the workers=1 vs
+# workers=all scaling pairs) with memory stats, converted to JSON keyed by
+# benchmark name. Compare BENCH_baseline.json across commits / machines.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) ./... \
+		| $(GO) run ./cmd/benchjson > BENCH_baseline.json
+	@echo "wrote BENCH_baseline.json"
+
+# One-iteration pass over every benchmark: catches bit-rot in the bench
+# harness without paying for stable timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./... > /dev/null
+
+# The full gate: formatting, static analysis, tests, the race detector, and
+# the benchmark smoke run.
+ci: fmt vet test race bench-smoke

@@ -17,6 +17,7 @@ import (
 	"countrymon/internal/experiments"
 	"countrymon/internal/icmp"
 	"countrymon/internal/netmodel"
+	"countrymon/internal/par"
 	"countrymon/internal/scanner"
 	"countrymon/internal/signals"
 	"countrymon/internal/sim"
@@ -33,12 +34,7 @@ func benchEnvWarm(b *testing.B) *experiments.Env {
 	benchOnce.Do(func() {
 		env := experiments.Default()
 		// Materialize the heavyweight shared state outside the timer.
-		env.Store()
-		env.Classifier()
-		env.Signals()
-		env.Trinocular()
-		env.IODA()
-		env.TargetSet()
+		env.Warm()
 		benchEnv = env
 	})
 	return benchEnv
@@ -63,6 +59,42 @@ func benchExperiment(b *testing.B, id string) {
 		b.ReportMetric(v, name)
 	}
 }
+
+// benchWorkersExperiment re-times an experiment at one worker versus the
+// default pool, so multi-core speedups show up as workers=1 / workers=all
+// ratios in the recorded baseline.
+func benchWorkersExperiment(b *testing.B, id string) {
+	benchEnvWarm(b)
+	b.Run("workers=1", func(b *testing.B) {
+		b.Setenv(par.EnvWorkers, "1")
+		benchExperiment(b, id)
+	})
+	b.Run("workers=all", func(b *testing.B) {
+		b.Setenv(par.EnvWorkers, "")
+		benchExperiment(b, id)
+	})
+}
+
+// BenchmarkEnvWarm times the full pipeline materialization (store →
+// classification/signals/baselines → detections) on a fresh Env, the main
+// beneficiary of the concurrent warm-up.
+func BenchmarkEnvWarm(b *testing.B) {
+	cfg := sim.Config{Seed: 1, Scale: 0.04}
+	for _, w := range []struct{ name, val string }{{"workers=1", "1"}, {"workers=all", ""}} {
+		b.Run(w.name, func(b *testing.B) {
+			b.Setenv(par.EnvWorkers, w.val)
+			for i := 0; i < b.N; i++ {
+				experiments.New(cfg).Warm()
+			}
+		})
+	}
+}
+
+// The two sweep benchmarks the ISSUE's acceptance criteria name: the F22
+// classification sensitivity grid and the F24 severity-threshold sweep.
+
+func BenchmarkSweepSensitivityASes(b *testing.B) { benchWorkersExperiment(b, "F22") }
+func BenchmarkSweepSeverity(b *testing.B)        { benchWorkersExperiment(b, "F24") }
 
 // --- Tables ---
 

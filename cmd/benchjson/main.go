@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// baseline written to stdout, keyed by benchmark name:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson > BENCH_baseline.json
+//
+// Each entry records ns/op, B/op and allocs/op when present, plus any custom
+// metrics reported via b.ReportMetric (e.g. the experiment metrics the
+// benchmark harness re-exports). Non-benchmark lines (goos/pkg banners,
+// PASS/ok) are echoed to stderr so they stay visible when stdout is a file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// entry is one benchmark's recorded baseline.
+type entry struct {
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	results := make(map[string]*entry)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		name, e, ok := parseLine(line)
+		if !ok {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		results[name] = e
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Emit in sorted order via an ordered re-marshal.
+	out := make(map[string]*entry, len(results))
+	for _, n := range names {
+		out[n] = results[n]
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine decodes one `Benchmark...` result line: the name (with the
+// -GOMAXPROCS suffix stripped), the iteration count, then "value unit"
+// pairs.
+func parseLine(line string) (string, *entry, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", nil, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return "", nil, false
+	}
+	name := fields[0]
+	// Strip the trailing -N GOMAXPROCS suffix, if any.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return "", nil, false
+	}
+	e := &entry{Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = v
+		case "B/op":
+			e.BytesPerOp = v
+		case "allocs/op":
+			e.AllocsPerOp = v
+		default:
+			if e.Metrics == nil {
+				e.Metrics = make(map[string]float64)
+			}
+			e.Metrics[unit] = v
+		}
+	}
+	return name, e, true
+}

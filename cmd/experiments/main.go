@@ -35,6 +35,9 @@ func main() {
 	var list []experiments.Experiment
 	if flag.NArg() == 0 {
 		list = experiments.All()
+		// Running everything: materialize the pipeline up front so the
+		// independent stages build concurrently instead of on first use.
+		env.Warm()
 	} else {
 		for _, id := range flag.Args() {
 			ex, ok := experiments.ByID(id)

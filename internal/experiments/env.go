@@ -7,6 +7,8 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -16,6 +18,7 @@ import (
 	"countrymon/internal/dataset"
 	"countrymon/internal/ioda"
 	"countrymon/internal/netmodel"
+	"countrymon/internal/par"
 	"countrymon/internal/power"
 	"countrymon/internal/regional"
 	"countrymon/internal/signals"
@@ -51,11 +54,13 @@ type Env struct {
 	targetSet  *regional.TargetSet
 	targetASNs []netmodel.ASN
 
-	mu        sync.Mutex
-	ourAS     map[netmodel.ASN]*signals.Detection
-	iodaAS    map[netmodel.ASN]*signals.Detection
-	ourRegion map[netmodel.Region]*signals.Detection
-	iodaReg   map[netmodel.Region]*signals.Detection
+	// Detection caches have per-key once semantics: concurrent callers
+	// asking for the same entity share one Detect run instead of racing to
+	// compute it twice.
+	ourAS     par.Cache[netmodel.ASN, *signals.Detection]
+	iodaAS    par.Cache[netmodel.ASN, *signals.Detection]
+	ourRegion par.Cache[netmodel.Region, *signals.Detection]
+	iodaReg   par.Cache[netmodel.Region, *signals.Detection]
 
 	powerOnce sync.Once
 	powerRep  *power.Report
@@ -63,13 +68,7 @@ type Env struct {
 
 // New builds an Env for the given scenario configuration.
 func New(cfg sim.Config) *Env {
-	return &Env{
-		cfg:       cfg,
-		ourAS:     make(map[netmodel.ASN]*signals.Detection),
-		iodaAS:    make(map[netmodel.ASN]*signals.Detection),
-		ourRegion: make(map[netmodel.Region]*signals.Detection),
-		iodaReg:   make(map[netmodel.Region]*signals.Detection),
-	}
+	return &Env{cfg: cfg}
 }
 
 var (
@@ -79,22 +78,44 @@ var (
 
 // Default returns the process-wide Env, sized by the COUNTRYMON_SCALE
 // (default 0.12), COUNTRYMON_INTERVAL_HOURS (default 6) and COUNTRYMON_SEED
-// (default 1) environment variables.
+// (default 1) environment variables. Malformed values are reported on
+// stderr and ignored.
 func Default() *Env {
 	defaultOnce.Do(func() {
-		cfg := sim.Config{Seed: 1}
-		if v, err := strconv.ParseFloat(os.Getenv("COUNTRYMON_SCALE"), 64); err == nil && v > 0 {
-			cfg.Scale = v
-		}
-		if v, err := strconv.Atoi(os.Getenv("COUNTRYMON_INTERVAL_HOURS")); err == nil && v > 0 {
-			cfg.Interval = time.Duration(v) * time.Hour
-		}
-		if v, err := strconv.ParseUint(os.Getenv("COUNTRYMON_SEED"), 10, 64); err == nil {
-			cfg.Seed = v
-		}
-		defaultEnv = New(cfg)
+		defaultEnv = New(ConfigFromEnv(os.Getenv, os.Stderr))
 	})
 	return defaultEnv
+}
+
+// ConfigFromEnv builds a scenario configuration from the COUNTRYMON_SCALE,
+// COUNTRYMON_INTERVAL_HOURS and COUNTRYMON_SEED variables as reported by
+// getenv. Unset variables fall back to defaults silently; set-but-malformed
+// (or non-positive) values are reported to warn and then ignored, instead of
+// silently running a differently-sized campaign than the caller asked for.
+func ConfigFromEnv(getenv func(string) string, warn io.Writer) sim.Config {
+	cfg := sim.Config{Seed: 1}
+	if v := getenv("COUNTRYMON_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			cfg.Scale = f
+		} else {
+			fmt.Fprintf(warn, "countrymon: ignoring COUNTRYMON_SCALE=%q (want a positive float)\n", v)
+		}
+	}
+	if v := getenv("COUNTRYMON_INTERVAL_HOURS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			cfg.Interval = time.Duration(n) * time.Hour
+		} else {
+			fmt.Fprintf(warn, "countrymon: ignoring COUNTRYMON_INTERVAL_HOURS=%q (want a positive integer)\n", v)
+		}
+	}
+	if v := getenv("COUNTRYMON_SEED"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			cfg.Seed = n
+		} else {
+			fmt.Fprintf(warn, "countrymon: ignoring COUNTRYMON_SEED=%q (want an unsigned integer)\n", v)
+		}
+	}
+	return cfg
 }
 
 // Config returns the scenario configuration.
@@ -189,64 +210,66 @@ func (e *Env) TargetASNs() []netmodel.ASN {
 
 // OurAS returns (and caches) our detection for an AS.
 func (e *Env) OurAS(asn netmodel.ASN) *signals.Detection {
-	e.mu.Lock()
-	d, ok := e.ourAS[asn]
-	e.mu.Unlock()
-	if ok {
-		return d
-	}
-	d = signals.Detect(e.Signals().AS(asn), signals.ASConfig())
-	e.mu.Lock()
-	e.ourAS[asn] = d
-	e.mu.Unlock()
-	return d
+	return e.ourAS.Get(asn, func() *signals.Detection {
+		return signals.Detect(e.Signals().AS(asn), signals.ASConfig())
+	})
 }
 
 // IODAAS returns (and caches) IODA's detection for an AS (nil below the
 // reporting floor).
 func (e *Env) IODAAS(asn netmodel.ASN) *signals.Detection {
-	e.mu.Lock()
-	d, ok := e.iodaAS[asn]
-	e.mu.Unlock()
-	if ok {
-		return d
-	}
-	d = e.IODA().DetectAS(asn)
-	e.mu.Lock()
-	e.iodaAS[asn] = d
-	e.mu.Unlock()
-	return d
+	return e.iodaAS.Get(asn, func() *signals.Detection {
+		return e.IODA().DetectAS(asn)
+	})
 }
 
 // OurRegion returns (and caches) our regional detection.
 func (e *Env) OurRegion(r netmodel.Region) *signals.Detection {
-	e.mu.Lock()
-	d, ok := e.ourRegion[r]
-	e.mu.Unlock()
-	if ok {
-		return d
-	}
-	rr := e.Classification().Regions[r]
-	d = signals.Detect(e.Signals().Region(rr, e.Classifier()), signals.RegionConfig())
-	e.mu.Lock()
-	e.ourRegion[r] = d
-	e.mu.Unlock()
-	return d
+	return e.ourRegion.Get(r, func() *signals.Detection {
+		rr := e.Classification().Regions[r]
+		return signals.Detect(e.Signals().Region(rr, e.Classifier()), signals.RegionConfig())
+	})
 }
 
 // IODARegion returns (and caches) IODA's regional detection.
 func (e *Env) IODARegion(r netmodel.Region) *signals.Detection {
-	e.mu.Lock()
-	d, ok := e.iodaReg[r]
-	e.mu.Unlock()
-	if ok {
-		return d
-	}
-	d = e.IODA().DetectRegion(r)
-	e.mu.Lock()
-	e.iodaReg[r] = d
-	e.mu.Unlock()
-	return d
+	return e.iodaReg.Get(r, func() *signals.Detection {
+		return e.IODA().DetectRegion(r)
+	})
+}
+
+// Warm materializes the whole pipeline up front. After the store is built,
+// the classifier, signal builder, Trinocular baseline and power report are
+// independent of each other, so they run concurrently; the IODA platform and
+// target set then assemble from those, and finally every per-AS/per-region
+// detection both systems report on is filled in. Experiments after a Warm
+// only read caches.
+func (e *Env) Warm() {
+	e.Store()
+	par.Do(
+		func() { e.Classifier() },
+		func() { e.Signals() },
+		func() { e.Trinocular() },
+		func() { e.PowerReport() },
+	)
+	e.IODA()
+	e.TargetSet()
+	e.WarmDetections()
+}
+
+// WarmDetections fills the per-AS and per-region detection caches for both
+// systems across the worker pool.
+func (e *Env) WarmDetections() {
+	asns := e.TargetASNs()
+	par.ForEach(len(asns), func(i int) {
+		e.OurAS(asns[i])
+		e.IODAAS(asns[i])
+	})
+	regions := netmodel.Regions()
+	par.ForEach(len(regions), func(i int) {
+		e.OurRegion(regions[i])
+		e.IODARegion(regions[i])
+	})
 }
 
 // PowerReport returns the Ukrenergo-like dataset, exercising the export →

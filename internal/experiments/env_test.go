@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"countrymon/internal/netmodel"
+	"countrymon/internal/sim"
+)
+
+func TestConfigFromEnvDefaults(t *testing.T) {
+	var warn strings.Builder
+	cfg := ConfigFromEnv(func(string) string { return "" }, &warn)
+	if cfg.Seed != 1 || cfg.Scale != 0 || cfg.Interval != 0 {
+		t.Fatalf("unset env produced %+v, want zero-value config with seed 1", cfg)
+	}
+	if warn.Len() != 0 {
+		t.Fatalf("unset env warned: %q", warn.String())
+	}
+}
+
+func TestConfigFromEnvParsesValidValues(t *testing.T) {
+	var warn strings.Builder
+	env := map[string]string{
+		"COUNTRYMON_SCALE":          "0.25",
+		"COUNTRYMON_INTERVAL_HOURS": "2",
+		"COUNTRYMON_SEED":           "42",
+	}
+	cfg := ConfigFromEnv(func(k string) string { return env[k] }, &warn)
+	if cfg.Scale != 0.25 || cfg.Interval != 2*time.Hour || cfg.Seed != 42 {
+		t.Fatalf("valid env produced %+v", cfg)
+	}
+	if warn.Len() != 0 {
+		t.Fatalf("valid env warned: %q", warn.String())
+	}
+}
+
+func TestConfigFromEnvWarnsOnMalformedValues(t *testing.T) {
+	cases := []struct {
+		key, val string
+	}{
+		{"COUNTRYMON_SCALE", "banana"},
+		{"COUNTRYMON_SCALE", "-1"},
+		{"COUNTRYMON_SCALE", "0"},
+		{"COUNTRYMON_INTERVAL_HOURS", "2.5"},
+		{"COUNTRYMON_INTERVAL_HOURS", "-6"},
+		{"COUNTRYMON_SEED", "-3"},
+		{"COUNTRYMON_SEED", "0x10"},
+	}
+	for _, tc := range cases {
+		var warn strings.Builder
+		cfg := ConfigFromEnv(func(k string) string {
+			if k == tc.key {
+				return tc.val
+			}
+			return ""
+		}, &warn)
+		if !strings.Contains(warn.String(), tc.key) || !strings.Contains(warn.String(), tc.val) {
+			t.Errorf("%s=%q: warning %q does not name the variable and value", tc.key, tc.val, warn.String())
+		}
+		// The malformed value must be ignored, leaving the default.
+		def := sim.Config{Seed: 1}
+		if cfg != def {
+			t.Errorf("%s=%q: config %+v, want defaults %+v", tc.key, tc.val, cfg, def)
+		}
+	}
+}
+
+// TestDetectionCachePerKeyOnce verifies the per-key once semantics of the
+// Env detection caches: concurrent callers for the same entity must share a
+// single Detect run (and thus observe pointer-identical results).
+func TestDetectionCachePerKeyOnce(t *testing.T) {
+	e := New(sim.Config{Seed: 1, Scale: 0.02})
+	e.Store()
+	asn := e.TargetASNs()[0]
+	region := netmodel.Kherson
+
+	const callers = 16
+	asGot := make([]interface{}, callers)
+	regGot := make([]interface{}, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for g := 0; g < callers; g++ {
+		go func() {
+			defer wg.Done()
+			asGot[g] = e.OurAS(asn)
+			regGot[g] = e.OurRegion(region)
+		}()
+	}
+	wg.Wait()
+	for g := 1; g < callers; g++ {
+		if asGot[g] != asGot[0] {
+			t.Fatalf("caller %d got a different OurAS detection pointer", g)
+		}
+		if regGot[g] != regGot[0] {
+			t.Fatalf("caller %d got a different OurRegion detection pointer", g)
+		}
+	}
+}
+
+// TestWarmMatchesLazyEvaluation checks that the concurrent warm-up leaves
+// the caches holding the same objects the lazy getters would build.
+func TestWarmMatchesLazyEvaluation(t *testing.T) {
+	e := New(sim.Config{Seed: 1, Scale: 0.02})
+	e.Warm()
+	if e.Store() == nil || e.Classifier() == nil || e.Signals() == nil ||
+		e.Trinocular() == nil || e.IODA() == nil || e.PowerReport() == nil {
+		t.Fatal("Warm left part of the pipeline unmaterialized")
+	}
+	lazy := New(sim.Config{Seed: 1, Scale: 0.02})
+	for _, asn := range e.TargetASNs() {
+		w, l := e.OurAS(asn), lazy.OurAS(asn)
+		if w.TotalRounds() != l.TotalRounds() {
+			t.Fatalf("AS%d: warmed detection has %d signal rounds, lazy %d", asn, w.TotalRounds(), l.TotalRounds())
+		}
+	}
+	for _, r := range netmodel.Regions() {
+		w, l := e.OurRegion(r), lazy.OurRegion(r)
+		if w.TotalRounds() != l.TotalRounds() {
+			t.Fatalf("%s: warmed detection has %d signal rounds, lazy %d", r, w.TotalRounds(), l.TotalRounds())
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"countrymon/internal/analysis"
 	"countrymon/internal/netmodel"
+	"countrymon/internal/par"
 	"countrymon/internal/regional"
 	"countrymon/internal/ripe"
 	"countrymon/internal/signals"
@@ -383,25 +384,29 @@ func sensitivitySweep(e *Env, id, title string, blocks bool) *Report {
 		header += fmt.Sprintf("%8.1f", m)
 	}
 	r.addf("%s", header)
-	var defaultCount, strictCount, relaxedCount int
-	for _, tp := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0} {
-		line := fmt.Sprintf("Tp=%.1f: ", tp)
-		for _, m := range ms {
-			p := params
-			p.M, p.TPerc = m, tp
-			count := 0
-			if blocks {
-				seen := make(map[int]bool)
-				for _, region := range netmodel.Regions() {
-					for _, bc := range cl.Classify(region, p).RegionalBlocks() {
-						seen[bc.Index] = true
-					}
+	// Every (T_perc, M) grid point is an independent classification of the
+	// precomputed share tables: sweep the whole grid across the worker pool,
+	// then assemble the report lines in grid order.
+	tps := []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0}
+	counts := par.Map(len(tps)*len(ms), func(i int) int {
+		p := params
+		p.TPerc, p.M = tps[i/len(ms)], ms[i%len(ms)]
+		if blocks {
+			seen := make(map[int]bool)
+			for _, region := range netmodel.Regions() {
+				for _, bc := range cl.Classify(region, p).RegionalBlocks() {
+					seen[bc.Index] = true
 				}
-				count = len(seen)
-			} else {
-				res := cl.ClassifyAll(p)
-				count = res.NationalCounts()[regional.ASRegional]
 			}
+			return len(seen)
+		}
+		return cl.ClassifyAll(p).NationalCounts()[regional.ASRegional]
+	})
+	var defaultCount, strictCount, relaxedCount int
+	for ti, tp := range tps {
+		line := fmt.Sprintf("Tp=%.1f: ", tp)
+		for mi, m := range ms {
+			count := counts[ti*len(ms)+mi]
 			line += fmt.Sprintf("%8d", count)
 			switch {
 			case m == 0.7 && tp == 0.7:

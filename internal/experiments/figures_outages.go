@@ -7,6 +7,7 @@ import (
 
 	"countrymon/internal/analysis"
 	"countrymon/internal/netmodel"
+	"countrymon/internal/par"
 	"countrymon/internal/render"
 	"countrymon/internal/signals"
 	"countrymon/internal/sim"
@@ -540,43 +541,48 @@ func figure24(e *Env) *Report {
 	b := e.Signals()
 	tl := e.Store().Timeline()
 
-	// Build each region's series once.
-	type regSeries struct {
-		region netmodel.Region
-		es     *signals.EntitySeries
+	// Build each region's series once (sharded across the worker pool), then
+	// sweep the detection thresholds in parallel: each threshold only reads
+	// the shared series. Report lines assemble in threshold order.
+	series := par.Map(len(nfl), func(i int) *signals.EntitySeries {
+		return b.Region(res.Regions[nfl[i]], cl)
+	})
+	thresholds := []float64{0.5, 0.7, 0.8, 0.9, 0.95, 0.99}
+	type sweepPoint struct {
+		total, r float64
 	}
-	var series []regSeries
-	for _, region := range nfl {
-		series = append(series, regSeries{region, b.Region(res.Regions[region], cl)})
-	}
-	var defaultR float64
-	prevHours := -1.0
-	monotone := true
-	for _, thr := range []float64{0.5, 0.7, 0.8, 0.9, 0.95, 0.99} {
+	points := par.Map(len(thresholds), func(ti int) sweepPoint {
+		thr := thresholds[ti]
 		cfg := signals.RegionConfig()
 		cfg.BGPFrac, cfg.FBSFrac = thr, thr
 		cfg.IPSFrac = thr - 0.05
 		var group [][]float64
-		for _, rs := range series {
-			d := signals.Detect(rs.es, cfg)
+		for _, es := range series {
+			d := signals.Detect(es, cfg)
 			group = append(group, analysis.OutageHoursPerDay(d, tl))
 		}
 		mean := analysis.MeanOf(group...)
 		meanY, days := analysis.YearSlice(mean, tl, 2024)
 		pow := dailyPowerHours(e, nfl, days)
-		rr := analysis.Pearson(pow, meanY)
 		total := 0.0
 		for _, v := range meanY {
 			total += v
 		}
-		r.addf("threshold %.2f: outage hours %.0f, Pearson r = %.2f", thr, total, rr)
+		return sweepPoint{total: total, r: analysis.Pearson(pow, meanY)}
+	})
+	var defaultR float64
+	prevHours := -1.0
+	monotone := true
+	for ti, thr := range thresholds {
+		pt := points[ti]
+		r.addf("threshold %.2f: outage hours %.0f, Pearson r = %.2f", thr, pt.total, pt.r)
 		if thr == 0.95 {
-			defaultR = rr
+			defaultR = pt.r
 		}
-		if prevHours >= 0 && total < prevHours-1 {
+		if prevHours >= 0 && pt.total < prevHours-1 {
 			monotone = false
 		}
-		prevHours = total
+		prevHours = pt.total
 	}
 	r.metric("pearson_at_default", defaultR)
 	mb := 0.0

@@ -20,6 +20,7 @@ import (
 	"countrymon/internal/dataset"
 	"countrymon/internal/geodb"
 	"countrymon/internal/netmodel"
+	"countrymon/internal/par"
 )
 
 // Params are the classification thresholds.
@@ -99,16 +100,13 @@ func NewClassifier(space *netmodel.Space, db *geodb.DB, store *dataset.Store) *C
 		blockRouted: make([][]bool, space.NumBlocks()),
 		uaIPs:       make(map[netmodel.ASN][]int32),
 	}
-	for bi, blk := range space.Blocks() {
+	// Per-block share tables are independent: shard them across the worker
+	// pool. Each goroutine writes only its own rows.
+	par.ForEach(space.NumBlocks(), func(bi int) {
+		blk := space.Blocks()[bi]
 		c.shares[bi] = make([]geodb.BlockShares, months)
 		c.radius[bi] = make([]uint16, months)
 		c.blockRouted[bi] = make([]bool, months)
-		asn := space.OriginOf(blk)
-		ua := c.uaIPs[asn]
-		if ua == nil {
-			ua = make([]int32, months)
-			c.uaIPs[asn] = ua
-		}
 		si := store.BlockIndex(blk)
 		for m := 0; m < months; m++ {
 			snap := db.Month(m)
@@ -121,11 +119,35 @@ func NewClassifier(space *netmodel.Space, db *geodb.DB, store *dataset.Store) *C
 				st := store.MonthStats(si, m)
 				c.blockRouted[bi][m] = st.RoutedRounds > 0
 			}
-			for r := netmodel.Region(1); int(r) <= netmodel.NumRegions; r++ {
-				ua[m] += int32(bs.PerRegion[r])
+		}
+	})
+
+	// AS denominators: group blocks per origin AS sequentially (map writes),
+	// then sum each AS's monthly Ukraine-located addresses in parallel.
+	// Integer addition is order-independent, so the result is identical to
+	// the sequential accumulation.
+	asBlocks := make(map[netmodel.ASN][]int32)
+	asns := make([]netmodel.ASN, 0, 64)
+	for bi, blk := range space.Blocks() {
+		asn := space.OriginOf(blk)
+		if _, ok := asBlocks[asn]; !ok {
+			asns = append(asns, asn)
+			c.uaIPs[asn] = make([]int32, months)
+		}
+		asBlocks[asn] = append(asBlocks[asn], int32(bi))
+	}
+	par.ForEach(len(asns), func(ai int) {
+		asn := asns[ai]
+		ua := c.uaIPs[asn]
+		for _, bi := range asBlocks[asn] {
+			for m := 0; m < months; m++ {
+				bs := &c.shares[bi][m]
+				for r := netmodel.Region(1); int(r) <= netmodel.NumRegions; r++ {
+					ua[m] += int32(bs.PerRegion[r])
+				}
 			}
 		}
-	}
+	})
 	return c
 }
 
@@ -411,11 +433,16 @@ type Result struct {
 	Regions map[netmodel.Region]*RegionResult
 }
 
-// ClassifyAll classifies every region.
+// ClassifyAll classifies every region. Regions are independent reads of the
+// precomputed share tables, so they shard across the worker pool.
 func (c *Classifier) ClassifyAll(p Params) *Result {
-	res := &Result{Params: p, Regions: make(map[netmodel.Region]*RegionResult)}
-	for _, r := range netmodel.Regions() {
-		res.Regions[r] = c.Classify(r, p)
+	regions := netmodel.Regions()
+	results := par.Map(len(regions), func(i int) *RegionResult {
+		return c.Classify(regions[i], p)
+	})
+	res := &Result{Params: p, Regions: make(map[netmodel.Region]*RegionResult, len(regions))}
+	for i, r := range regions {
+		res.Regions[r] = results[i]
 	}
 	return res
 }

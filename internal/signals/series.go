@@ -15,6 +15,7 @@ package signals
 import (
 	"countrymon/internal/dataset"
 	"countrymon/internal/netmodel"
+	"countrymon/internal/par"
 	"countrymon/internal/regional"
 	"countrymon/internal/timeline"
 )
@@ -64,6 +65,11 @@ type Builder struct {
 	// missing is the effective no-data mask: vantage outages plus partial
 	// rounds below the coverage gate.
 	missing []bool
+	// asCache and regionCache memoize built series. Callers treat returned
+	// series as shared and read-only; anything derived from them (detection,
+	// ablations) allocates its own buffers.
+	asCache     par.Cache[netmodel.ASN, *EntitySeries]
+	regionCache par.Cache[*regional.RegionResult, *EntitySeries]
 }
 
 // NewBuilder precomputes eligibility for all blocks and months, gating
@@ -86,11 +92,18 @@ func NewBuilderMinCoverage(store *dataset.Store, space *netmodel.Space, minCover
 		missing:  store.EffectiveMissing(minCoverage),
 	}
 	months := tl.NumMonths()
-	for bi := 0; bi < store.NumBlocks(); bi++ {
+	// Eligibility rows are independent per block: shard them across the
+	// worker pool.
+	par.ForEach(store.NumBlocks(), func(bi int) {
 		b.elig[bi] = make([]bool, months)
 		for m := 0; m < months; m++ {
 			b.elig[bi][m] = store.EligibleFBS(bi, m, MinEverActive)
 		}
+	})
+	// Group blocks per AS sequentially so each AS's block list stays in
+	// ascending index order: series accumulation order (and thus float
+	// rounding) must not depend on the worker count.
+	for bi := 0; bi < store.NumBlocks(); bi++ {
 		blk := store.Blocks()[bi]
 		if asn := space.OriginOf(blk); asn != 0 {
 			b.asBlocks[asn] = append(b.asBlocks[asn], bi)
@@ -112,8 +125,14 @@ func (b *Builder) Eligible(bi, m int) bool { return b.elig[bi][m] }
 func (b *Builder) ASBlocks(asn netmodel.ASN) []int { return b.asBlocks[asn] }
 
 // AS builds the AS-wide series over all the AS's blocks (as §5.4 does for
-// comparability with IODA).
+// comparability with IODA). Results are memoized per AS and safe to request
+// from concurrent goroutines; the returned series is shared — treat it as
+// read-only.
 func (b *Builder) AS(asn netmodel.ASN) *EntitySeries {
+	return b.asCache.Get(asn, func() *EntitySeries { return b.buildAS(asn) })
+}
+
+func (b *Builder) buildAS(asn netmodel.ASN) *EntitySeries {
 	es := b.newSeries(asn.String())
 	rounds := b.tl.NumRounds()
 	for _, bi := range b.asBlocks[asn] {
@@ -140,7 +159,16 @@ func (b *Builder) AS(asn netmodel.ASN) *EntitySeries {
 // Region builds the regional series: only blocks classified regional for
 // the region contribute, only in the months they meet the share threshold,
 // weighted by their regional share of addresses (§3.1 "Signal Properties").
+// Results are memoized per classification result (keyed by the *RegionResult
+// pointer) and safe to request from concurrent goroutines; the returned
+// series is shared — treat it as read-only. The series is always accumulated
+// in ascending block order by a single goroutine, so float rounding is
+// identical regardless of the worker count.
 func (b *Builder) Region(rr *regional.RegionResult, cl *regional.Classifier) *EntitySeries {
+	return b.regionCache.Get(rr, func() *EntitySeries { return b.buildRegion(rr, cl) })
+}
+
+func (b *Builder) buildRegion(rr *regional.RegionResult, cl *regional.Classifier) *EntitySeries {
 	es := b.newSeries(rr.Region.String())
 	rounds := b.tl.NumRounds()
 	for _, bc := range rr.Blocks {
@@ -174,12 +202,15 @@ func (b *Builder) Region(rr *regional.RegionResult, cl *regional.Classifier) *En
 
 func (b *Builder) newSeries(name string) *EntitySeries {
 	rounds := b.tl.NumRounds()
+	// One backing array for all three signals instead of three small
+	// allocations; series construction dominates the sweep hot paths.
+	buf := make([]float32, 3*rounds)
 	return &EntitySeries{
 		Name:          name,
 		TL:            b.tl,
-		BGP:           make([]float32, rounds),
-		FBS:           make([]float32, rounds),
-		IPS:           make([]float32, rounds),
+		BGP:           buf[:rounds:rounds],
+		FBS:           buf[rounds : 2*rounds : 2*rounds],
+		IPS:           buf[2*rounds:],
 		IPSValidMonth: make([]bool, b.tl.NumMonths()),
 		Missing:       b.missing,
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"countrymon/internal/geodb"
 	"countrymon/internal/netmodel"
+	"countrymon/internal/par"
 )
 
 // Geolocation ground truth → IPInfo-like monthly snapshots.
@@ -135,13 +136,10 @@ func (s *Scenario) radiusKM(month int, static bool) uint32 {
 	return 500
 }
 
-// GeoDB builds all monthly snapshots (0..NumMonths-1).
+// GeoDB builds all monthly snapshots (0..NumMonths-1). Months are
+// independent, so they shard across the worker pool.
 func (s *Scenario) GeoDB() *geodb.DB {
-	snaps := make([]*geodb.Snapshot, s.TL.NumMonths())
-	for m := range snaps {
-		snaps[m] = s.GeoSnapshot(m)
-	}
-	return geodb.NewDB(snaps)
+	return geodb.NewDB(par.Map(s.TL.NumMonths(), s.GeoSnapshot))
 }
 
 // IPv6ChurnByRegion returns the synthetic IPv6 address-count change per

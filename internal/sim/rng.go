@@ -24,8 +24,10 @@ func unitFloat(h uint64) float64 { return float64(h>>11) / (1 << 53) }
 // liveOrderCache lazily computes each block's host liveness ranking: a
 // permutation of 0..255 per block, derived from the scenario seed. Rank 0 is
 // the "most alive" host; host h responds in a round iff rank(h) < count.
+// Reads vastly outnumber builds (every probe consults it, including the
+// parallel Trinocular fan-out), so lookups take only a read lock.
 type liveOrderCache struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	seed  uint64
 	ranks map[netmodel32]*[256]uint8
 }
@@ -34,12 +36,18 @@ type liveOrderCache struct {
 type netmodel32 = uint32
 
 func (c *liveOrderCache) rank(block uint32, host uint8) uint8 {
+	c.mu.RLock()
+	r, ok := c.ranks[block]
+	c.mu.RUnlock()
+	if ok {
+		return r[host]
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.ranks == nil {
 		c.ranks = make(map[uint32]*[256]uint8)
 	}
-	r, ok := c.ranks[block]
+	r, ok = c.ranks[block]
 	if !ok {
 		r = c.buildLocked(block)
 	}

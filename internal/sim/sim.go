@@ -174,7 +174,10 @@ type Scenario struct {
 
 	blocks   []BlockTraits // aligned with Space.Blocks()
 	asTraits map[netmodel.ASN]*ASTraits
-	events   []Event
+	// blockAS[bi] is the AS traits of block bi (nil if unknown), hoisted out
+	// of the per-round state evaluation.
+	blockAS []*ASTraits
+	events  []Event
 
 	// eventBlocks[e] lists the block indices event e affects; eventRounds
 	// the half-open round interval.

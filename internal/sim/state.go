@@ -5,6 +5,7 @@ import (
 
 	"countrymon/internal/dataset"
 	"countrymon/internal/netmodel"
+	"countrymon/internal/par"
 	"countrymon/internal/simnet"
 )
 
@@ -28,7 +29,7 @@ func (s *Scenario) BlockStateAt(bi int, at time.Time) BlockState {
 
 func (s *Scenario) stateAt(bi int, round int, at time.Time) BlockState {
 	bt := &s.blocks[bi]
-	as := s.asTraits[bt.ASN]
+	as := s.blockAS[bi]
 
 	st := BlockState{Routed: as == nil || as.Active(at)}
 	month := s.TL.MonthOfRound(round)
@@ -200,7 +201,11 @@ func (s *Scenario) GenerateStore(trackRTT []netmodel.BlockID) *dataset.Store {
 			store.SetMissing(r)
 		}
 	}
-	for bi := range s.blocks {
+	// The campaign shards per block across the worker pool: every stochastic
+	// decision in stateAt is a pure hash of (seed, block, round), and each
+	// block owns its store rows, so the result is byte-identical to the
+	// sequential order at any worker count.
+	par.ForEach(len(s.blocks), func(bi int) {
 		tracked := store.RTTTracked(bi)
 		for r := 0; r < rounds; r++ {
 			if s.Missing[r] {
@@ -212,7 +217,7 @@ func (s *Scenario) GenerateStore(trackRTT []netmodel.BlockID) *dataset.Store {
 				store.SetRTT(bi, r, st.RTTMS)
 			}
 		}
-	}
+	})
 	return store
 }
 
@@ -314,6 +319,12 @@ func (s *Scenario) ProbeFunc() func(addr netmodel.Addr, at time.Time) bool {
 // indexEvents builds the event↔block indices after the scenario's blocks
 // and events are final.
 func (s *Scenario) indexEvents() {
+	// Per-block AS-traits table: stateAt runs once per (block, round) and a
+	// map lookup there dominates the generator's profile.
+	s.blockAS = make([]*ASTraits, len(s.blocks))
+	for bi := range s.blocks {
+		s.blockAS[bi] = s.asTraits[s.blocks[bi].ASN]
+	}
 	s.blockEvents = make([][]int16, len(s.blocks))
 	asnSet := make(map[netmodel.ASN]bool)
 	regionSet := make(map[netmodel.Region]bool)

@@ -5,6 +5,7 @@ import (
 
 	"countrymon/internal/dataset"
 	"countrymon/internal/netmodel"
+	"countrymon/internal/par"
 )
 
 // Representatives supplies a block's ever-active addresses, most reliable
@@ -51,7 +52,15 @@ func NewRunner(store *dataset.Store, space *netmodel.Space, reps Representatives
 	if trainEnd < calibrationSamples {
 		trainEnd = calibrationSamples
 	}
-	for bi, blk := range store.Blocks() {
+	// Eligibility and calibration are independent per block: evaluate all
+	// candidates across the worker pool, then append the selected ones in
+	// block order so tracker ordering never depends on scheduling.
+	type candidate struct {
+		tracker       *BlockTracker
+		indeterminate bool
+	}
+	cands := par.Map(store.NumBlocks(), func(bi int) *candidate {
+		blk := store.Blocks()[bi]
 		ever := 0
 		for m := 0; m < tm; m++ {
 			if st := store.MonthStats(bi, m); st.EverActive > ever {
@@ -59,11 +68,11 @@ func NewRunner(store *dataset.Store, space *netmodel.Space, reps Representatives
 			}
 		}
 		if ever < MinEverActive {
-			continue
+			return nil
 		}
 		addrs := reps(blk, MinEverActive)
 		if len(addrs) == 0 {
-			continue
+			return nil
 		}
 		// Calibrate A: empirical per-probe success across the training
 		// window over the representative set.
@@ -89,11 +98,20 @@ func NewRunner(store *dataset.Store, space *netmodel.Space, reps Representatives
 			avail = float64(positives) / float64(probes)
 		}
 		if !Eligible(ever, avail) {
+			return nil
+		}
+		return &candidate{
+			tracker:       NewBlockTracker(blk, addrs, avail),
+			indeterminate: avail < IndeterminateBelow,
+		}
+	})
+	for bi, c := range cands {
+		if c == nil {
 			continue
 		}
-		r.trackers = append(r.trackers, NewBlockTracker(blk, addrs, avail))
+		r.trackers = append(r.trackers, c.tracker)
 		r.storeIdx = append(r.storeIdx, bi)
-		r.Indeterminate = append(r.Indeterminate, avail < IndeterminateBelow)
+		r.Indeterminate = append(r.Indeterminate, c.indeterminate)
 	}
 	return r
 }
@@ -129,6 +147,13 @@ type Result struct {
 }
 
 // Run probes every tracked block at every (non-missing) store round.
+//
+// A tracker's belief evolution depends only on its own probe history and the
+// probe function is a pure function of (address, time), so the campaign is
+// tracker-major and shards trackers across the worker pool: each goroutine
+// owns one tracker's full timeline. Per-AS counts and the probe total are
+// then aggregated sequentially in tracker order, giving results identical to
+// the round-major sequential sweep.
 func (r *Runner) Run(probe Probe) *Result {
 	tl := r.store.Timeline()
 	rounds := tl.NumRounds()
@@ -138,27 +163,38 @@ func (r *Runner) Run(probe Probe) *Result {
 		Blocks:  make([]netmodel.BlockID, len(r.trackers)),
 		Missing: r.store.MissingRounds(),
 	}
-	asOf := make([]netmodel.ASN, len(r.trackers))
-	for t, tr := range r.trackers {
-		res.States[t] = make([]State, rounds)
-		res.Blocks[t] = tr.Block
-		asn := r.space.OriginOf(tr.Block)
-		asOf[t] = asn
-		if _, ok := res.PerAS[asn]; !ok {
-			res.PerAS[asn] = make([]float32, rounds)
-		}
-	}
+	times := make([]time.Time, rounds)
 	for round := 0; round < rounds; round++ {
-		if res.Missing[round] {
-			continue
+		times[round] = tl.Time(round)
+	}
+	probeCounts := make([]uint64, len(r.trackers))
+	par.ForEach(len(r.trackers), func(t int) {
+		tr := r.trackers[t]
+		states := make([]State, rounds)
+		var sent uint64
+		for round := 0; round < rounds; round++ {
+			if res.Missing[round] {
+				continue
+			}
+			state, probes := tr.Round(probe, times[round])
+			sent += uint64(probes)
+			states[round] = state
 		}
-		at := tl.Time(round)
-		for t, tr := range r.trackers {
-			state, probes := tr.Round(probe, at)
-			res.ProbesSent += uint64(probes)
-			res.States[t][round] = state
+		res.States[t] = states
+		probeCounts[t] = sent
+	})
+	for t, tr := range r.trackers {
+		res.Blocks[t] = tr.Block
+		res.ProbesSent += probeCounts[t]
+		asn := r.space.OriginOf(tr.Block)
+		perAS := res.PerAS[asn]
+		if perAS == nil {
+			perAS = make([]float32, rounds)
+			res.PerAS[asn] = perAS
+		}
+		for round, state := range res.States[t] {
 			if state == StateUp {
-				res.PerAS[asOf[t]][round]++
+				perAS[round]++
 			}
 		}
 	}
