@@ -4,7 +4,7 @@ GO ?= go
 # baseline default), bump to e.g. 3s for stable timing comparisons.
 BENCHTIME ?= 1x
 
-.PHONY: all build test race vet fmt bench bench-smoke ci
+.PHONY: all build test race vet fmt bench bench-smoke bench-diff fuzz-smoke ci
 
 all: build
 
@@ -39,6 +39,22 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./... > /dev/null
 
-# The full gate: formatting, static analysis, tests, the race detector, and
-# the benchmark smoke run.
-ci: fmt vet test race bench-smoke
+# Compare a fresh benchmark run against the committed baseline, flagging
+# regressions worse than 20%. Non-fatal in ci (leading '-'): timings on
+# shared/CI hosts are too noisy to block on, but the delta table stays
+# visible in the log.
+bench-diff:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) ./... \
+		| $(GO) run ./cmd/benchjson > /tmp/bench_current.json
+	$(GO) run ./cmd/benchjson -diff BENCH_baseline.json /tmp/bench_current.json
+
+# Short native-fuzz smoke over the packet parsers: a few seconds each is
+# enough to exercise the mutator beyond the seed corpus in CI.
+fuzz-smoke:
+	$(GO) test ./internal/icmp -fuzz '^FuzzParseIPv4$$' -fuzztime 5s -run '^$$'
+	$(GO) test ./internal/icmp -fuzz '^FuzzParseICMP$$' -fuzztime 5s -run '^$$'
+
+# The full gate: formatting, static analysis, tests, the race detector, the
+# benchmark smoke run, the fuzz smoke, and the (non-fatal) bench diff.
+ci: fmt vet test race bench-smoke fuzz-smoke
+	-$(MAKE) bench-diff

@@ -10,6 +10,7 @@ package countrymon
 // both exercises the full pipeline and prints the reproduced numbers.
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -178,6 +179,62 @@ func BenchmarkScannerRound(b *testing.B) {
 		}
 	}
 	b.ReportMetric(4096, "probes/op")
+}
+
+// benchScanRound runs full scan rounds of a /18 (64 blocks, 16384 probes)
+// over the simulated wire, serially or fanned across in-process shards, and
+// reports wall-clock probe throughput. The parallel variant pins 8 workers
+// (COUNTRYMON_WORKERS), so recorded baselines compare the same shard count;
+// on a single-core host the two converge — the speedup needs real cores.
+func benchScanRound(b *testing.B, shards int) {
+	resp := simnet.ResponderFunc(func(dst netmodel.Addr, at time.Time) simnet.Reply {
+		if dst.HostByte() < 64 {
+			return simnet.Reply{Kind: simnet.EchoReply, RTT: 35 * time.Millisecond}
+		}
+		return simnet.Reply{Kind: simnet.NoReply}
+	})
+	ts, err := scanner.NewTargetSet([]netmodel.Prefix{netmodel.MustParsePrefix("10.0.0.0/18")}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	local := netmodel.MustParseAddr("198.51.100.1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	var probes uint64
+	for i := 0; i < b.N; i++ {
+		cfg := scanner.Config{Rate: -1, Seed: uint64(i) + 1, Epoch: uint32(i), Cooldown: time.Second}
+		var rd *scanner.RoundData
+		if shards > 1 {
+			rd, err = scanner.ScanParallel(context.Background(), ts, shards, cfg,
+				func(shard, total int) (scanner.Transport, scanner.Clock, error) {
+					net := simnet.New(local, resp, time.Unix(0, 0))
+					return net, net, nil
+				})
+		} else {
+			net := simnet.New(local, resp, time.Unix(0, 0))
+			cfg.Clock = net
+			rd, err = scanner.New(net, cfg).Run(ts)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rd.Stats.Valid != 64*64 {
+			b.Fatalf("valid = %d", rd.Stats.Valid)
+		}
+		probes += rd.Stats.Sent
+	}
+	b.StopTimer()
+	if wall := time.Since(start).Seconds(); wall > 0 {
+		b.ReportMetric(float64(probes)/wall, "probes_per_sec")
+	}
+}
+
+func BenchmarkScanRound(b *testing.B) { benchScanRound(b, 1) }
+
+func BenchmarkScanRoundParallel(b *testing.B) {
+	b.Setenv(par.EnvWorkers, "8")
+	benchScanRound(b, 8)
 }
 
 func BenchmarkICMPEncodeDecode(b *testing.B) {

@@ -7,11 +7,18 @@
 // metrics reported via b.ReportMetric (e.g. the experiment metrics the
 // benchmark harness re-exports). Non-benchmark lines (goos/pkg banners,
 // PASS/ok) are echoed to stderr so they stay visible when stdout is a file.
+//
+// With -diff old.json new.json it instead compares two baselines: per
+// benchmark, the ns/op and allocs/op deltas are printed, regressions worse
+// than -threshold (default 20%) are flagged, and the exit status is 1 when
+// any benchmark regressed — wired as a non-fatal CI step so the perf
+// trajectory stays visible per PR without blocking on noisy hosts.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -29,6 +36,18 @@ type entry struct {
 }
 
 func main() {
+	diff := flag.Bool("diff", false, "compare two baseline files (old.json new.json) instead of converting stdin")
+	threshold := flag.Float64("threshold", 0.20, "regression fraction that fails the diff (0.20 = 20% worse)")
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *threshold))
+	}
+
 	results := make(map[string]*entry)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -65,6 +84,86 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// loadBaseline reads a benchjson-produced JSON file.
+func loadBaseline(path string) (map[string]*entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var m map[string]*entry
+	if err := json.NewDecoder(f).Decode(&m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// runDiff compares two baselines and returns the process exit code: 0 when
+// no benchmark regressed beyond the threshold, 1 otherwise.
+func runDiff(oldPath, newPath string, threshold float64) int {
+	oldB, err := loadBaseline(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newB, err := loadBaseline(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+
+	names := make([]string, 0, len(newB))
+	for n := range newB {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	regressions, added := 0, 0
+	fmt.Printf("%-55s %12s %12s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "Δns/op", "Δallocs")
+	for _, n := range names {
+		ne := newB[n]
+		oe, ok := oldB[n]
+		if !ok {
+			added++
+			fmt.Printf("%-55s %12s %12.0f %8s %10s  [new]\n", n, "-", ne.NsPerOp, "-", "-")
+			continue
+		}
+		flags := ""
+		nsD := delta(oe.NsPerOp, ne.NsPerOp)
+		alD := delta(oe.AllocsPerOp, ne.AllocsPerOp)
+		if nsD > threshold || alD > threshold {
+			flags = fmt.Sprintf("  [REGRESSED >%d%%]", int(threshold*100))
+			regressions++
+		} else if nsD < -threshold {
+			flags = "  [improved]"
+		}
+		fmt.Printf("%-55s %12.0f %12.0f %7.1f%% %9.1f%%%s\n",
+			n, oe.NsPerOp, ne.NsPerOp, 100*nsD, 100*alD, flags)
+	}
+	removed := 0
+	for n := range oldB {
+		if _, ok := newB[n]; !ok {
+			removed++
+			fmt.Printf("%-55s  [removed]\n", n)
+		}
+	}
+	fmt.Printf("\n%d benchmarks compared, %d regressed, %d added, %d removed\n",
+		len(names)-added, regressions, added, removed)
+	if regressions > 0 {
+		return 1
+	}
+	return 0
+}
+
+// delta returns (new-old)/old, treating a missing (zero) old value as "no
+// signal" rather than an infinite regression.
+func delta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV
 }
 
 // parseLine decodes one `Benchmark...` result line: the name (with the

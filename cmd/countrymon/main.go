@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -36,6 +37,7 @@ func main() {
 	save := flag.String("save", "", "write the generated dataset to this file")
 	load := flag.String("load", "", "load a dataset instead of generating")
 	packetRounds := flag.Int("packet-rounds", 0, "additionally run N packet-level scan rounds through the real scanner")
+	parallel := flag.Int("parallel", 1, "in-process scan shards per packet-level round (COUNTRYMON_WORKERS caps workers)")
 	region := flag.String("region", "Kherson", "region to detail")
 	asn := flag.Uint("as", 25482, "AS to detail")
 	minCov := flag.Float64("min-coverage", signals.DefaultMinCoverage,
@@ -72,7 +74,7 @@ func main() {
 	}
 
 	if *packetRounds > 0 {
-		runPacketRounds(sc, store, *packetRounds)
+		runPacketRounds(sc, store, *packetRounds, *parallel)
 	}
 
 	log.Printf("classifying %d regions across %d months...", netmodel.NumRegions, store.Timeline().NumMonths())
@@ -154,9 +156,11 @@ func printOutages(d *signals.Detection, interval time.Duration, store *dataset.S
 }
 
 // runPacketRounds replays the first N rounds through the real scanner over
-// the simulated wire and cross-checks the fast generator's counts.
-func runPacketRounds(sc *sim.Scenario, store *dataset.Store, n int) {
-	log.Printf("packet-level validation: scanning %d rounds through the real scanner...", n)
+// the simulated wire and cross-checks the fast generator's counts. With
+// parallel > 1 each round fans out over in-process shards via ScanParallel,
+// which must agree with the serial scan bit-for-bit.
+func runPacketRounds(sc *sim.Scenario, store *dataset.Store, n, parallel int) {
+	log.Printf("packet-level validation: scanning %d rounds through the real scanner (parallel=%d)...", n, parallel)
 	// Scan a tractable subset: the Kherson Table-5 ASes.
 	var prefixes []netmodel.Prefix
 	for _, asn := range sim.KhersonASNs() {
@@ -168,17 +172,29 @@ func runPacketRounds(sc *sim.Scenario, store *dataset.Store, n int) {
 	if err != nil {
 		log.Fatalf("targets: %v", err)
 	}
+	local := netmodel.MustParseAddr("198.51.100.1")
 	mismatches, checked := 0, 0
 	for round := 0; round < n && round < sc.TL.NumRounds(); round++ {
 		if sc.Missing[round] {
 			continue
 		}
-		net := simnet.New(netmodel.MustParseAddr("198.51.100.1"), sc.Responder(), sc.TL.Time(round))
-		s := scanner.New(net, scanner.Config{
+		at := sc.TL.Time(round)
+		cfg := scanner.Config{
 			Rate: scanner.DefaultRate * 10, Seed: 99, Epoch: uint32(round + 1),
-			Clock: net, Cooldown: 2 * time.Second,
-		})
-		rd, err := s.Run(ts)
+			Cooldown: 2 * time.Second,
+		}
+		var rd *scanner.RoundData
+		if parallel > 1 {
+			rd, err = scanner.ScanParallel(context.Background(), ts, parallel, cfg,
+				func(shard, shards int) (scanner.Transport, scanner.Clock, error) {
+					net := simnet.New(local, sc.Responder(), at)
+					return net, net, nil
+				})
+		} else {
+			net := simnet.New(local, sc.Responder(), at)
+			cfg.Clock = net
+			rd, err = scanner.New(net, cfg).Run(ts)
+		}
 		if err != nil {
 			log.Fatalf("scan: %v", err)
 		}

@@ -22,10 +22,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sync"
 	"time"
 
 	"countrymon"
@@ -47,6 +49,9 @@ func main() {
 	shard := flag.Int("shard", 0, "this vantage's shard index")
 	shards := flag.Int("shards", 1, "total shards")
 	probes := flag.Int("probes", 1, "probes per address (retransmissions)")
+	parallel := flag.Int("parallel", 1, "in-process scan shards run concurrently (COUNTRYMON_WORKERS caps workers)")
+	batch := flag.Int("batch", 0, "transport batch size (0 = engine default)")
+	pipeline := flag.Bool("pipeline", false, "run sender and receiver as separate goroutines")
 	faultSpec := flag.String("faults", "", "fault-injection profile, e.g. \"seed=7,senderr=0.01,blackout=24h+8h\"")
 	rounds := flag.Int("rounds", 1, "campaign length in rounds (>1 runs the monitor, sim mode only)")
 	interval := flag.Duration("interval", 2*time.Hour, "campaign probing interval")
@@ -98,12 +103,17 @@ func main() {
 		}
 	}
 
+	if *parallel > 1 && *shards > 1 {
+		log.Fatal("-parallel (in-process shards) and -shards (multi-vantage sharding) are mutually exclusive")
+	}
+
 	if *rounds > 1 {
 		if *mode != "sim" {
 			log.Fatal("campaign mode (-rounds > 1) requires -mode sim")
 		}
 		runCampaign(sc, prefixes, exclude, at, prof, injecting,
-			*rounds, *interval, *rate, *seed, *checkpoint, *resume, *minCov)
+			*rounds, *interval, *rate, *seed, *checkpoint, *resume, *minCov,
+			*parallel, *batch, *pipeline)
 		return
 	}
 	if *checkpoint != "" || *resume != "" {
@@ -114,50 +124,86 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("scanning %d /24 blocks (%d addresses) at %v, %d pps, mode=%s",
-		targets.NumBlocks(), targets.Len(), at, *rate, *mode)
+	log.Printf("scanning %d /24 blocks (%d addresses) at %v, %d pps, mode=%s, parallel=%d",
+		targets.NumBlocks(), targets.Len(), at, *rate, *mode, *parallel)
+
+	local := netmodel.MustParseAddr("198.51.100.1")
+	cfg := scanner.Config{
+		Rate: *rate, Seed: *seed, Epoch: 1, Cooldown: 4 * time.Second,
+		Shard: *shard, Shards: *shards, ProbesPerAddr: *probes,
+		Batch: *batch, Pipelined: *pipeline,
+	}
+	// wrap layers fault injection over a shard's transport; each shard gets
+	// its own RNG stream so concurrent shards never contend on one RNG.
+	var (
+		fmu      sync.Mutex
+		faultTrs []*faults.Transport
+	)
+	wrap := func(tr scanner.Transport, clock scanner.Clock, shard int) (scanner.Transport, scanner.Clock) {
+		if !injecting {
+			return tr, clock
+		}
+		p := prof
+		p.Seed = prof.Seed + uint64(shard)*0x9e3779b9
+		ftr := faults.NewTransport(tr, clock, p)
+		fmu.Lock()
+		faultTrs = append(faultTrs, ftr)
+		fmu.Unlock()
+		return ftr, ftr
+	}
 
 	var rd *scanner.RoundData
 	switch *mode {
 	case "sim":
-		net := simnet.New(netmodel.MustParseAddr("198.51.100.1"), sc.Responder(), at)
-		var tr scanner.Transport = net
-		var clock scanner.Clock = net
-		if injecting {
-			ftr := faults.NewTransport(net, nil, prof)
-			tr, clock = ftr, ftr
+		if *parallel > 1 {
+			rd, err = scanner.ScanParallel(context.Background(), targets, *parallel, cfg,
+				func(shard, shards int) (scanner.Transport, scanner.Clock, error) {
+					net := simnet.New(local, sc.Responder(), at)
+					tr, clock := wrap(net, net, shard)
+					return tr, clock, nil
+				})
+		} else {
+			net := simnet.New(local, sc.Responder(), at)
+			tr, clock := wrap(net, net, 0)
+			cfg.Clock = clock
+			rd, err = scanner.New(tr, cfg).Run(targets)
 		}
-		s := scanner.New(tr, scanner.Config{
-			Rate: *rate, Seed: *seed, Epoch: 1, Clock: clock, Cooldown: 4 * time.Second,
-			Shard: *shard, Shards: *shards, ProbesPerAddr: *probes,
-		})
-		rd, err = s.Run(targets)
 	case "udp":
 		srv, serr := simnet.NewWireServer("127.0.0.1:0", sc.Responder())
 		if serr != nil {
 			log.Fatal(serr)
 		}
 		defer srv.Close()
-		tun, derr := simnet.DialUDP(srv.Addr(), netmodel.MustParseAddr("198.51.100.1"))
-		if derr != nil {
-			log.Fatal(derr)
+		cfg.Cooldown = 2 * time.Second
+		if *parallel > 1 {
+			rd, err = scanner.ScanParallel(context.Background(), targets, *parallel, cfg,
+				func(shard, shards int) (scanner.Transport, scanner.Clock, error) {
+					tun, derr := simnet.DialUDP(srv.Addr(), local)
+					if derr != nil {
+						return nil, nil, derr
+					}
+					tr, clock := wrap(tun, nil, shard)
+					return tr, clock, nil
+				})
+		} else {
+			tun, derr := simnet.DialUDP(srv.Addr(), local)
+			if derr != nil {
+				log.Fatal(derr)
+			}
+			defer tun.Close()
+			tr, _ := wrap(tun, nil, 0)
+			rd, err = scanner.New(tr, cfg).Run(targets)
 		}
-		defer tun.Close()
-		var tr scanner.Transport = tun
-		if injecting {
-			tr = faults.NewTransport(tun, nil, prof)
-		}
-		s := scanner.New(tr, scanner.Config{
-			Rate: *rate, Seed: *seed, Epoch: 1, Cooldown: 2 * time.Second,
-			Shard: *shard, Shards: *shards, ProbesPerAddr: *probes,
-		})
-		rd, err = s.Run(targets)
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 		os.Exit(2)
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if c := sumCounters(faultTrs); injecting {
+		log.Printf("injected faults: %d send errors, %d drops, %d recv errors, %d truncated, %d silenced reads",
+			c.SendErrors, c.Drops, c.RecvErrors, c.Truncated, c.Blackouts)
 	}
 
 	fmt.Printf("%-20s %6s %9s\n", "block", "resp", "mean RTT")
@@ -185,25 +231,95 @@ func main() {
 	}
 }
 
+// sumCounters aggregates injected-fault tallies across per-shard transports.
+func sumCounters(trs []*faults.Transport) faults.Counters {
+	var sum faults.Counters
+	for _, t := range trs {
+		c := t.Counters()
+		sum.SendErrors += c.SendErrors
+		sum.Drops += c.Drops
+		sum.RecvErrors += c.RecvErrors
+		sum.Truncated += c.Truncated
+		sum.Blackouts += c.Blackouts
+	}
+	return sum
+}
+
+// vclock is a standalone virtual clock for parallel campaigns, where no
+// single shard transport owns the monitor's timeline.
+type vclock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *vclock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *vclock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
 // runCampaign drives a multi-round scan through the monitor, with optional
-// checkpointing, resume and fault injection.
+// checkpointing, resume, fault injection and in-process shard parallelism.
 func runCampaign(sc *sim.Scenario, prefixes, exclude []netmodel.Prefix, at time.Time,
 	prof faults.Profile, injecting bool, rounds int, interval time.Duration,
-	rate int, seed uint64, checkpoint, resume string, minCov float64) {
+	rate int, seed uint64, checkpoint, resume string, minCov float64,
+	parallel, batch int, pipeline bool) {
 
-	net := simnet.New(netmodel.MustParseAddr("198.51.100.1"), sc.Responder(), at)
-	var tr countrymon.Transport = net
-	if injecting {
-		tr = faults.NewTransport(net, nil, prof)
-	}
-	mon, err := countrymon.New(countrymon.Options{
-		Transport: tr,
-		Targets:   prefixes, Exclude: exclude,
+	local := netmodel.MustParseAddr("198.51.100.1")
+	opts := countrymon.Options{
+		Targets: prefixes, Exclude: exclude,
 		Start: at, Rounds: rounds, Interval: interval,
 		Rate: rate, Seed: seed,
 		CheckpointPath: checkpoint, ResumeFrom: resume,
 		MinCoverage: minCov,
-	})
+		Batch:       batch, Pipelined: pipeline,
+	}
+	var (
+		fmu      sync.Mutex
+		faultTrs []*faults.Transport
+	)
+	var tr countrymon.Transport
+	if parallel > 1 {
+		// Each round builds fresh per-shard networks anchored at the round's
+		// scheduled time; the monitor itself advances a standalone virtual
+		// clock between rounds.
+		opts.Clock = &vclock{now: at}
+		opts.ScanShards = parallel
+		opts.ShardTransport = func(round int, rat time.Time, shard, shards int) (countrymon.Transport, countrymon.Clock, error) {
+			net := simnet.New(local, sc.Responder(), rat)
+			var str countrymon.Transport = net
+			var clock countrymon.Clock = net
+			if injecting {
+				p := prof
+				p.Seed = prof.Seed + uint64(shard)*0x9e3779b9
+				ftr := faults.NewTransport(net, nil, p)
+				fmu.Lock()
+				faultTrs = append(faultTrs, ftr)
+				fmu.Unlock()
+				str, clock = ftr, ftr
+			}
+			return str, clock, nil
+		}
+	} else {
+		net := simnet.New(local, sc.Responder(), at)
+		tr = net
+		if injecting {
+			ftr := faults.NewTransport(net, nil, prof)
+			faultTrs = append(faultTrs, ftr)
+			tr = ftr
+		}
+		opts.Transport = tr
+	}
+	mon, err := countrymon.New(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -234,8 +350,8 @@ func runCampaign(sc *sim.Scenario, prefixes, exclude []netmodel.Prefix, at time.
 			low++
 		}
 	}
-	if ft, ok := tr.(*faults.Transport); ok {
-		c := ft.Counters()
+	if injecting {
+		c := sumCounters(faultTrs)
 		log.Printf("injected faults: %d send errors, %d drops, %d recv errors, %d truncated, %d silenced reads",
 			c.SendErrors, c.Drops, c.RecvErrors, c.Truncated, c.Blackouts)
 	}

@@ -22,6 +22,7 @@
 package countrymon
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -101,6 +102,23 @@ type Options struct {
 	Rate int
 	Seed uint64
 
+	// ScanShards splits every scan round across this many in-process shards
+	// running concurrently (fanned over the par worker pool, capped by
+	// COUNTRYMON_WORKERS) and merges the per-shard results deterministically.
+	// Requires ShardTransport; values ≤ 1 scan serially over Transport.
+	ScanShards int
+	// ShardTransport builds the transport (and clock) one shard of round
+	// `round` (scheduled at `at`) scans over. Each shard needs its own
+	// transport so per-shard state never races; transports implementing
+	// io.Closer are closed when their shard finishes. When set alongside
+	// ScanShards > 1, Transport may be nil.
+	ShardTransport func(round int, at time.Time, shard, shards int) (Transport, Clock, error)
+	// Pipelined and Batch tune the scan engine: Pipelined splits sending and
+	// receiving onto separate goroutines, Batch sets the transport batch
+	// size (0 = scanner default). Both pass through to scanner.Config.
+	Pipelined bool
+	Batch     int
+
 	// Origins maps each /24 block's origin AS. When nil, AS-level queries
 	// need ApplyBGPSnapshot to have been called (origins are learned from
 	// routing).
@@ -147,8 +165,9 @@ type Monitor struct {
 
 // New validates options and builds the monitor.
 func New(opts Options) (*Monitor, error) {
-	if opts.Transport == nil {
-		return nil, errors.New("countrymon: Transport is required")
+	parallel := opts.ScanShards > 1 && opts.ShardTransport != nil
+	if opts.Transport == nil && !parallel {
+		return nil, errors.New("countrymon: Transport is required (or ScanShards > 1 with ShardTransport)")
 	}
 	if opts.Interval <= 0 {
 		opts.Interval = timeline.DefaultInterval
@@ -257,16 +276,31 @@ func (m *Monitor) ScanRound() (Stats, error) {
 	}
 	// Align with the round's scheduled time (advances virtual clocks;
 	// sleeps until the slot on real deployments).
-	if wait := m.tl.Time(m.round).Sub(m.opts.Clock.Now()); wait > 0 {
+	at := m.tl.Time(m.round)
+	if wait := at.Sub(m.opts.Clock.Now()); wait > 0 {
 		m.opts.Clock.Sleep(wait)
 	}
-	sc := scanner.New(m.opts.Transport, scanner.Config{
-		Rate:  m.opts.Rate,
-		Seed:  m.opts.Seed,
-		Epoch: uint32(m.round + 1),
-		Clock: m.opts.Clock,
-	})
-	rd, err := sc.Run(m.targets)
+	cfg := scanner.Config{
+		Rate:      m.opts.Rate,
+		Seed:      m.opts.Seed,
+		Epoch:     uint32(m.round + 1),
+		Clock:     m.opts.Clock,
+		Batch:     m.opts.Batch,
+		Pipelined: m.opts.Pipelined,
+	}
+	var (
+		rd  *scanner.RoundData
+		err error
+	)
+	if m.opts.ScanShards > 1 && m.opts.ShardTransport != nil {
+		round := m.round
+		rd, err = scanner.ScanParallel(context.Background(), m.targets, m.opts.ScanShards, cfg,
+			func(shard, shards int) (Transport, Clock, error) {
+				return m.opts.ShardTransport(round, at, shard, shards)
+			})
+	} else {
+		rd, err = scanner.New(m.opts.Transport, cfg).Run(m.targets)
+	}
 	if err != nil {
 		return Stats{}, err
 	}

@@ -59,15 +59,23 @@ func main() {
 	}
 
 	log.Printf("scanning %d rounds of %d targets...", rounds, 512)
+	var sent, valid uint64
+	wallStart := time.Now()
 	for mon.NextRound() {
 		round := mon.Round()
 		for _, blk := range mon.Store().Blocks() {
 			mon.SetRouted(blk, round, true, 64512) // routes stay up throughout
 		}
-		if _, err := mon.ScanRound(); err != nil {
+		st, err := mon.ScanRound()
+		if err != nil {
 			log.Fatal(err)
 		}
+		sent += st.Sent
+		valid += st.Valid
 	}
+	wall := time.Since(wallStart).Seconds()
+	log.Printf("campaign done: %d probes, %d replies in %.2fs wall (%.0f probes/s, %.0f replies/s)",
+		sent, valid, wall, float64(sent)/wall, float64(valid)/wall)
 
 	det := mon.DetectAS(64512)
 	fmt.Printf("\ndetected %d outage events for AS64512:\n", len(det.Outages))

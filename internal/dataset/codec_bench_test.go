@@ -1,0 +1,67 @@
+package dataset
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"countrymon/internal/netmodel"
+	"countrymon/internal/timeline"
+)
+
+// benchStore builds a store of realistic shape: a year of 2-hour rounds over
+// a few thousand blocks, a slice of them RTT-tracked, with varied resp rows
+// so the RLE coder does real work.
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	start := time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC)
+	tl := timeline.New(start, start.AddDate(1, 0, 0), 2*time.Hour)
+	blocks := make([]netmodel.BlockID, 2048)
+	for i := range blocks {
+		blocks[i] = netmodel.BlockID(i)
+	}
+	s := NewStore(tl, blocks)
+	for bi := range blocks {
+		for r := 0; r < tl.NumRounds(); r++ {
+			s.SetRound(bi, r, (bi*31+r*7)%97, r%3 != 0)
+		}
+		if bi%16 == 0 {
+			s.TrackRTT(bi)
+			for r := 0; r < tl.NumRounds(); r++ {
+				s.SetRTT(bi, r, uint16(20+(bi+r)%40))
+			}
+		}
+	}
+	return s
+}
+
+func BenchmarkStoreWriteTo(b *testing.B) {
+	s := benchStore(b)
+	var buf bytes.Buffer
+	s.WriteTo(&buf)
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreReadFrom(b *testing.B) {
+	s := benchStore(b)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

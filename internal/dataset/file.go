@@ -34,109 +34,248 @@ const (
 	fileVersion = 3
 )
 
+// enc is a sticky-error little-endian encoder. It replaces the
+// reflection-based binary.Write calls on the per-row path: every value and
+// slice is packed into one reusable scratch buffer and written in a single
+// call, so serializing a store performs O(1) allocations regardless of how
+// many block rows it holds.
+type enc struct {
+	cw      *countingWriter
+	scratch []byte
+	err     error
+}
+
+// bytes returns the scratch buffer resized to n (only valid until the next
+// codec call).
+func (e *enc) bytes(n int) []byte {
+	if cap(e.scratch) < n {
+		e.scratch = make([]byte, n)
+	}
+	e.scratch = e.scratch[:n]
+	return e.scratch
+}
+
+func (e *enc) raw(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.cw.Write(b)
+}
+
+func (e *enc) u16(v uint16) {
+	if e.err != nil {
+		return
+	}
+	b := e.bytes(2)
+	binary.LittleEndian.PutUint16(b, v)
+	_, e.err = e.cw.Write(b)
+}
+
+func (e *enc) u32(v uint32) {
+	if e.err != nil {
+		return
+	}
+	b := e.bytes(4)
+	binary.LittleEndian.PutUint32(b, v)
+	_, e.err = e.cw.Write(b)
+}
+
+func (e *enc) i64(v int64) {
+	if e.err != nil {
+		return
+	}
+	b := e.bytes(8)
+	binary.LittleEndian.PutUint64(b, uint64(v))
+	_, e.err = e.cw.Write(b)
+}
+
+func (e *enc) u16s(vs []uint16) {
+	if e.err != nil {
+		return
+	}
+	b := e.bytes(2 * len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint16(b[2*i:], v)
+	}
+	_, e.err = e.cw.Write(b)
+}
+
+func (e *enc) u32s(vs []uint32) {
+	if e.err != nil {
+		return
+	}
+	b := e.bytes(4 * len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(b[4*i:], v)
+	}
+	_, e.err = e.cw.Write(b)
+}
+
+func (e *enc) u64s(vs []uint64) {
+	if e.err != nil {
+		return
+	}
+	b := e.bytes(8 * len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(b[8*i:], v)
+	}
+	_, e.err = e.cw.Write(b)
+}
+
 // WriteTo serializes the store.
 func (s *Store) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	cw := &countingWriter{w: bw}
-	write := func(v interface{}) error { return binary.Write(cw, binary.LittleEndian, v) }
+	e := &enc{cw: cw}
 
-	if _, err := cw.Write([]byte(fileMagic)); err != nil {
-		return cw.n, err
-	}
-	hdr := []interface{}{
-		uint32(fileVersion),
-		s.tl.Start().UnixNano(),
-		int64(s.tl.Interval()),
-		uint32(s.tl.NumRounds()),
-		uint32(len(s.blocks)),
-	}
-	for _, v := range hdr {
-		if err := write(v); err != nil {
-			return cw.n, err
-		}
-	}
+	e.raw([]byte(fileMagic))
+	e.u32(fileVersion)
+	e.i64(s.tl.Start().UnixNano())
+	e.i64(int64(s.tl.Interval()))
+	e.u32(uint32(s.tl.NumRounds()))
+	e.u32(uint32(len(s.blocks)))
+
 	ids := make([]uint32, len(s.blocks))
 	for i, b := range s.blocks {
 		ids[i] = uint32(b)
 	}
-	if err := write(ids); err != nil {
-		return cw.n, err
-	}
+	e.u32s(ids)
+
 	miss := make([]uint64, (s.tl.NumRounds()+63)/64)
 	for r, m := range s.missing {
 		if m {
 			miss[r/64] |= 1 << (r % 64)
 		}
 	}
-	if err := write(miss); err != nil {
-		return cw.n, err
-	}
+	e.u64s(miss)
 	done := make([]uint64, (s.tl.NumRounds()+63)/64)
 	for r, d := range s.done {
 		if d {
 			done[r/64] |= 1 << (r % 64)
 		}
 	}
-	if err := write(done); err != nil {
-		return cw.n, err
-	}
+	e.u64s(done)
 	var npartial uint32
 	for _, c := range s.coverage {
 		if c != coverageFull {
 			npartial++
 		}
 	}
-	if err := write(npartial); err != nil {
-		return cw.n, err
-	}
+	e.u32(npartial)
 	for r, c := range s.coverage {
 		if c != coverageFull {
-			if err := write(uint32(r)); err != nil {
-				return cw.n, err
-			}
-			if err := write(c); err != nil {
-				return cw.n, err
-			}
+			e.u32(uint32(r))
+			e.u16(c)
 		}
 	}
+	// Per-row section: the RLE buffer is reused across rows, and each row
+	// costs exactly two Write calls (length prefix + payload).
 	var rle []byte
 	for _, row := range s.resp {
 		rle = rleAppend(rle[:0], row)
-		if err := write(uint32(len(rle))); err != nil {
-			return cw.n, err
-		}
-		if _, err := cw.Write(rle); err != nil {
-			return cw.n, err
-		}
+		e.u32(uint32(len(rle)))
+		e.raw(rle)
 	}
 	for _, row := range s.routed {
-		if err := write(row); err != nil {
-			return cw.n, err
-		}
+		e.u64s(row)
 	}
 	tracked := make([]int, 0, len(s.rtt))
 	for bi := range s.rtt {
 		tracked = append(tracked, bi)
 	}
 	sort.Ints(tracked)
-	if err := write(uint32(len(tracked))); err != nil {
-		return cw.n, err
-	}
+	e.u32(uint32(len(tracked)))
 	for _, bi := range tracked {
-		if err := write(uint32(bi)); err != nil {
-			return cw.n, err
-		}
-		if err := write(s.rtt[bi]); err != nil {
-			return cw.n, err
-		}
+		e.u32(uint32(bi))
+		e.u16s(s.rtt[bi])
+	}
+	if e.err != nil {
+		return cw.n, e.err
 	}
 	return cw.n, bw.Flush()
+}
+
+// dec is the sticky-error counterpart of enc: fixed-width values are read
+// through one reusable scratch buffer instead of per-call binary.Read
+// reflection.
+type dec struct {
+	r       io.Reader
+	scratch []byte
+	err     error
+}
+
+// bytes reads exactly n bytes into the reusable scratch buffer (contents
+// valid until the next codec call); returns nil after any error.
+func (d *dec) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if cap(d.scratch) < n {
+		d.scratch = make([]byte, n)
+	}
+	d.scratch = d.scratch[:n]
+	if _, err := io.ReadFull(d.r, d.scratch); err != nil {
+		d.err = err
+		return nil
+	}
+	return d.scratch
+}
+
+func (d *dec) u16() uint16 {
+	if b := d.bytes(2); b != nil {
+		return binary.LittleEndian.Uint16(b)
+	}
+	return 0
+}
+
+func (d *dec) u32() uint32 {
+	if b := d.bytes(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (d *dec) i64() int64 {
+	if b := d.bytes(8); b != nil {
+		return int64(binary.LittleEndian.Uint64(b))
+	}
+	return 0
+}
+
+func (d *dec) u32s(dst []uint32) {
+	b := d.bytes(4 * len(dst))
+	if b == nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+}
+
+func (d *dec) u64s(dst []uint64) {
+	b := d.bytes(8 * len(dst))
+	if b == nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+}
+
+func (d *dec) u16s(dst []uint16) {
+	b := d.bytes(2 * len(dst))
+	if b == nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint16(b[2*i:])
+	}
 }
 
 // ReadFrom deserializes a store written by WriteTo.
 func ReadFrom(r io.Reader) (*Store, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	read := func(v interface{}) error { return binary.Read(br, binary.LittleEndian, v) }
+	d := &dec{r: br}
 
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -145,12 +284,13 @@ func ReadFrom(r io.Reader) (*Store, error) {
 	if string(magic) != fileMagic {
 		return nil, fmt.Errorf("dataset: bad magic %q", magic)
 	}
-	var version, rounds, nblocks uint32
-	var startNano, interval int64
-	for _, v := range []interface{}{&version, &startNano, &interval, &rounds, &nblocks} {
-		if err := read(v); err != nil {
-			return nil, err
-		}
+	version := d.u32()
+	startNano := d.i64()
+	interval := d.i64()
+	rounds := d.u32()
+	nblocks := d.u32()
+	if d.err != nil {
+		return nil, d.err
 	}
 	if version < 1 || version > fileVersion {
 		return nil, fmt.Errorf("dataset: unsupported version %d", version)
@@ -166,8 +306,9 @@ func ReadFrom(r io.Reader) (*Store, error) {
 	}
 
 	ids := make([]uint32, nblocks)
-	if err := read(ids); err != nil {
-		return nil, err
+	d.u32s(ids)
+	if d.err != nil {
+		return nil, d.err
 	}
 	blocks := make([]netmodel.BlockID, nblocks)
 	for i, id := range ids {
@@ -179,8 +320,9 @@ func ReadFrom(r io.Reader) (*Store, error) {
 	}
 
 	miss := make([]uint64, (rounds+63)/64)
-	if err := read(miss); err != nil {
-		return nil, err
+	d.u64s(miss)
+	if d.err != nil {
+		return nil, d.err
 	}
 	for r := 0; r < int(rounds); r++ {
 		if miss[r/64]>>(r%64)&1 == 1 {
@@ -189,27 +331,25 @@ func ReadFrom(r io.Reader) (*Store, error) {
 	}
 	if version >= 3 {
 		done := make([]uint64, (rounds+63)/64)
-		if err := read(done); err != nil {
-			return nil, err
+		d.u64s(done)
+		if d.err != nil {
+			return nil, d.err
 		}
 		for r := 0; r < int(rounds); r++ {
 			s.done[r] = done[r/64]>>(r%64)&1 == 1
 		}
-		var npartial uint32
-		if err := read(&npartial); err != nil {
-			return nil, err
+		npartial := d.u32()
+		if d.err != nil {
+			return nil, d.err
 		}
 		if npartial > rounds {
 			return nil, fmt.Errorf("dataset: implausible partial-round count %d", npartial)
 		}
 		for i := 0; i < int(npartial); i++ {
-			var r uint32
-			var c uint16
-			if err := read(&r); err != nil {
-				return nil, err
-			}
-			if err := read(&c); err != nil {
-				return nil, err
+			r := d.u32()
+			c := d.u16()
+			if d.err != nil {
+				return nil, d.err
 			}
 			if r >= rounds {
 				return nil, fmt.Errorf("dataset: partial round %d out of range", r)
@@ -230,43 +370,44 @@ func ReadFrom(r io.Reader) (*Store, error) {
 			}
 			continue
 		}
-		var rowLen uint32
-		if err := read(&rowLen); err != nil {
-			return nil, err
+		rowLen := d.u32()
+		if d.err != nil {
+			return nil, d.err
 		}
 		if rowLen > 2*rounds+64 {
 			return nil, fmt.Errorf("dataset: implausible RLE row length %d", rowLen)
 		}
-		rle := make([]byte, rowLen)
-		if _, err := io.ReadFull(br, rle); err != nil {
-			return nil, err
+		// The scratch buffer doubles as the per-row RLE staging area; it is
+		// fully consumed by rleDecode before the next codec call reuses it.
+		rle := d.bytes(int(rowLen))
+		if d.err != nil {
+			return nil, d.err
 		}
 		if err := rleDecode(s.resp[i], rle); err != nil {
 			return nil, err
 		}
 	}
 	for i := range s.routed {
-		if err := read(s.routed[i]); err != nil {
-			return nil, err
-		}
+		d.u64s(s.routed[i])
 	}
-	var ntracked uint32
-	if err := read(&ntracked); err != nil {
-		return nil, err
+	ntracked := d.u32()
+	if d.err != nil {
+		return nil, d.err
 	}
 	for i := 0; i < int(ntracked); i++ {
-		var bi uint32
-		if err := read(&bi); err != nil {
-			return nil, err
+		bi := d.u32()
+		if d.err != nil {
+			return nil, d.err
 		}
 		if int(bi) >= len(s.blocks) {
 			return nil, fmt.Errorf("dataset: tracked block index %d out of range", bi)
 		}
 		arr := make([]uint16, rounds)
-		if err := read(arr); err != nil {
-			return nil, err
-		}
+		d.u16s(arr)
 		s.rtt[int(bi)] = arr
+	}
+	if d.err != nil {
+		return nil, d.err
 	}
 	return s, nil
 }

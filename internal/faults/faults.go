@@ -19,6 +19,7 @@ package faults
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
@@ -112,11 +113,16 @@ func (e *Err) Transient() bool { return true }
 
 // Transport wraps an inner scanner.Transport with fault injection. It also
 // implements scanner.Clock by delegation, so it can replace a clock-bearing
-// transport (like simnet.Network) wholesale.
+// transport (like simnet.Network) wholesale, and scanner.BatchTransport so
+// batched engines keep per-packet fault semantics: every packet in a batch
+// rolls the same dice, in the same order, as it would packet-at-a-time.
 type Transport struct {
 	inner scanner.Transport
 	clock scanner.Clock
 	prof  Profile
+
+	batchOnce sync.Once
+	batch     scanner.BatchTransport // batched view of inner, built lazily
 
 	mu  sync.Mutex
 	rng uint64
@@ -139,6 +145,16 @@ func NewTransport(inner scanner.Transport, clock scanner.Clock, prof Profile) *T
 
 // Inner returns the wrapped transport.
 func (t *Transport) Inner() scanner.Transport { return t.inner }
+
+// Close implements io.Closer by delegation (a no-op when the inner transport
+// has nothing to close), so per-shard wrapped transports are released by
+// scanner.ScanParallel like their inner transports would be.
+func (t *Transport) Close() error {
+	if c, ok := t.inner.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
 
 // Counters returns a snapshot of the injected-fault tallies.
 func (t *Transport) Counters() Counters {
@@ -236,6 +252,63 @@ func (t *Transport) ReadPacket(wait time.Duration) ([]byte, time.Time, error) {
 		}
 	}
 	return pkt, at, err
+}
+
+// batchInner returns the batched view of the inner transport (built once).
+func (t *Transport) batchInner() scanner.BatchTransport {
+	t.batchOnce.Do(func() { t.batch = scanner.AsBatch(t.inner) })
+	return t.batch
+}
+
+// WriteBatch implements scanner.BatchTransport by injecting faults per
+// packet: the RNG roll order (send-error roll, then drop roll, per packet in
+// batch order) is identical to packet-at-a-time operation, so a seeded fault
+// profile reproduces exactly regardless of batching.
+func (t *Transport) WriteBatch(pkts [][]byte) (int, error) {
+	for i, b := range pkts {
+		if err := t.WritePacket(b); err != nil {
+			return i, err
+		}
+	}
+	return len(pkts), nil
+}
+
+// ReadBatch implements scanner.BatchTransport. Scripted windows gate the
+// whole call — during a blackout or stall nothing is delivered and the wait
+// is consumed, matching the serial path — while reply truncation rolls once
+// per delivered packet in delivery order, keeping the RNG stream aligned
+// with packet-at-a-time reads.
+func (t *Transport) ReadBatch(pkts [][]byte, ats []time.Time, wait time.Duration) (int, error) {
+	now := t.clock.Now()
+	t.mu.Lock()
+	if w, ok := t.windowAt(now); ok {
+		switch w.Kind {
+		case Blackout, Stall, Flap:
+			t.cnt.Blackouts++
+			t.mu.Unlock()
+			if wait > 0 {
+				t.clock.Sleep(wait)
+			}
+			return 0, nil
+		case RecvErrors:
+			t.cnt.RecvErrors++
+			t.mu.Unlock()
+			return 0, &Err{Op: "recv"}
+		}
+	}
+	t.mu.Unlock()
+	n, err := t.batchInner().ReadBatch(pkts, ats, wait)
+	if n > 0 {
+		t.mu.Lock()
+		for i := 0; i < n; i++ {
+			if len(pkts[i]) > 0 && t.roll(t.prof.TruncateProb) {
+				t.cnt.Truncated++
+				pkts[i] = pkts[i][:len(pkts[i])/2]
+			}
+		}
+		t.mu.Unlock()
+	}
+	return n, err
 }
 
 // ParseProfile parses a comma-separated fault specification. Offsets and

@@ -1,0 +1,88 @@
+package icmp
+
+import (
+	"bytes"
+	"testing"
+
+	"countrymon/internal/netmodel"
+)
+
+// Fuzz targets for the two parsers every inbound packet passes through. The
+// scanner feeds them raw bytes off the wire (or from the fault injector's
+// truncation path), so they must never panic and must uphold their
+// re-marshal invariants on everything they accept.
+
+// fuzzSeeds returns realistic packets: the probes and replies the scanner
+// actually exchanges, plus truncated and corrupted variants.
+func fuzzSeeds() [][]byte {
+	src := netmodel.AddrFromBytes([4]byte{198, 51, 100, 1})
+	dst := netmodel.AddrFromBytes([4]byte{91, 198, 4, 7})
+	payload := []byte{0, 0, 0, 7, 0, 1, 226, 64} // epoch + ms, as probes carry
+	req := EchoRequest(0xbeef, 0x0102, payload)
+	probe := MarshalIPv4(IPv4Header{TTL: 64, Protocol: ProtoICMP, Src: src, Dst: dst, ID: 42}, req)
+	reqMsg, _ := Parse(req)
+	reply := MarshalIPv4(IPv4Header{TTL: 55, Protocol: ProtoICMP, Src: dst, Dst: src}, EchoReplyFor(reqMsg))
+	unreach := MarshalIPv4(IPv4Header{TTL: 55, Protocol: ProtoICMP, Src: dst, Dst: src},
+		DestUnreachable(CodeHostUnreachable, probe))
+
+	seeds := [][]byte{probe, reply, unreach, req, {}, {0x45}}
+	seeds = append(seeds, probe[:len(probe)/2], reply[:IPv4HeaderLen], req[:HeaderLen-1])
+	corrupt := bytes.Clone(reply)
+	corrupt[10] ^= 0xff // break the header checksum
+	seeds = append(seeds, corrupt)
+	notV4 := bytes.Clone(probe)
+	notV4[0] = 0x65
+	seeds = append(seeds, notV4)
+	return seeds
+}
+
+func FuzzParseIPv4(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, body, err := ParseIPv4(data)
+		if err != nil {
+			return
+		}
+		// Accepted packets satisfy the header's own framing claims.
+		if int(h.Length) > len(data) {
+			t.Fatalf("accepted total length %d beyond packet of %d bytes", h.Length, len(data))
+		}
+		if len(body) > len(data)-IPv4HeaderLen {
+			t.Fatalf("body of %d bytes cannot fit a %d-byte packet", len(body), len(data))
+		}
+		// Re-marshaling the parsed view must parse identically (the encoder
+		// always emits IHL 5, so options are dropped, not corrupted).
+		out := MarshalIPv4(h, body)
+		h2, body2, err := ParseIPv4(out)
+		if err != nil {
+			t.Fatalf("re-marshaled packet rejected: %v", err)
+		}
+		if h2.Src != h.Src || h2.Dst != h.Dst || h2.Protocol != h.Protocol || h2.TTL != h.TTL || h2.ID != h.ID {
+			t.Fatalf("round-trip header mismatch: %+v vs %+v", h, h2)
+		}
+		if !bytes.Equal(body, body2) {
+			t.Fatal("round-trip body mismatch")
+		}
+	})
+}
+
+func FuzzParseICMP(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// An accepted message re-marshals to the very same bytes: Parse
+		// only admits checksum-valid messages and AppendMessage recomputes
+		// the same checksum over the same fields.
+		out := Marshal(m)
+		if !bytes.Equal(out, data) {
+			t.Fatalf("accepted message does not round-trip:\nin:  %x\nout: %x", data, out)
+		}
+	})
+}

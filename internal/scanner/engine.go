@@ -1,0 +1,426 @@
+package scanner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"countrymon/internal/icmp"
+	"countrymon/internal/netmodel"
+)
+
+// The scan engine assembles probes into batches, paces each batch with one
+// rate-limiter release, and hands it to the transport's WriteBatch, while
+// replies come back through ReadBatch into reusable buffers. Two drivers
+// share this state: runSerial interleaves batch sends with opportunistic
+// drains on one goroutine (fully deterministic on a virtual clock), and
+// runPipelined splits sending and receiving onto two goroutines so the
+// receive path no longer steals send throughput on real transports.
+
+// roundRun is the mutable state of one scan round, split into sender-owned
+// and receiver-owned halves so the pipelined engine needs no locks on the
+// hot path; finalize merges the halves into RoundData in a fixed order, so
+// the result is independent of goroutine scheduling.
+type roundRun struct {
+	cfg     Config
+	tr      BatchTransport
+	targets *TargetSet
+	val     *Validator
+	rl      *RateLimiter
+	rng     uint64 // deterministic jitter source for retry backoff
+	maxFail int    // error budget in addresses
+
+	// Sender-owned state.
+	send      Stats // Sent, SendErrors, Retries
+	probed    int
+	failed    int
+	sendErr   error // last abandoned-probe error
+	sendAbort bool  // error budget exhausted
+
+	// Receiver-owned state.
+	recv     Stats // Received, Valid, Duplicates, Invalid, NonEcho, RecvErrors
+	blocks   []BlockResult
+	recvDead bool
+	recvErr  error
+
+	// abort is the first cancellation (context or Stop) observed; in
+	// pipelined mode both halves may race to set it.
+	mu    sync.Mutex
+	abort error
+}
+
+func (r *roundRun) setAbort(err error) {
+	r.mu.Lock()
+	if r.abort == nil {
+		r.abort = err
+	}
+	r.mu.Unlock()
+}
+
+func (r *roundRun) abortState() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.abort
+}
+
+// runSerial drives the round on one goroutine: replies are drained without
+// waiting between batches and stragglers are collected in the cooldown.
+func (r *roundRun) runSerial(s *Scanner, ctx context.Context, cur *Cursor) {
+	rb := newRecvBufs(r.cfg.Batch)
+	r.sendBatches(s, ctx, cur, func() { r.drainPending(rb) })
+	if r.abortState() == nil {
+		r.cooldown(s, ctx, rb)
+	}
+}
+
+// runPipelined overlaps sending and receiving. The receiver polls with
+// wait 0 on virtual clocks — a blocking read would advance virtual time
+// underneath the sender's pacing — and blocks briefly on the wall clock.
+// Determinism on virtual clocks is preserved because the clock advances
+// only through the sender, replies are processed in delivery order by the
+// single receiver, and the halves merge in a fixed order.
+func (r *roundRun) runPipelined(s *Scanner, ctx context.Context, cur *Cursor) {
+	senderDone := make(chan struct{})
+	go func() {
+		defer close(senderDone)
+		r.sendBatches(s, ctx, cur, nil)
+	}()
+
+	rb := newRecvBufs(r.cfg.Batch)
+	var poll time.Duration
+	if _, wall := r.cfg.Clock.(RealClock); wall {
+		poll = time.Millisecond
+	}
+	running := true
+	for running && !r.recvDead {
+		select {
+		case <-senderDone:
+			running = false
+		default:
+		}
+		if err := s.interrupted(ctx); err != nil {
+			r.setAbort(err)
+			break
+		}
+		n, err := r.tr.ReadBatch(rb.pkts, rb.ats, poll)
+		for i := 0; i < n; i++ {
+			r.processReply(rb.pkts[i], rb.ats[i])
+		}
+		if err != nil {
+			if !r.recvFailure(err) {
+				break
+			}
+			continue
+		}
+		if n == 0 && poll == 0 {
+			runtime.Gosched()
+		}
+	}
+	<-senderDone
+	if r.abortState() == nil && !r.recvDead {
+		r.cooldown(s, ctx, rb)
+	}
+}
+
+// addrSend tracks one address's in-flight probes within a batch.
+type addrSend struct {
+	left int  // probes not yet resolved
+	ok   bool // at least one probe transmitted
+}
+
+// sendBatches walks the shard cursor, packing whole addresses into batches
+// (all ProbesPerAddr probes of an address share a batch, so per-address
+// outcomes — probed, failed, error budget — resolve as the batch is
+// written). drain, when non-nil, runs between batches: the serial engine's
+// opportunistic reply collection.
+func (r *roundRun) sendBatches(s *Scanner, ctx context.Context, cur *Cursor, drain func()) {
+	nb := r.cfg.Batch
+	ppa := r.cfg.ProbesPerAddr
+	bufs := make([][]byte, nb)
+	for i := range bufs {
+		bufs[i] = make([]byte, 0, 128)
+	}
+	pkts := make([][]byte, 0, nb)
+	dsts := make([]netmodel.Addr, 0, nb)
+	pktAddr := make([]int, 0, nb)
+	addrs := make([]addrSend, 0, nb)
+	probeBuf := make([]byte, 0, 64)
+	src := r.tr.LocalAddr()
+	var seq uint64 // monotone probe counter, baked into the IPv4 ID field
+
+	done := false
+	for !done {
+		if err := s.interrupted(ctx); err != nil {
+			r.setAbort(err)
+			return
+		}
+		pkts, dsts, pktAddr, addrs = pkts[:0], dsts[:0], pktAddr[:0], addrs[:0]
+		for len(pkts)+ppa <= nb {
+			idx, ok := cur.Next()
+			if !ok {
+				done = true
+				break
+			}
+			a := len(addrs)
+			addrs = append(addrs, addrSend{left: ppa})
+			dst := r.targets.Addr(idx)
+			for p := 0; p < ppa; p++ {
+				dsts = append(dsts, dst)
+				pktAddr = append(pktAddr, a)
+				pkts = append(pkts, nil)
+			}
+		}
+		if len(pkts) == 0 {
+			break
+		}
+		// Pay the whole batch's pacing debt up front, then stamp every
+		// probe at the single post-wait instant: embedded timestamps match
+		// the actual send time, so RTTs stay exact.
+		r.rl.WaitN(len(pkts))
+		now := r.cfg.Clock.Now()
+		for i := range pkts {
+			bufs[i] = r.encodeProbe(bufs[i][:0], &probeBuf, src, dsts[i], now, uint16(seq)+uint16(i))
+			pkts[i] = bufs[i]
+		}
+		if !r.writeBatch(s, ctx, pkts, dsts, pktAddr, addrs, seq, &probeBuf, src) {
+			return
+		}
+		seq += uint64(len(pkts))
+		if drain != nil {
+			drain()
+		}
+	}
+}
+
+// encodeProbe appends the full IPv4+ICMP probe datagram for dst to buf.
+func (r *roundRun) encodeProbe(buf []byte, probeBuf *[]byte, src, dst netmodel.Addr, now time.Time, id uint16) []byte {
+	*probeBuf = r.val.AppendProbe((*probeBuf)[:0], dst, now)
+	return icmp.AppendIPv4(buf, icmp.IPv4Header{
+		TTL: r.cfg.TTL, Protocol: icmp.ProtoICMP, Src: src, Dst: dst, ID: id,
+	}, *probeBuf)
+}
+
+// writeBatch transmits one assembled batch with the serial engine's exact
+// per-probe semantics: transient failures retry with exponential backoff
+// and deterministic jitter (the unsent tail is re-stamped after the sleep
+// so timestamps track the real send instant), probes that exhaust their
+// retries or fail hard are abandoned and counted, and every address
+// resolves as its last probe leaves the batch — including an error-budget
+// abort mid-batch. Returns false when the round must stop sending.
+func (r *roundRun) writeBatch(s *Scanner, ctx context.Context, pkts [][]byte, dsts []netmodel.Addr, pktAddr []int, addrs []addrSend, base uint64, probeBuf *[]byte, src netmodel.Addr) bool {
+	overBudget := false
+	finish := func(j int, sentOK bool) {
+		st := &addrs[pktAddr[j]]
+		st.left--
+		if sentOK {
+			r.send.Sent++
+			st.ok = true
+		}
+		if st.left == 0 {
+			if st.ok {
+				r.probed++
+			} else {
+				r.failed++
+				if r.failed > r.maxFail {
+					overBudget = true
+				}
+			}
+		}
+	}
+
+	i := 0
+	attempt := 0
+	backoff := r.cfg.RetryBackoff
+	for i < len(pkts) {
+		n, err := r.tr.WriteBatch(pkts[i:])
+		for j := i; j < i+n; j++ {
+			finish(j, true)
+		}
+		i += n
+		if overBudget {
+			// Error budget exhausted: salvage the round as partial rather
+			// than losing everything measured so far.
+			r.sendAbort = true
+			return false
+		}
+		if err == nil {
+			if i < len(pkts) {
+				// Contract violation: a short write must carry an error.
+				err = errors.New("scanner: batch transport made no progress")
+			} else {
+				break
+			}
+		}
+		if n > 0 {
+			// The previously failing probe got through; the one now at the
+			// head starts its own retry budget.
+			attempt, backoff = 0, r.cfg.RetryBackoff
+		}
+		if attempt < r.cfg.Retries && IsTransient(err) {
+			r.send.Retries++
+			attempt++
+			r.rng = splitmix(r.rng)
+			r.cfg.Clock.Sleep(backoff/2 + time.Duration(r.rng%uint64(backoff)))
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			if ierr := s.interrupted(ctx); ierr != nil {
+				r.setAbort(ierr)
+				return false
+			}
+			now := r.cfg.Clock.Now()
+			for j := i; j < len(pkts); j++ {
+				pkts[j] = r.encodeProbe(pkts[j][:0], probeBuf, src, dsts[j], now, uint16(base)+uint16(j))
+			}
+			continue
+		}
+		// Retry budget exhausted or hard error: abandon this probe.
+		r.send.SendErrors++
+		r.sendErr = err
+		finish(i, false)
+		i++
+		if overBudget {
+			r.sendAbort = true
+			return false
+		}
+		attempt, backoff = 0, r.cfg.RetryBackoff
+	}
+	return true
+}
+
+// recvBufs is the receiver's reusable buffer ring: ReadBatch refills the
+// same backing arrays every call, keeping the receive path allocation-free.
+type recvBufs struct {
+	pkts [][]byte
+	ats  []time.Time
+}
+
+func newRecvBufs(n int) *recvBufs {
+	rb := &recvBufs{pkts: make([][]byte, n), ats: make([]time.Time, n)}
+	for i := range rb.pkts {
+		rb.pkts[i] = make([]byte, 0, 512)
+	}
+	return rb
+}
+
+// drainOnce reads and processes one batch. It returns false when the caller
+// should stop reading: nothing was due within the wait, or the receive path
+// was declared dead.
+func (r *roundRun) drainOnce(rb *recvBufs, wait time.Duration) bool {
+	if r.recvDead {
+		return false
+	}
+	n, err := r.tr.ReadBatch(rb.pkts, rb.ats, wait)
+	for i := 0; i < n; i++ {
+		r.processReply(rb.pkts[i], rb.ats[i])
+	}
+	if err != nil {
+		return r.recvFailure(err)
+	}
+	return n > 0
+}
+
+// drainPending drains all immediately available replies (no waiting).
+func (r *roundRun) drainPending(rb *recvBufs) {
+	for r.drainOnce(rb, 0) {
+	}
+}
+
+// cooldown collects stragglers until the cooldown window closes, the first
+// idle timeout, cancellation, or receive-path death.
+func (r *roundRun) cooldown(s *Scanner, ctx context.Context, rb *recvBufs) {
+	deadline := r.cfg.Clock.Now().Add(r.cfg.Cooldown)
+	for {
+		if err := s.interrupted(ctx); err != nil {
+			r.setAbort(err)
+			return
+		}
+		left := deadline.Sub(r.cfg.Clock.Now())
+		if left <= 0 {
+			return
+		}
+		if !r.drainOnce(rb, left) {
+			return
+		}
+	}
+}
+
+// recvFailure records a hard receive error, reporting false once the
+// receive path must be declared dead: transient errors are tolerated up to
+// MaxRecvErrors, non-transient ones kill the path immediately. Either way
+// the error is counted, so a dead receive path is never misreported as 0
+// responsive IPs.
+func (r *roundRun) recvFailure(err error) bool {
+	r.recv.RecvErrors++
+	r.recvErr = err
+	if !IsTransient(err) || r.recv.RecvErrors > uint64(r.cfg.MaxRecvErrors) {
+		r.recvDead = true
+		return false
+	}
+	return true
+}
+
+// processReply parses, validates and aggregates one inbound packet
+// (receiver-owned state only).
+func (r *roundRun) processReply(pkt []byte, at time.Time) {
+	h, body, err := icmp.ParseIPv4(pkt)
+	if err != nil || h.Protocol != icmp.ProtoICMP {
+		r.recv.Invalid++
+		return
+	}
+	m, err := icmp.Parse(body)
+	if err != nil {
+		r.recv.Invalid++
+		return
+	}
+	if m.Type != icmp.TypeEchoReply {
+		r.recv.NonEcho++
+		return
+	}
+	reply, ok := r.val.DecodeReply(h.Src, m, at)
+	if !ok {
+		r.recv.Invalid++
+		return
+	}
+	r.recv.Received++
+	bi := r.targets.BlockIndex(reply.From)
+	if bi < 0 {
+		r.recv.Invalid++
+		return
+	}
+	br := &r.blocks[bi]
+	host := reply.From.HostByte()
+	if br.Responded(host) {
+		r.recv.Duplicates++
+		return
+	}
+	br.RespMask[host/64] |= 1 << (host % 64)
+	br.RespCount++
+	br.RTTSum += reply.RTT
+	br.RTTCount++
+	r.recv.Valid++
+}
+
+// finalize merges the sender- and receiver-owned halves into rd in a fixed
+// order. Both goroutines have finished by the time it runs.
+func (r *roundRun) finalize(rd *RoundData) {
+	st := r.send
+	st.Received = r.recv.Received
+	st.Valid = r.recv.Valid
+	st.Duplicates = r.recv.Duplicates
+	st.Invalid = r.recv.Invalid
+	st.NonEcho = r.recv.NonEcho
+	st.RecvErrors = r.recv.RecvErrors
+	rd.Stats = st
+	rd.Probed = r.probed
+	rd.RecvDead = r.recvDead
+	if r.recvDead || r.sendAbort || r.abortState() != nil || r.probed < rd.ShardTargets {
+		rd.Partial = true
+	}
+	rd.Err = r.sendErr
+	if r.recvErr != nil {
+		rd.Err = r.recvErr
+	}
+}

@@ -1,0 +1,124 @@
+package scanner
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"countrymon/internal/par"
+)
+
+// ShardFactory builds the transport (and clock) one shard of a parallel scan
+// runs against. Each shard gets its own transport so per-shard state (virtual
+// clocks, fault injection RNGs, sockets) never races; transports that also
+// implement io.Closer are closed when their shard finishes.
+type ShardFactory func(shard, shards int) (Transport, Clock, error)
+
+// ScanParallel runs one scan round split across `shards` in-process shards,
+// fanning them over the par worker pool (COUNTRYMON_WORKERS caps the
+// concurrency) and merging the per-shard RoundData deterministically. Each
+// shard walks its slice of the shared ZMap-style permutation (IterateShard),
+// so the union of shards covers every address exactly once and the merged
+// result is identical to a single serial scan of the same target set —
+// regardless of worker count, because the merge happens in fixed shard order
+// after all shards complete.
+//
+// cfg.Shard/cfg.Shards are overridden per shard; cfg.Clock is overridden by
+// the factory's clock when non-nil. The first factory error (by shard order)
+// aborts the round; per-shard scan errors are merged like serial rounds
+// (first by shard order wins) and returned alongside the merged data.
+func ScanParallel(ctx context.Context, targets *TargetSet, shards int, cfg Config, factory ShardFactory) (*RoundData, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	type shardOut struct {
+		rd  *RoundData
+		err error
+	}
+	outs := make([]shardOut, shards)
+	par.ForEach(shards, func(i int) {
+		tr, clk, err := factory(i, shards)
+		if err != nil {
+			outs[i] = shardOut{err: err}
+			return
+		}
+		if c, ok := tr.(io.Closer); ok {
+			defer c.Close()
+		}
+		scfg := cfg
+		scfg.Shard, scfg.Shards = i, shards
+		if clk != nil {
+			scfg.Clock = clk
+		}
+		rd, err := New(tr, scfg).RunContext(ctx, targets)
+		outs[i] = shardOut{rd: rd, err: err}
+	})
+
+	rds := make([]*RoundData, 0, shards)
+	var firstErr error
+	for _, o := range outs {
+		if o.rd == nil {
+			// Factory failure (or a scan that produced no data): without
+			// this shard the round has a coverage hole, so fail it.
+			return nil, o.err
+		}
+		rds = append(rds, o.rd)
+		if firstErr == nil && o.err != nil {
+			firstErr = o.err
+		}
+	}
+	return MergeRounds(targets, rds), firstErr
+}
+
+// MergeRounds combines per-shard RoundData (shards of one round over the
+// same target set) into a single round view. Shards probe disjoint address
+// sets, so block masks OR together and counters add; everything is folded in
+// slice order, making the result independent of how the shards were
+// scheduled.
+func MergeRounds(targets *TargetSet, rds []*RoundData) *RoundData {
+	out := &RoundData{
+		Targets: targets,
+		Blocks:  make([]BlockResult, targets.NumBlocks()),
+	}
+	for i := range out.Blocks {
+		out.Blocks[i].Block = targets.Blocks()[i]
+	}
+	for _, rd := range rds {
+		out.ShardTargets += rd.ShardTargets
+		out.Probed += rd.Probed
+		out.Partial = out.Partial || rd.Partial
+		out.RecvDead = out.RecvDead || rd.RecvDead
+		if out.Err == nil {
+			out.Err = rd.Err
+		}
+		addStats(&out.Stats, &rd.Stats)
+		for bi := range rd.Blocks {
+			src := &rd.Blocks[bi]
+			dst := &out.Blocks[bi]
+			for w := range src.RespMask {
+				dst.RespMask[w] |= src.RespMask[w]
+			}
+			dst.RespCount += src.RespCount
+			dst.RTTSum += src.RTTSum
+			dst.RTTCount += src.RTTCount
+		}
+	}
+	return out
+}
+
+// addStats folds b into a: counters add, Elapsed is the slowest shard (the
+// round's wall-clock is bounded by its slowest shard, not their sum).
+func addStats(a, b *Stats) {
+	a.Sent += b.Sent
+	a.Received += b.Received
+	a.Valid += b.Valid
+	a.Duplicates += b.Duplicates
+	a.Invalid += b.Invalid
+	a.NonEcho += b.NonEcho
+	a.SendErrors += b.SendErrors
+	a.Retries += b.Retries
+	a.RecvErrors += b.RecvErrors
+	if b.Elapsed > a.Elapsed {
+		a.Elapsed = time.Duration(b.Elapsed)
+	}
+}

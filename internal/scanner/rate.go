@@ -67,6 +67,22 @@ func (rl *RateLimiter) Wait() {
 	rl.tokens--
 }
 
+// WaitN blocks until n packets may be sent, paying the whole batch's pacing
+// debt in one sleep. The bucket may go negative while the sleep refills it,
+// so WaitN(1) called k times and one WaitN(k) release sends at the same
+// aggregate rate; callers stamp all n probes at the single post-wait instant.
+func (rl *RateLimiter) WaitN(n int) {
+	if rl.interval == 0 || n <= 0 {
+		return
+	}
+	rl.refill(rl.clock.Now())
+	rl.tokens -= int64(n)
+	if rl.tokens < 0 {
+		rl.clock.Sleep(time.Duration(-rl.tokens) * rl.interval)
+		rl.refill(rl.clock.Now())
+	}
+}
+
 func (rl *RateLimiter) refill(now time.Time) {
 	elapsed := now.Sub(rl.last)
 	if elapsed <= 0 {

@@ -25,6 +25,19 @@ func TestRateLimiterPacing(t *testing.T) {
 	}
 }
 
+func TestRateLimiterWaitN(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	rl := NewRateLimiter(clock, 1000, 1) // 1ms per token, burst 1
+	rl.WaitN(64)                         // 1 token banked, 63 owed
+	if got := clock.now.Sub(time.Unix(0, 0)); got != 63*time.Millisecond {
+		t.Fatalf("WaitN(64) advanced %v, want 63ms", got)
+	}
+	rl.WaitN(64) // fully in debt now: 64 more tokens
+	if got := clock.now.Sub(time.Unix(0, 0)); got != 127*time.Millisecond {
+		t.Fatalf("second WaitN(64) advanced to %v, want 127ms", got)
+	}
+}
+
 func TestRateLimiterBurst(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(0, 0)}
 	rl := NewRateLimiter(clock, 1000, 64)

@@ -6,7 +6,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"countrymon/internal/icmp"
 	"countrymon/internal/netmodel"
 )
 
@@ -73,6 +72,19 @@ type Config struct {
 	// hard receive error). Non-transient receive errors kill the receive
 	// path immediately.
 	MaxRecvErrors int
+
+	// Batch is how many packets are passed per WriteBatch/ReadBatch call
+	// (default DefaultBatch; 1 degenerates to packet-at-a-time I/O). It is
+	// raised to ProbesPerAddr when smaller, so all of an address's probes
+	// share a batch and the address resolves as the batch is written.
+	Batch int
+	// Pipelined runs the sender and a dedicated receiver as separate
+	// goroutines, so draining replies no longer steals send throughput.
+	// On a virtual clock the receiver only polls (reads with wait > 0
+	// would advance virtual time and distort pacing), which keeps the
+	// round deterministic; the mode pays off on real transports, where
+	// receiver blocking overlaps with send syscalls.
+	Pipelined bool
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +126,12 @@ func (c Config) withDefaults() Config {
 		c.MaxRecvErrors = 32
 	} else if c.MaxRecvErrors < 0 {
 		c.MaxRecvErrors = 0
+	}
+	if c.Batch <= 0 {
+		c.Batch = DefaultBatch
+	}
+	if c.Batch < c.ProbesPerAddr {
+		c.Batch = c.ProbesPerAddr
 	}
 	return c
 }
@@ -244,9 +262,6 @@ func (s *Scanner) RunContext(ctx context.Context, targets *TargetSet) (*RoundDat
 	}
 
 	start := cfg.Clock.Now()
-	val := NewValidator(cfg.Seed^0xc0ffee, cfg.Epoch, start)
-	rl := NewRateLimiter(cfg.Clock, cfg.Rate, cfg.Burst)
-
 	rd := &RoundData{
 		Targets:      targets,
 		Blocks:       make([]BlockResult, targets.NumBlocks()),
@@ -255,110 +270,25 @@ func (s *Scanner) RunContext(ctx context.Context, targets *TargetSet) (*RoundDat
 	for i := range rd.Blocks {
 		rd.Blocks[i].Block = targets.Blocks()[i]
 	}
-	maxFail := int(cfg.ErrorBudget * float64(rd.ShardTargets))
 
-	src := s.tr.LocalAddr()
-	// Reusable buffers keep the send path allocation-free. Transports must
-	// not retain the datagram after WritePacket returns.
-	probeBuf := make([]byte, 0, 64)
-	dgBuf := make([]byte, 0, 128)
-	// Deterministic jitter source for retry backoff.
-	rng := splitmix(cfg.Seed ^ uint64(cfg.Epoch)<<32 ^ 0xfa17)
-
-	var abortErr error
-	failed := 0
-	for {
-		if abortErr = s.interrupted(ctx); abortErr != nil {
-			rd.Partial = true
-			break
-		}
-		idx, ok := cur.Next()
-		if !ok {
-			break
-		}
-		dst := targets.Addr(idx)
-		sent := false
-		for attempt := 0; attempt < cfg.ProbesPerAddr; attempt++ {
-			rl.Wait()
-			if err := s.sendProbe(ctx, rd, val, &rng, &probeBuf, &dgBuf, src, dst); err != nil {
-				rd.Stats.SendErrors++
-				rd.Err = err
-			} else {
-				sent = true
-			}
-		}
-		if sent {
-			rd.Probed++
-		} else {
-			failed++
-			if failed > maxFail {
-				// Error budget exhausted: salvage the round as partial
-				// rather than losing everything measured so far.
-				rd.Partial = true
-				break
-			}
-		}
-		// Opportunistically drain replies between sends.
-		s.drain(rd, val, 0)
+	r := &roundRun{
+		cfg:     cfg,
+		tr:      AsBatch(s.tr),
+		targets: targets,
+		val:     NewValidator(cfg.Seed^0xc0ffee, cfg.Epoch, start),
+		rl:      NewRateLimiter(cfg.Clock, cfg.Rate, cfg.Burst),
+		rng:     splitmix(cfg.Seed ^ uint64(cfg.Epoch)<<32 ^ 0xfa17),
+		maxFail: int(cfg.ErrorBudget * float64(rd.ShardTargets)),
+		blocks:  rd.Blocks,
 	}
-
-	// Cooldown: collect stragglers (skipped once the round was aborted by
-	// cancellation, but kept for budget-exhausted rounds so the replies to
-	// probes already sent still count).
-	if abortErr == nil {
-		deadline := cfg.Clock.Now().Add(cfg.Cooldown)
-		for {
-			if abortErr = s.interrupted(ctx); abortErr != nil {
-				rd.Partial = true
-				break
-			}
-			left := deadline.Sub(cfg.Clock.Now())
-			if left <= 0 {
-				break
-			}
-			if !s.readOne(rd, val, left) {
-				break
-			}
-		}
+	if cfg.Pipelined {
+		r.runPipelined(s, ctx, cur)
+	} else {
+		r.runSerial(s, ctx, cur)
 	}
-	if rd.Probed < rd.ShardTargets {
-		rd.Partial = true
-	}
+	r.finalize(rd)
 	rd.Stats.Elapsed = cfg.Clock.Now().Sub(start)
-	return rd, abortErr
-}
-
-// sendProbe transmits one probe, retrying transient transport errors with
-// exponential backoff and deterministic jitter. The probe is re-encoded on
-// every attempt so the embedded send timestamp stays accurate for RTT.
-func (s *Scanner) sendProbe(ctx context.Context, rd *RoundData, val *Validator, rng *uint64, probeBuf, dgBuf *[]byte, src, dst netmodel.Addr) error {
-	cfg := s.cfg
-	backoff := cfg.RetryBackoff
-	for attempt := 0; ; attempt++ {
-		now := cfg.Clock.Now()
-		*probeBuf = val.AppendProbe((*probeBuf)[:0], dst, now)
-		*dgBuf = icmp.AppendIPv4((*dgBuf)[:0], icmp.IPv4Header{
-			TTL: cfg.TTL, Protocol: icmp.ProtoICMP, Src: src, Dst: dst,
-			ID: uint16(rd.Stats.Sent),
-		}, *probeBuf)
-		err := s.tr.WritePacket(*dgBuf)
-		if err == nil {
-			rd.Stats.Sent++
-			return nil
-		}
-		if attempt >= cfg.Retries || !IsTransient(err) {
-			return err
-		}
-		rd.Stats.Retries++
-		*rng = splitmix(*rng)
-		cfg.Clock.Sleep(backoff/2 + time.Duration(*rng%uint64(backoff)))
-		if backoff < time.Second {
-			backoff *= 2
-		}
-		if ierr := s.interrupted(ctx); ierr != nil {
-			return ierr
-		}
-	}
+	return rd, r.abortState()
 }
 
 // shardLen is how many of the n permuted indices shard receives: every
@@ -368,75 +298,4 @@ func shardLen(n uint64, shard, shards int) int {
 		return 0
 	}
 	return int((n - uint64(shard) + uint64(shards) - 1) / uint64(shards))
-}
-
-// drain reads all immediately available packets.
-func (s *Scanner) drain(rd *RoundData, val *Validator, wait time.Duration) {
-	for s.readOne(rd, val, wait) {
-		wait = 0
-	}
-}
-
-// readOne reads and processes a single packet. It returns false when the
-// caller should stop reading: on ErrTimeout (the expected idle outcome) or
-// once the receive path is declared dead. Hard receive errors are counted
-// in Stats.RecvErrors rather than swallowed, so a dead receive path is
-// never misreported as 0 responsive IPs: transient errors are tolerated up
-// to MaxRecvErrors, non-transient ones kill the path immediately, and
-// either way the round is marked Partial/RecvDead.
-func (s *Scanner) readOne(rd *RoundData, val *Validator, wait time.Duration) bool {
-	if rd.RecvDead {
-		return false
-	}
-	pkt, at, err := s.tr.ReadPacket(wait)
-	if err != nil {
-		if errors.Is(err, ErrTimeout) {
-			return false
-		}
-		rd.Stats.RecvErrors++
-		rd.Err = err
-		if !IsTransient(err) || rd.Stats.RecvErrors > uint64(s.cfg.MaxRecvErrors) {
-			rd.RecvDead = true
-			rd.Partial = true
-			return false
-		}
-		return true
-	}
-	h, body, err := icmp.ParseIPv4(pkt)
-	if err != nil || h.Protocol != icmp.ProtoICMP {
-		rd.Stats.Invalid++
-		return true
-	}
-	m, err := icmp.Parse(body)
-	if err != nil {
-		rd.Stats.Invalid++
-		return true
-	}
-	if m.Type != icmp.TypeEchoReply {
-		rd.Stats.NonEcho++
-		return true
-	}
-	reply, ok := val.DecodeReply(h.Src, m, at)
-	if !ok {
-		rd.Stats.Invalid++
-		return true
-	}
-	rd.Stats.Received++
-	bi := rd.Targets.BlockIndex(reply.From)
-	if bi < 0 {
-		rd.Stats.Invalid++
-		return true
-	}
-	br := &rd.Blocks[bi]
-	host := reply.From.HostByte()
-	if br.Responded(host) {
-		rd.Stats.Duplicates++
-		return true
-	}
-	br.RespMask[host/64] |= 1 << (host % 64)
-	br.RespCount++
-	br.RTTSum += reply.RTT
-	br.RTTCount++
-	rd.Stats.Valid++
-	return true
 }

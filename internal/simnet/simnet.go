@@ -92,6 +92,27 @@ func (n *Network) Sleep(d time.Duration) {
 // WritePacket implements scanner.Transport: it parses the outgoing datagram,
 // consults the responder, and enqueues any reply for delivery RTT later.
 func (n *Network) WritePacket(b []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.writeLocked(b)
+}
+
+// WriteBatch implements scanner.BatchTransport, amortizing one lock
+// acquisition over the whole batch. Packets are processed in order with the
+// clock held still, so replies enqueue exactly as they would under repeated
+// WritePacket calls.
+func (n *Network) WriteBatch(pkts [][]byte) (int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, b := range pkts {
+		if err := n.writeLocked(b); err != nil {
+			return i, err
+		}
+	}
+	return len(pkts), nil
+}
+
+func (n *Network) writeLocked(b []byte) error {
 	h, body, err := icmp.ParseIPv4(b)
 	if err != nil {
 		return fmt.Errorf("simnet: outgoing packet: %w", err)
@@ -104,8 +125,6 @@ func (n *Network) WritePacket(b []byte) error {
 		return fmt.Errorf("simnet: outgoing ICMP: %w", err)
 	}
 
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.sent++
 	at := n.now
 	r := n.resp.Respond(h.Dst, at)
@@ -161,6 +180,38 @@ func (n *Network) ReadPacket(wait time.Duration) ([]byte, time.Time, error) {
 		n.now = n.now.Add(wait)
 	}
 	return nil, time.Time{}, scanner.ErrTimeout
+}
+
+// ReadBatch implements scanner.BatchTransport: it delivers every reply due
+// at (or, for the first packet, within `wait` of) the current virtual time
+// under a single lock acquisition, copying each into the caller's reusable
+// slot. Delivery order and clock movement are identical to repeated
+// ReadPacket calls, so batched reads stay deterministic.
+func (n *Network) ReadBatch(pkts [][]byte, ats []time.Time, wait time.Duration) (int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	count := 0
+	for count < len(pkts) && len(n.queue) > 0 {
+		head := n.queue[0]
+		switch {
+		case !head.at.After(n.now):
+			// Due now: deliver without moving the clock.
+		case count == 0 && wait > 0 && !head.at.After(n.now.Add(wait)):
+			// First packet within the wait window: advance to its delivery.
+			n.now = head.at
+		default:
+			return count, nil
+		}
+		heap.Pop(&n.queue)
+		n.delivered++
+		pkts[count] = append(pkts[count][:0], head.pkt...)
+		ats[count] = head.at
+		count++
+	}
+	if count == 0 && wait > 0 {
+		n.now = n.now.Add(wait)
+	}
+	return count, nil
 }
 
 // Pending returns how many replies are queued but not yet delivered.
