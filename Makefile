@@ -4,7 +4,7 @@ GO ?= go
 # baseline default), bump to e.g. 3s for stable timing comparisons.
 BENCHTIME ?= 1x
 
-.PHONY: all build test race vet fmt bench bench-smoke bench-diff fuzz-smoke ci
+.PHONY: all build test race vet fmt bench bench-smoke bench-diff fuzz-smoke metrics-lint ci
 
 all: build
 
@@ -48,13 +48,19 @@ bench-diff:
 		| $(GO) run ./cmd/benchjson > /tmp/bench_current.json
 	$(GO) run ./cmd/benchjson -diff BENCH_baseline.json /tmp/bench_current.json
 
+# Check that every metric registered in code appears in the README's
+# catalogue table and vice versa.
+metrics-lint:
+	$(GO) run ./cmd/metricslint
+
 # Short native-fuzz smoke over the packet parsers: a few seconds each is
 # enough to exercise the mutator beyond the seed corpus in CI.
 fuzz-smoke:
 	$(GO) test ./internal/icmp -fuzz '^FuzzParseIPv4$$' -fuzztime 5s -run '^$$'
 	$(GO) test ./internal/icmp -fuzz '^FuzzParseICMP$$' -fuzztime 5s -run '^$$'
 
-# The full gate: formatting, static analysis, tests, the race detector, the
-# benchmark smoke run, the fuzz smoke, and the (non-fatal) bench diff.
-ci: fmt vet test race bench-smoke fuzz-smoke
+# The full gate: formatting, static analysis, the metric-catalogue check,
+# tests, the race detector, the benchmark smoke run, the fuzz smoke, and the
+# (non-fatal) bench diff.
+ci: fmt vet metrics-lint test race bench-smoke fuzz-smoke
 	-$(MAKE) bench-diff

@@ -18,6 +18,7 @@ import (
 	"countrymon/internal/experiments"
 	"countrymon/internal/icmp"
 	"countrymon/internal/netmodel"
+	"countrymon/internal/obs"
 	"countrymon/internal/par"
 	"countrymon/internal/scanner"
 	"countrymon/internal/signals"
@@ -186,7 +187,7 @@ func BenchmarkScannerRound(b *testing.B) {
 // reports wall-clock probe throughput. The parallel variant pins 8 workers
 // (COUNTRYMON_WORKERS), so recorded baselines compare the same shard count;
 // on a single-core host the two converge — the speedup needs real cores.
-func benchScanRound(b *testing.B, shards int) {
+func benchScanRound(b *testing.B, shards int, metrics *scanner.Metrics) {
 	resp := simnet.ResponderFunc(func(dst netmodel.Addr, at time.Time) simnet.Reply {
 		if dst.HostByte() < 64 {
 			return simnet.Reply{Kind: simnet.EchoReply, RTT: 35 * time.Millisecond}
@@ -203,7 +204,8 @@ func benchScanRound(b *testing.B, shards int) {
 	start := time.Now()
 	var probes uint64
 	for i := 0; i < b.N; i++ {
-		cfg := scanner.Config{Rate: -1, Seed: uint64(i) + 1, Epoch: uint32(i), Cooldown: time.Second}
+		cfg := scanner.Config{Rate: -1, Seed: uint64(i) + 1, Epoch: uint32(i), Cooldown: time.Second,
+			Metrics: metrics}
 		var rd *scanner.RoundData
 		if shards > 1 {
 			rd, err = scanner.ScanParallel(context.Background(), ts, shards, cfg,
@@ -230,11 +232,20 @@ func benchScanRound(b *testing.B, shards int) {
 	}
 }
 
-func BenchmarkScanRound(b *testing.B) { benchScanRound(b, 1) }
+// BenchmarkScanRound is the registry-detached baseline: the instrumentation
+// sites are compiled in but every instrument is nil, so the pair with
+// BenchmarkScanRoundMetrics pins the disabled-path overhead (<3% budget).
+func BenchmarkScanRound(b *testing.B) { benchScanRound(b, 1, nil) }
 
 func BenchmarkScanRoundParallel(b *testing.B) {
 	b.Setenv(par.EnvWorkers, "8")
-	benchScanRound(b, 8)
+	benchScanRound(b, 8, nil)
+}
+
+// BenchmarkScanRoundMetrics runs the same round with a live registry
+// attached — what a campaign under -metrics pays.
+func BenchmarkScanRoundMetrics(b *testing.B) {
+	benchScanRound(b, 1, scanner.NewMetrics(obs.NewRegistry()))
 }
 
 func BenchmarkICMPEncodeDecode(b *testing.B) {

@@ -8,6 +8,11 @@
 //	countrymon [-scale 0.12] [-interval 6] [-seed 1]
 //	           [-save data.cmds] [-load data.cmds]
 //	           [-packet-rounds N] [-region Kherson] [-as 25482]
+//	           [-metrics :9090]
+//
+// With -metrics, live pipeline instrumentation — scanner counters, signal
+// build/detect timings, outage counts — is served on /metrics (Prometheus
+// text, ?format=json) and /events (SSE).
 package main
 
 import (
@@ -15,12 +20,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
 	"countrymon/internal/analysis"
 	"countrymon/internal/dataset"
 	"countrymon/internal/netmodel"
+	"countrymon/internal/obs"
 	"countrymon/internal/regional"
 	"countrymon/internal/render"
 	"countrymon/internal/scanner"
@@ -42,7 +49,23 @@ func main() {
 	asn := flag.Uint("as", 25482, "AS to detail")
 	minCov := flag.Float64("min-coverage", signals.DefaultMinCoverage,
 		"treat rounds below this probed-target fraction as missing")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /events on this address (e.g. :9090)")
 	flag.Parse()
+
+	var (
+		reg *obs.Registry
+		bus *obs.Bus
+	)
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		bus = obs.NewBus(0)
+		go func() {
+			log.Printf("observability on http://%s/metrics and /events", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, obs.Handler(reg, bus)); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
 
 	cfg := sim.Config{Seed: *seed, Scale: *scale, Interval: time.Duration(*interval) * time.Hour}
 	log.Printf("building scenario (scale %.2f, %dh rounds)...", *scale, *interval)
@@ -74,7 +97,7 @@ func main() {
 	}
 
 	if *packetRounds > 0 {
-		runPacketRounds(sc, store, *packetRounds, *parallel)
+		runPacketRounds(sc, store, *packetRounds, *parallel, reg, bus)
 	}
 
 	log.Printf("classifying %d regions across %d months...", netmodel.NumRegions, store.Timeline().NumMonths())
@@ -85,6 +108,8 @@ func main() {
 		counts[regional.ASRegional], counts[regional.ASNonRegional], counts[regional.ASTemporal])
 
 	b := signals.NewBuilderMinCoverage(store, sc.Space, *minCov)
+	sigM := signals.NewMetrics(reg)
+	b.Observe(sigM)
 	tl := store.Timeline()
 
 	// Data-quality summary: rounds without usable observations.
@@ -104,7 +129,7 @@ func main() {
 	fmt.Printf("\n%-16s %8s %8s %10s\n", "region", "events", "rounds", "hours")
 	var rows []render.LabeledDetection
 	for _, r := range netmodel.Regions() {
-		d := signals.Detect(b.Region(res.Regions[r], cl), signals.RegionConfig())
+		d := signals.DetectObs(b.Region(res.Regions[r], cl), signals.RegionConfig(), sigM)
 		hours := float64(d.TotalRounds()) * tl.Interval().Hours()
 		fl := ""
 		if r.Frontline() {
@@ -119,14 +144,14 @@ func main() {
 	target, _ := netmodel.RegionByName(*region)
 	if target.Valid() {
 		fmt.Printf("\n-- %s outage events (regional signal) --\n", target)
-		d := signals.Detect(b.Region(res.Regions[target], cl), signals.RegionConfig())
+		d := signals.DetectObs(b.Region(res.Regions[target], cl), signals.RegionConfig(), sigM)
 		printOutages(d, tl.Interval(), store, 15)
 	}
 
 	a := netmodel.ASN(*asn)
 	if sc.Space.Lookup(a) != nil {
 		fmt.Printf("\n-- %v (%s) outage events --\n", a, sc.Space.Lookup(a).Name)
-		d := signals.Detect(b.AS(a), signals.ASConfig())
+		d := signals.DetectObs(b.AS(a), signals.ASConfig(), sigM)
 		printOutages(d, tl.Interval(), store, 15)
 		daily := analysis.OutageHoursPerDay(d, tl)
 		total := 0.0
@@ -159,8 +184,9 @@ func printOutages(d *signals.Detection, interval time.Duration, store *dataset.S
 // the simulated wire and cross-checks the fast generator's counts. With
 // parallel > 1 each round fans out over in-process shards via ScanParallel,
 // which must agree with the serial scan bit-for-bit.
-func runPacketRounds(sc *sim.Scenario, store *dataset.Store, n, parallel int) {
+func runPacketRounds(sc *sim.Scenario, store *dataset.Store, n, parallel int, reg *obs.Registry, bus *obs.Bus) {
 	log.Printf("packet-level validation: scanning %d rounds through the real scanner (parallel=%d)...", n, parallel)
+	scanM := scanner.NewMetrics(reg)
 	// Scan a tractable subset: the Kherson Table-5 ASes.
 	var prefixes []netmodel.Prefix
 	for _, asn := range sim.KhersonASNs() {
@@ -182,6 +208,7 @@ func runPacketRounds(sc *sim.Scenario, store *dataset.Store, n, parallel int) {
 		cfg := scanner.Config{
 			Rate: scanner.DefaultRate * 10, Seed: 99, Epoch: uint32(round + 1),
 			Cooldown: 2 * time.Second,
+			Metrics:  scanM, Events: bus,
 		}
 		var rd *scanner.RoundData
 		if parallel > 1 {

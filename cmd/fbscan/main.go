@@ -8,35 +8,56 @@
 //	            (real sockets, real timing)
 //
 // With -rounds N (N > 1, sim mode) fbscan runs a multi-round campaign
-// through the monitor instead of a single scan, optionally checkpointing to
-// -checkpoint and resuming a killed campaign with -resume. -faults injects
-// scripted and probabilistic transport faults (see internal/faults) to
-// exercise the recovery machinery; fbscan exits non-zero when a round ends
-// below the -min-coverage threshold.
+// through Monitor.Run, optionally checkpointing to -checkpoint and resuming
+// a killed campaign with -resume; Ctrl-C stops the campaign at the next
+// round boundary after writing a final checkpoint. -faults injects scripted
+// and probabilistic transport faults (see internal/faults) to exercise the
+// recovery machinery. -metrics serves the live observability endpoints
+// (/metrics Prometheus text or JSON, /events SSE or long-poll) while the
+// scan runs.
 //
 // Usage:
 //
 //	fbscan [-mode sim|udp] [-rate 8000] [-at 2022-05-01T12:00:00Z]
 //	       [-seed 1] [-scale 0.05] [-faults spec] [-rounds N]
-//	       [-checkpoint file] [-resume file] [-min-coverage 0.8] [cidr ...]
+//	       [-checkpoint file] [-resume file] [-min-coverage 0.8]
+//	       [-metrics :9090] [cidr ...]
+//
+// Exit codes: 0 success; 1 a round (or the scan) ended below -min-coverage,
+// or a hard failure; 3 -resume named a checkpoint of a different campaign
+// (countrymon.ResumeMismatchError); 130 interrupted by signal.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"countrymon"
 	"countrymon/internal/faults"
 	"countrymon/internal/netmodel"
+	"countrymon/internal/obs"
 	"countrymon/internal/scanner"
 	"countrymon/internal/sim"
 	"countrymon/internal/simnet"
 )
+
+// serveObs serves live observability — /metrics (Prometheus text or JSON)
+// and /events (SSE or long-poll) — on addr for the lifetime of the process.
+func serveObs(addr string, reg *obs.Registry, bus *obs.Bus) {
+	log.Printf("observability on http://%s/metrics and /events", addr)
+	if err := http.ListenAndServe(addr, obs.Handler(reg, bus)); err != nil {
+		log.Printf("metrics server: %v", err)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -58,7 +79,18 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "campaign checkpoint file (atomic, written periodically)")
 	resume := flag.String("resume", "", "resume a killed campaign from this checkpoint file")
 	minCov := flag.Float64("min-coverage", 0.8, "round coverage below this fraction is a failure")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /events on this address (e.g. :9090)")
 	flag.Parse()
+
+	var (
+		reg *obs.Registry
+		bus *obs.Bus
+	)
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		bus = obs.NewBus(0)
+		go serveObs(*metricsAddr, reg, bus)
+	}
 
 	var exclude []netmodel.Prefix
 	if *blocklist != "" {
@@ -113,7 +145,7 @@ func main() {
 		}
 		runCampaign(sc, prefixes, exclude, at, prof, injecting,
 			*rounds, *interval, *rate, *seed, *checkpoint, *resume, *minCov,
-			*parallel, *batch, *pipeline)
+			*parallel, *batch, *pipeline, reg, bus)
 		return
 	}
 	if *checkpoint != "" || *resume != "" {
@@ -132,6 +164,7 @@ func main() {
 		Rate: *rate, Seed: *seed, Epoch: 1, Cooldown: 4 * time.Second,
 		Shard: *shard, Shards: *shards, ProbesPerAddr: *probes,
 		Batch: *batch, Pipelined: *pipeline,
+		Metrics: scanner.NewMetrics(reg), Events: bus,
 	}
 	// wrap layers fault injection over a shard's transport; each shard gets
 	// its own RNG stream so concurrent shards never contend on one RNG.
@@ -146,6 +179,7 @@ func main() {
 		p := prof
 		p.Seed = prof.Seed + uint64(shard)*0x9e3779b9
 		ftr := faults.NewTransport(tr, clock, p)
+		ftr.Observe(faults.NewMetrics(reg))
 		fmu.Lock()
 		faultTrs = append(faultTrs, ftr)
 		fmu.Unlock()
@@ -267,12 +301,14 @@ func (c *vclock) Sleep(d time.Duration) {
 	c.mu.Unlock()
 }
 
-// runCampaign drives a multi-round scan through the monitor, with optional
-// checkpointing, resume, fault injection and in-process shard parallelism.
+// runCampaign drives a multi-round scan through Monitor.Run, with optional
+// checkpointing, resume, fault injection, in-process shard parallelism and
+// live observability. SIGINT/SIGTERM stop the campaign at the next round
+// boundary after a final checkpoint.
 func runCampaign(sc *sim.Scenario, prefixes, exclude []netmodel.Prefix, at time.Time,
 	prof faults.Profile, injecting bool, rounds int, interval time.Duration,
 	rate int, seed uint64, checkpoint, resume string, minCov float64,
-	parallel, batch int, pipeline bool) {
+	parallel, batch int, pipeline bool, reg *obs.Registry, bus *obs.Bus) {
 
 	local := netmodel.MustParseAddr("198.51.100.1")
 	opts := countrymon.Options{
@@ -282,6 +318,7 @@ func runCampaign(sc *sim.Scenario, prefixes, exclude []netmodel.Prefix, at time.
 		CheckpointPath: checkpoint, ResumeFrom: resume,
 		MinCoverage: minCov,
 		Batch:       batch, Pipelined: pipeline,
+		Registry: reg, Bus: bus,
 	}
 	var (
 		fmu      sync.Mutex
@@ -302,6 +339,7 @@ func runCampaign(sc *sim.Scenario, prefixes, exclude []netmodel.Prefix, at time.
 				p := prof
 				p.Seed = prof.Seed + uint64(shard)*0x9e3779b9
 				ftr := faults.NewTransport(net, nil, p)
+				ftr.Observe(faults.NewMetrics(reg))
 				fmu.Lock()
 				faultTrs = append(faultTrs, ftr)
 				fmu.Unlock()
@@ -314,6 +352,7 @@ func runCampaign(sc *sim.Scenario, prefixes, exclude []netmodel.Prefix, at time.
 		tr = net
 		if injecting {
 			ftr := faults.NewTransport(net, nil, prof)
+			ftr.Observe(faults.NewMetrics(reg))
 			faultTrs = append(faultTrs, ftr)
 			tr = ftr
 		}
@@ -321,6 +360,13 @@ func runCampaign(sc *sim.Scenario, prefixes, exclude []netmodel.Prefix, at time.
 	}
 	mon, err := countrymon.New(opts)
 	if err != nil {
+		var mm *countrymon.ResumeMismatchError
+		if errors.As(err, &mm) {
+			log.Printf("fbscan: %v", mm)
+			log.Printf("fbscan: campaign wants %s with %d blocks; start a fresh checkpoint or fix the options",
+				mm.WantTimeline, mm.WantBlocks)
+			os.Exit(3)
+		}
 		log.Fatal(err)
 	}
 	if resume != "" {
@@ -328,20 +374,36 @@ func runCampaign(sc *sim.Scenario, prefixes, exclude []netmodel.Prefix, at time.
 	}
 	log.Printf("campaign: %d /24 blocks, %d rounds every %v, mode=sim", mon.Store().NumBlocks(), rounds, interval)
 
-	for mon.NextRound() {
-		r := mon.Round()
-		stats, err := mon.ScanRound()
-		if err != nil {
-			log.Fatalf("round %d: %v", r, err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = mon.Run(ctx, countrymon.RunConfig{
+		Hooks: countrymon.Hooks{
+			OnRound: func(r int, stats countrymon.Stats) {
+				note := ""
+				switch {
+				case mon.Store().Missing(r):
+					note = "  [receive path dead: recorded missing]"
+				case mon.Store().Coverage(r) < 1:
+					note = fmt.Sprintf("  [partial: %.1f%% coverage]", 100*mon.Store().Coverage(r))
+				}
+				log.Printf("round %3d: sent %d valid %d%s", r, stats.Sent, stats.Valid, note)
+			},
+			OnCheckpoint: func(round int, path string) {
+				log.Printf("checkpoint: %d rounds -> %s", round, path)
+			},
+		},
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		msg := "no checkpoint configured"
+		if checkpoint != "" {
+			msg = "checkpoint written to " + checkpoint
 		}
-		note := ""
-		switch {
-		case mon.Store().Missing(r):
-			note = "  [receive path dead: recorded missing]"
-		case mon.Store().Coverage(r) < 1:
-			note = fmt.Sprintf("  [partial: %.1f%% coverage]", 100*mon.Store().Coverage(r))
-		}
-		log.Printf("round %3d: sent %d valid %d%s", r, stats.Sent, stats.Valid, note)
+		log.Printf("fbscan: interrupted at round %d of %d (%s)", mon.Round(), rounds, msg)
+		os.Exit(130)
+	default:
+		log.Fatalf("campaign: %v", err)
 	}
 
 	low := 0

@@ -1,0 +1,144 @@
+// Command metricslint keeps the README's metric catalogue honest: every
+// metric registered in the tree must be documented, and every documented
+// metric must still exist in code. It is part of `make ci`.
+//
+// Usage:
+//
+//	metricslint [-root .] [-readme README.md]
+//
+// Registration sites are found syntactically — calls of the form
+// .Counter("name", .Gauge("name", .Histogram("name" or .CounterVec("name"
+// in non-test Go files (the internal/obs framework itself is skipped) — and
+// compared against the backticked first column of the README's catalogue
+// table. Exit status 1 on any drift.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+var registerRE = regexp.MustCompile(`\.(Counter|Gauge|Histogram|CounterVec)\(\s*"([a-z][a-z0-9_]*)"`)
+
+// tableRowRE matches the first backticked cell of a markdown table row.
+var tableRowRE = regexp.MustCompile("^\\|\\s*`([a-z][a-z0-9_]*)`\\s*\\|")
+
+func main() {
+	root := flag.String("root", ".", "module root to scan")
+	readme := flag.String("readme", "README.md", "catalogue file, relative to -root")
+	flag.Parse()
+
+	code, err := codeMetrics(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricslint:", err)
+		os.Exit(2)
+	}
+	doc, err := docMetrics(filepath.Join(*root, *readme))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricslint:", err)
+		os.Exit(2)
+	}
+
+	bad := false
+	for _, name := range sortedKeys(code) {
+		if _, ok := doc[name]; !ok {
+			fmt.Printf("metricslint: %s registered at %s but missing from %s\n",
+				name, code[name], *readme)
+			bad = true
+		}
+	}
+	for _, name := range sortedKeys(doc) {
+		if _, ok := code[name]; !ok {
+			fmt.Printf("metricslint: %s documented in %s but registered nowhere\n",
+				name, *readme)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Printf("metricslint: %d metrics, code and %s agree\n", len(code), *readme)
+}
+
+// codeMetrics maps metric name -> first registration site ("file:line").
+func codeMetrics(root string) (map[string]string, error) {
+	out := make(map[string]string)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata":
+				return filepath.SkipDir
+			}
+			// The obs framework defines the instrument types; its doc
+			// examples are not registrations.
+			if rel, _ := filepath.Rel(root, path); rel == filepath.Join("internal", "obs") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		if rel, _ := filepath.Rel(root, path); strings.HasPrefix(rel, filepath.Join("cmd", "metricslint")) {
+			return nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for n := 1; sc.Scan(); n++ {
+			line := strings.TrimSpace(sc.Text())
+			if strings.HasPrefix(line, "//") {
+				continue
+			}
+			for _, m := range registerRE.FindAllStringSubmatch(line, -1) {
+				name := m[2]
+				if _, seen := out[name]; !seen {
+					rel, _ := filepath.Rel(root, path)
+					out[name] = fmt.Sprintf("%s:%d", rel, n)
+				}
+			}
+		}
+		return sc.Err()
+	})
+	return out, err
+}
+
+// docMetrics reads the backticked metric names out of the README's
+// catalogue table rows.
+func docMetrics(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if m := tableRowRE.FindStringSubmatch(sc.Text()); m != nil {
+			out[m[1]] = true
+		}
+	}
+	return out, sc.Err()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

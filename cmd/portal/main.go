@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"countrymon/internal/dataset"
+	"countrymon/internal/obs"
 	"countrymon/internal/portal"
 	"countrymon/internal/sim"
 )
@@ -67,7 +68,9 @@ func main() {
 	}
 
 	p := portal.New(store, key, tokens...)
+	p.Observe(obs.NewRegistry(), obs.NewBus(0))
 	log.Printf("portal listening on http://%s/", *listen)
 	fmt.Println("endpoints: /  /opt-out  /data/blocks?token=&month=  /data/responsiveness?token=&block=&month=")
+	fmt.Println("observability: /metrics (Prometheus text, ?format=json)  /events (SSE, ?format=json&since=N&wait=30s)")
 	log.Fatal(http.ListenAndServe(*listen, p))
 }

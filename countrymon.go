@@ -19,6 +19,40 @@
 //	})
 //	for mon.NextRound() { mon.ScanRound() }
 //	det := mon.DetectAS(25482)
+//
+// # Running a campaign
+//
+// Run drives the whole campaign under a context, with per-round hooks:
+//
+//	err := mon.Run(ctx, countrymon.RunConfig{
+//	    Hooks: countrymon.Hooks{
+//	        OnRound:      func(round int, st countrymon.Stats) { ... },
+//	        OnCheckpoint: func(round int, path string) { ... },
+//	        OnEvent:      func(ev obs.Event) { ... },
+//	    },
+//	})
+//
+// Cancelling ctx stops the campaign at the next round boundary; when a
+// CheckpointPath is configured, a final checkpoint is written before Run
+// returns, so the campaign resumes exactly where it stopped. The classic
+// zero-argument loop above keeps working: ScanRound is a thin wrapper over
+// ScanRoundContext(context.Background()).
+//
+// # Observability
+//
+// Options.Registry and Options.Bus attach the monitor (and the scanner
+// under it) to an internal/obs metrics registry and event bus. Every round,
+// checkpoint, retry and detection then shows up live on /metrics and
+// /events (see internal/obs and the README's Observability section); with
+// both nil the instrumentation reduces to nil checks.
+//
+// # Errors
+//
+// Sentinels and types replace string matching: ErrCampaignComplete (the
+// timeline is exhausted), ErrNoCheckpoint (Checkpoint without a configured
+// path), and ResumeMismatchError (ResumeFrom names a checkpoint of a
+// different campaign, carrying both conflicting timelines/blocks). Use
+// errors.Is / errors.As.
 package countrymon
 
 import (
@@ -33,6 +67,7 @@ import (
 	"countrymon/internal/dataset"
 	"countrymon/internal/geodb"
 	"countrymon/internal/netmodel"
+	"countrymon/internal/obs"
 	"countrymon/internal/regional"
 	"countrymon/internal/scanner"
 	"countrymon/internal/signals"
@@ -141,6 +176,17 @@ type Options struct {
 	// partial round is treated like a vantage outage in signal derivation.
 	// Zero means signals.DefaultMinCoverage; negative disables the gate.
 	MinCoverage float64
+
+	// Registry, when non-nil, receives the monitor's, scanner's and signal
+	// pipeline's live metrics (round outcomes, durations, coverage,
+	// checkpoint latency, probe/reply counters — see the README's metric
+	// catalogue). It may be shared with other subsystems; registration is
+	// idempotent.
+	Registry *obs.Registry
+	// Bus, when non-nil, receives the structured campaign event stream
+	// (round started/scanned/salvaged/missing, checkpoint written, retry
+	// taken, shard merged, detection fired) for /events streaming.
+	Bus *obs.Bus
 }
 
 // Monitor is the orchestrated measurement pipeline.
@@ -154,6 +200,16 @@ type Monitor struct {
 
 	// sinceCkpt counts rounds handled since the last checkpoint write.
 	sinceCkpt int
+
+	// Observability: bus and hooks receive events, metrics/scanM/sigM are
+	// the per-subsystem instruments (never nil; inert without a Registry),
+	// campaign accumulates Stats across scanned rounds.
+	bus      *obs.Bus
+	hooks    Hooks // active only during Run
+	metrics  *monMetrics
+	scanM    *scanner.Metrics
+	sigM     *signals.Metrics
+	campaign Stats
 
 	sigOnce  bool
 	sigBuild *signals.Builder
@@ -202,11 +258,19 @@ func New(opts Options) (*Monitor, error) {
 		targets: targets,
 		store:   dataset.NewStore(tl, targets.Blocks()),
 		origins: make(map[BlockID]ASN),
+		bus:     opts.Bus,
+		metrics: newMonMetrics(opts.Registry),
+		scanM:   scanner.NewMetrics(opts.Registry),
+		sigM:    signals.NewMetrics(opts.Registry),
 	}
 	if opts.ResumeFrom != "" {
 		if err := m.resume(opts.ResumeFrom); err != nil {
 			return nil, err
 		}
+		m.metrics.resumeRound.Set(int64(m.round))
+		m.emit("resume", func() map[string]any {
+			return map[string]any{"round": m.round, "path": opts.ResumeFrom}
+		})
 	}
 	for b, asn := range opts.Origins {
 		m.origins[b] = asn
@@ -216,27 +280,30 @@ func New(opts Options) (*Monitor, error) {
 
 // resume replaces the fresh store with a checkpointed one and positions the
 // campaign at its first unscanned round. The checkpoint must describe the
-// same campaign: identical timeline and identical target blocks.
+// same campaign — identical timeline and identical target blocks — or a
+// *ResumeMismatchError carrying both sides of the conflict is returned.
 func (m *Monitor) resume(path string) error {
 	st, err := dataset.Load(path)
 	if err != nil {
 		return fmt.Errorf("countrymon: resume: %w", err)
 	}
 	ctl := st.Timeline()
-	if !ctl.Start().Equal(m.tl.Start()) || ctl.Interval() != m.tl.Interval() ||
-		ctl.NumRounds() != m.tl.NumRounds() {
-		return fmt.Errorf("countrymon: resume: checkpoint timeline %v+%v×%d does not match campaign %v+%v×%d",
-			ctl.Start(), ctl.Interval(), ctl.NumRounds(),
-			m.tl.Start(), m.tl.Interval(), m.tl.NumRounds())
+	want, got := m.store.Blocks(), st.Blocks()
+	mm := &ResumeMismatchError{
+		Path:         path,
+		WantTimeline: TimelineSpec{Start: m.tl.Start(), Interval: m.tl.Interval(), Rounds: m.tl.NumRounds()},
+		GotTimeline:  TimelineSpec{Start: ctl.Start(), Interval: ctl.Interval(), Rounds: ctl.NumRounds()},
+		WantBlocks:   len(want),
+		GotBlocks:    len(got),
+		FirstDiff:    -1,
 	}
-	want := m.store.Blocks()
-	got := st.Blocks()
-	if len(got) != len(want) {
-		return fmt.Errorf("countrymon: resume: checkpoint has %d blocks, campaign has %d", len(got), len(want))
+	if !mm.GotTimeline.Equal(mm.WantTimeline) || len(got) != len(want) {
+		return mm
 	}
 	for i := range want {
 		if got[i] != want[i] {
-			return fmt.Errorf("countrymon: resume: checkpoint block %v differs from campaign block %v", got[i], want[i])
+			mm.FirstDiff, mm.WantBlock, mm.GotBlock = i, want[i], got[i]
+			return mm
 		}
 	}
 	m.store = st
@@ -256,23 +323,44 @@ func (m *Monitor) Round() int { return m.round }
 // NextRound reports whether another round remains.
 func (m *Monitor) NextRound() bool { return m.round < m.tl.NumRounds() }
 
-// MarkMissing records the current round as a vantage outage and skips it.
-func (m *Monitor) MarkMissing() {
-	if m.NextRound() {
-		m.store.SetMissing(m.round)
-		m.round++
-		m.maybeCheckpoint()
+// MarkMissing records the current round as a vantage outage (zero coverage)
+// and skips it. Like ScanRound it returns ErrCampaignComplete once the
+// timeline is exhausted and surfaces the checkpoint error the cadence may
+// produce, so skipped rounds are as durable as scanned ones.
+func (m *Monitor) MarkMissing() error {
+	if !m.NextRound() {
+		return ErrCampaignComplete
 	}
+	m.store.SetCoverage(m.round, 0)
+	m.store.SetMissing(m.round)
+	m.metrics.roundsMissing.Inc()
+	m.metrics.coverage.Observe(0)
+	m.metrics.lastRound.Set(int64(m.round))
+	round := m.round
+	m.emit("round_missing", func() map[string]any {
+		return map[string]any{"round": round, "reason": "vantage"}
+	})
+	m.invalidate()
+	m.round++
+	return m.maybeCheckpoint()
 }
 
 // ScanRound probes every target once and ingests the results at the current
-// round index. A round salvaged by the scanner's error budget is recorded
-// with its achieved coverage (signals gate it via Options.MinCoverage); a
-// round whose receive path died is recorded as missing, like a vantage
-// outage. Only a hard scan failure returns an error.
+// round index; it is ScanRoundContext without cancellation.
 func (m *Monitor) ScanRound() (Stats, error) {
+	return m.ScanRoundContext(context.Background())
+}
+
+// ScanRoundContext probes every target once and ingests the results at the
+// current round index. A round salvaged by the scanner's error budget is
+// recorded with its achieved coverage (signals gate it via
+// Options.MinCoverage); a round whose receive path died is recorded as
+// missing, like a vantage outage. Only a hard scan failure — or ctx being
+// cancelled mid-round, which discards the partial round so it rescans on
+// resume — returns an error.
+func (m *Monitor) ScanRoundContext(ctx context.Context) (Stats, error) {
 	if !m.NextRound() {
-		return Stats{}, errors.New("countrymon: campaign complete")
+		return Stats{}, ErrCampaignComplete
 	}
 	// Align with the round's scheduled time (advances virtual clocks;
 	// sleeps until the slot on real deployments).
@@ -280,6 +368,10 @@ func (m *Monitor) ScanRound() (Stats, error) {
 	if wait := at.Sub(m.opts.Clock.Now()); wait > 0 {
 		m.opts.Clock.Sleep(wait)
 	}
+	round := m.round
+	m.emit("round_start", func() map[string]any {
+		return map[string]any{"round": round, "at": roundAt(at)}
+	})
 	cfg := scanner.Config{
 		Rate:      m.opts.Rate,
 		Seed:      m.opts.Seed,
@@ -287,49 +379,80 @@ func (m *Monitor) ScanRound() (Stats, error) {
 		Clock:     m.opts.Clock,
 		Batch:     m.opts.Batch,
 		Pipelined: m.opts.Pipelined,
+		Metrics:   m.scanM,
+		Events:    m.bus,
 	}
 	var (
 		rd  *scanner.RoundData
 		err error
 	)
 	if m.opts.ScanShards > 1 && m.opts.ShardTransport != nil {
-		round := m.round
-		rd, err = scanner.ScanParallel(context.Background(), m.targets, m.opts.ScanShards, cfg,
+		rd, err = scanner.ScanParallel(ctx, m.targets, m.opts.ScanShards, cfg,
 			func(shard, shards int) (Transport, Clock, error) {
 				return m.opts.ShardTransport(round, at, shard, shards)
 			})
 	} else {
-		rd, err = scanner.New(m.opts.Transport, cfg).Run(m.targets)
+		rd, err = scanner.New(m.opts.Transport, cfg).RunContext(ctx, m.targets)
 	}
 	if err != nil {
 		return Stats{}, err
 	}
+	outcome := "round_scanned"
 	if rd.RecvDead {
 		// Probes may have gone out, but with the receive path dead the
-		// response counts are not trustworthy measurements.
+		// response counts are not trustworthy measurements. Record the
+		// achieved send coverage (consistently with salvaged rounds) before
+		// marking the round missing.
+		m.store.SetCoverage(m.round, rd.Coverage())
 		m.store.SetMissing(m.round)
+		m.metrics.roundsMissing.Inc()
+		outcome = "round_missing"
 	} else {
 		m.store.AddRoundData(m.round, rd)
 		if rd.Partial {
 			m.store.SetCoverage(m.round, rd.Coverage())
+			m.metrics.roundsSalvaged.Inc()
+			outcome = "round_salvaged"
+		} else {
+			m.metrics.roundsScanned.Inc()
 		}
 		m.store.SetDone(m.round)
 	}
+	m.campaign.Add(rd.Stats)
+	m.metrics.roundDur.Observe(rd.Stats.Elapsed.Seconds())
+	m.metrics.coverage.Observe(rd.Coverage())
+	m.metrics.lastRound.Set(int64(m.round))
+	m.emit(outcome, func() map[string]any {
+		f := map[string]any{
+			"round": round, "sent": rd.Stats.Sent, "valid": rd.Stats.Valid,
+			"coverage": rd.Coverage(),
+		}
+		if rd.RecvDead {
+			f["reason"] = "recv_dead"
+		}
+		return f
+	})
 	m.invalidate()
 	m.round++
 	if err := m.maybeCheckpoint(); err != nil {
 		return rd.Stats, err
+	}
+	if !m.NextRound() {
+		m.emit("campaign_complete", func() map[string]any {
+			return map[string]any{"rounds": m.tl.NumRounds()}
+		})
 	}
 	return rd.Stats, nil
 }
 
 // Checkpoint writes the store to Options.CheckpointPath atomically (temp
 // file + rename), so a crash mid-write never corrupts the previous
-// checkpoint.
+// checkpoint. It returns ErrNoCheckpoint when no path is configured.
 func (m *Monitor) Checkpoint() error {
 	if m.opts.CheckpointPath == "" {
-		return errors.New("countrymon: no CheckpointPath configured")
+		return ErrNoCheckpoint
 	}
+	t0 := time.Now()
 	tmp := m.opts.CheckpointPath + ".tmp"
 	if err := m.store.Save(tmp); err != nil {
 		return err
@@ -339,6 +462,14 @@ func (m *Monitor) Checkpoint() error {
 		return err
 	}
 	m.sinceCkpt = 0
+	m.metrics.ckptTotal.Inc()
+	m.metrics.ckptDur.ObserveSince(t0)
+	m.emit("checkpoint", func() map[string]any {
+		return map[string]any{"round": m.round, "path": m.opts.CheckpointPath}
+	})
+	if m.hooks.OnCheckpoint != nil {
+		m.hooks.OnCheckpoint(m.round, m.opts.CheckpointPath)
+	}
 	return nil
 }
 
@@ -429,6 +560,7 @@ func (m *Monitor) builder() *signals.Builder {
 	}
 	m.space = m.buildSpace()
 	m.sigBuild = signals.NewBuilderMinCoverage(m.store, m.space, m.minCoverage())
+	m.sigBuild.Observe(m.sigM)
 	m.sigOnce = true
 	return m.sigBuild
 }
@@ -436,7 +568,11 @@ func (m *Monitor) builder() *signals.Builder {
 // DetectAS runs outage detection for one AS with the paper's AS-level
 // thresholds.
 func (m *Monitor) DetectAS(asn ASN) *Detection {
-	return signals.Detect(m.builder().AS(asn), signals.ASConfig())
+	d := signals.DetectObs(m.builder().AS(asn), signals.ASConfig(), m.sigM)
+	if len(d.Outages) > 0 {
+		m.emitDetection(asn.String(), d)
+	}
+	return d
 }
 
 // ASSeries exposes the raw per-round signals of an AS.
@@ -467,7 +603,11 @@ func (m *Monitor) DetectRegion(r Region) (*Detection, error) {
 		return nil, fmt.Errorf("countrymon: no classification for %v", r)
 	}
 	es := m.builder().Region(rr, m.classifier)
-	return signals.Detect(es, signals.RegionConfig()), nil
+	d := signals.DetectObs(es, signals.RegionConfig(), m.sigM)
+	if len(d.Outages) > 0 {
+		m.emitDetection(r.String(), d)
+	}
+	return d, nil
 }
 
 // RegionalASes returns the ASes classified regional for r (empty before

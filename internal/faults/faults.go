@@ -127,6 +127,9 @@ type Transport struct {
 	mu  sync.Mutex
 	rng uint64
 	cnt Counters
+
+	// metrics shadows cnt onto a registry (see Observe); never nil.
+	metrics *Metrics
 }
 
 // NewTransport wraps inner with the given profile. When clock is nil, the
@@ -140,7 +143,8 @@ func NewTransport(inner scanner.Transport, clock scanner.Clock, prof Profile) *T
 			clock = scanner.RealClock{}
 		}
 	}
-	return &Transport{inner: inner, clock: clock, prof: prof, rng: splitmix(prof.Seed ^ 0xfa17)}
+	return &Transport{inner: inner, clock: clock, prof: prof,
+		rng: splitmix(prof.Seed ^ 0xfa17), metrics: &Metrics{}}
 }
 
 // Inner returns the wrapped transport.
@@ -199,17 +203,20 @@ func (t *Transport) WritePacket(b []byte) error {
 		switch w.Kind {
 		case Blackout, SendErrors, Stall, Flap:
 			t.cnt.SendErrors++
+			t.metrics.SendErrors.Inc()
 			t.mu.Unlock()
 			return &Err{Op: "send"}
 		}
 	}
 	if t.roll(t.prof.SendErrorProb) {
 		t.cnt.SendErrors++
+		t.metrics.SendErrors.Inc()
 		t.mu.Unlock()
 		return &Err{Op: "send"}
 	}
 	if t.roll(t.prof.DropProb) {
 		t.cnt.Drops++
+		t.metrics.Drops.Inc()
 		t.mu.Unlock()
 		return nil
 	}
@@ -227,6 +234,7 @@ func (t *Transport) ReadPacket(wait time.Duration) ([]byte, time.Time, error) {
 			// Silence: consume the wait so virtual clocks keep moving and
 			// real callers don't spin.
 			t.cnt.Blackouts++
+			t.metrics.Blackouts.Inc()
 			t.mu.Unlock()
 			if wait > 0 {
 				t.clock.Sleep(wait)
@@ -234,6 +242,7 @@ func (t *Transport) ReadPacket(wait time.Duration) ([]byte, time.Time, error) {
 			return nil, time.Time{}, scanner.ErrTimeout
 		case RecvErrors:
 			t.cnt.RecvErrors++
+			t.metrics.RecvErrors.Inc()
 			t.mu.Unlock()
 			return nil, time.Time{}, &Err{Op: "recv"}
 		}
@@ -245,6 +254,7 @@ func (t *Transport) ReadPacket(wait time.Duration) ([]byte, time.Time, error) {
 		trunc := t.roll(t.prof.TruncateProb)
 		if trunc {
 			t.cnt.Truncated++
+			t.metrics.Truncated.Inc()
 		}
 		t.mu.Unlock()
 		if trunc {
@@ -285,6 +295,7 @@ func (t *Transport) ReadBatch(pkts [][]byte, ats []time.Time, wait time.Duration
 		switch w.Kind {
 		case Blackout, Stall, Flap:
 			t.cnt.Blackouts++
+			t.metrics.Blackouts.Inc()
 			t.mu.Unlock()
 			if wait > 0 {
 				t.clock.Sleep(wait)
@@ -292,6 +303,7 @@ func (t *Transport) ReadBatch(pkts [][]byte, ats []time.Time, wait time.Duration
 			return 0, nil
 		case RecvErrors:
 			t.cnt.RecvErrors++
+			t.metrics.RecvErrors.Inc()
 			t.mu.Unlock()
 			return 0, &Err{Op: "recv"}
 		}
@@ -303,6 +315,7 @@ func (t *Transport) ReadBatch(pkts [][]byte, ats []time.Time, wait time.Duration
 		for i := 0; i < n; i++ {
 			if len(pkts[i]) > 0 && t.roll(t.prof.TruncateProb) {
 				t.cnt.Truncated++
+				t.metrics.Truncated.Inc()
 				pkts[i] = pkts[i][:len(pkts[i])/2]
 			}
 		}

@@ -1,0 +1,37 @@
+package faults
+
+import "countrymon/internal/obs"
+
+// Metrics mirrors Counters onto a live registry as
+// faults_injected_total{kind}, so an operator watching /metrics can tell
+// injected chaos apart from real network failure. Build with NewMetrics; on
+// a nil registry every instrument is nil and inert.
+type Metrics struct {
+	SendErrors *obs.Counter
+	Drops      *obs.Counter
+	RecvErrors *obs.Counter
+	Truncated  *obs.Counter
+	Blackouts  *obs.Counter
+}
+
+// NewMetrics registers (idempotently) the fault instruments on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	v := reg.CounterVec("faults_injected_total", "Injected faults by kind.", "kind")
+	return &Metrics{
+		SendErrors: v.With("senderr"),
+		Drops:      v.With("drop"),
+		RecvErrors: v.With("recverr"),
+		Truncated:  v.With("truncated"),
+		Blackouts:  v.With("blackout"),
+	}
+}
+
+// Observe attaches m to the transport; every subsequent injected fault
+// increments both the transport's Counters and m. Call before the transport
+// is in use (it is not synchronized with in-flight I/O). A nil m detaches.
+func (t *Transport) Observe(m *Metrics) {
+	if m == nil {
+		m = &Metrics{}
+	}
+	t.metrics = m
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (counters and gauges as-is, histograms as summaries with window
+// quantiles), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.snapshot(func(f *family, children []*child) {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		switch {
+		case f.labels != nil:
+			for _, ch := range children {
+				fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(f.labels, ch.values), ch.c.Value())
+			}
+		case f.kind == kindCounter:
+			fmt.Fprintf(w, "%s %d\n", f.name, f.counter.Value())
+		case f.kind == kindGauge:
+			fmt.Fprintf(w, "%s %d\n", f.name, f.gauge.Value())
+		case f.kind == kindSummary:
+			s := f.hist.Snapshot()
+			fmt.Fprintf(w, "%s{quantile=\"0.5\"} %s\n", f.name, promFloat(s.P50))
+			fmt.Fprintf(w, "%s{quantile=\"0.95\"} %s\n", f.name, promFloat(s.P95))
+			fmt.Fprintf(w, "%s{quantile=\"0.99\"} %s\n", f.name, promFloat(s.P99))
+			fmt.Fprintf(w, "%s_sum %s\n", f.name, promFloat(s.Sum))
+			fmt.Fprintf(w, "%s_count %d\n", f.name, s.Count)
+		}
+	})
+}
+
+func promLabels(names, values []string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(values[i]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonSeries is one labeled sample in the JSON export.
+type jsonSeries struct {
+	Labels map[string]string `json:"labels"`
+	Value  uint64            `json:"value"`
+}
+
+// jsonMetric is one metric family in the JSON export.
+type jsonMetric struct {
+	Type    string        `json:"type"`
+	Help    string        `json:"help,omitempty"`
+	Value   *uint64       `json:"value,omitempty"`
+	Gauge   *int64        `json:"gauge,omitempty"`
+	Summary *HistSnapshot `json:"summary,omitempty"`
+	Series  []jsonSeries  `json:"series,omitempty"`
+}
+
+// WriteJSON writes the registry as a JSON object keyed by metric name.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]jsonMetric)
+	if r != nil {
+		r.snapshot(func(f *family, children []*child) {
+			m := jsonMetric{Type: f.kind, Help: f.help}
+			switch {
+			case f.labels != nil:
+				m.Series = make([]jsonSeries, 0, len(children))
+				for _, ch := range children {
+					labels := make(map[string]string, len(f.labels))
+					for i, n := range f.labels {
+						labels[n] = ch.values[i]
+					}
+					m.Series = append(m.Series, jsonSeries{Labels: labels, Value: ch.c.Value()})
+				}
+			case f.kind == kindCounter:
+				v := f.counter.Value()
+				m.Value = &v
+			case f.kind == kindGauge:
+				v := f.gauge.Value()
+				m.Gauge = &v
+			case f.kind == kindSummary:
+				s := f.hist.Snapshot()
+				m.Summary = &s
+			}
+			out[f.name] = m
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// MetricsHandler serves the registry: Prometheus text by default, JSON with
+// ?format=json or an Accept: application/json header.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if reg == nil {
+			http.Error(w, "no metrics registry attached", http.StatusServiceUnavailable)
+			return
+		}
+		if wantsJSON(r) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+}
+
+// EventsHandler serves the bus. The default response is a server-sent-event
+// stream: the retained backlog after ?since=N (0 = everything retained),
+// then live events until the client disconnects. With ?format=json it is a
+// long-poll instead: events after ?since are returned immediately, or —
+// when there are none — the request waits up to ?wait (a Go duration,
+// default 0) for the next event.
+func EventsHandler(bus *Bus) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if bus == nil {
+			http.Error(w, "no event bus attached", http.StatusServiceUnavailable)
+			return
+		}
+		since, _ := strconv.ParseUint(r.URL.Query().Get("since"), 10, 64)
+		if wantsJSON(r) {
+			serveEventsJSON(w, r, bus, since)
+			return
+		}
+		serveEventsSSE(w, r, bus, since)
+	})
+}
+
+func serveEventsJSON(w http.ResponseWriter, r *http.Request, bus *Bus, since uint64) {
+	evs := bus.Since(since)
+	if len(evs) == 0 {
+		if wait, err := time.ParseDuration(r.URL.Query().Get("wait")); err == nil && wait > 0 {
+			ch, cancel := bus.Subscribe(1)
+			defer cancel()
+			select {
+			case <-ch:
+				evs = bus.Since(since)
+			case <-time.After(wait):
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+	if evs == nil {
+		evs = []Event{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(evs)
+}
+
+func serveEventsSSE(w http.ResponseWriter, r *http.Request, bus *Bus, since uint64) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported; use ?format=json", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	// Subscribe before replaying the backlog so no event can fall between
+	// the two; the seq guard below drops the overlap.
+	ch, cancel := bus.Subscribe(256)
+	defer cancel()
+	last := since
+	writeEvent := func(ev Event) bool {
+		if ev.Seq <= last {
+			return true
+		}
+		last = ev.Seq
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return true
+		}
+		_, werr := fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Kind, ev.Seq, data)
+		flusher.Flush()
+		return werr == nil
+	}
+	for _, ev := range bus.Since(since) {
+		if !writeEvent(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case ev := <-ch:
+			if !writeEvent(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func wantsJSON(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
+}
+
+// Handler bundles the standalone observability server: /metrics, /events,
+// and an index at / listing both. This is what the CLIs' -metrics flag
+// serves; embedders with their own mux mount MetricsHandler and
+// EventsHandler directly.
+func Handler(reg *Registry, bus *Bus) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.Handle("/events", EventsHandler(bus))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "countrymon observability")
+		fmt.Fprintln(w, "")
+		fmt.Fprintln(w, "  /metrics                 Prometheus text (add ?format=json for JSON)")
+		fmt.Fprintln(w, "  /events                  live SSE stream (?since=N to replay)")
+		fmt.Fprintln(w, "  /events?format=json      long-poll (?since=N&wait=30s)")
+	})
+	return mux
+}

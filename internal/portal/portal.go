@@ -22,6 +22,7 @@ import (
 
 	"countrymon/internal/dataset"
 	"countrymon/internal/netmodel"
+	"countrymon/internal/obs"
 )
 
 // Portal is the campaign's HTTP front end.
@@ -34,6 +35,14 @@ type Portal struct {
 	tokens  map[string]bool
 
 	mux *http.ServeMux
+
+	// Observability (see Observe): per-endpoint request counters and the
+	// event bus opt-outs are announced on. All nil-safe.
+	bus       *obs.Bus
+	reqInfo   *obs.Counter
+	reqOptOut *obs.Counter
+	reqBlocks *obs.Counter
+	reqResp   *obs.Counter
 }
 
 // New builds a portal over the campaign's dataset. anonKey keys the one-way
@@ -58,6 +67,23 @@ func New(store *dataset.Store, anonKey []byte, tokens ...string) *Portal {
 // ServeHTTP implements http.Handler.
 func (p *Portal) ServeHTTP(w http.ResponseWriter, r *http.Request) { p.mux.ServeHTTP(w, r) }
 
+// Observe mounts the observability endpoints — /metrics (Prometheus text or
+// JSON) and /events (SSE or long-poll) — on the portal and starts counting
+// requests per endpoint as portal_requests_total{endpoint}. Opt-outs are
+// announced on bus. Call once, before serving; either argument may be nil
+// (the corresponding endpoint then answers 503).
+func (p *Portal) Observe(reg *obs.Registry, bus *obs.Bus) {
+	v := reg.CounterVec("portal_requests_total",
+		"Portal HTTP requests by endpoint.", "endpoint")
+	p.bus = bus
+	p.reqInfo = v.With("info")
+	p.reqOptOut = v.With("opt-out")
+	p.reqBlocks = v.With("blocks")
+	p.reqResp = v.With("responsiveness")
+	p.mux.Handle("/metrics", obs.MetricsHandler(reg))
+	p.mux.Handle("/events", obs.EventsHandler(bus))
+}
+
 // OptOuts returns the exclusion list to feed scanner target sets.
 func (p *Portal) OptOuts() []netmodel.Prefix {
 	p.mu.RLock()
@@ -77,6 +103,7 @@ func (p *Portal) handleInfo(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
+	p.reqInfo.Inc()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "countrymon measurement campaign")
 	fmt.Fprintln(w, "")
@@ -90,6 +117,7 @@ func (p *Portal) handleInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (p *Portal) handleOptOut(w http.ResponseWriter, r *http.Request) {
+	p.reqOptOut.Inc()
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a JSON body {\"prefix\": ...}", http.StatusMethodNotAllowed)
 		return
@@ -123,6 +151,9 @@ func (p *Portal) handleOptOut(w http.ResponseWriter, r *http.Request) {
 		p.optOuts = append(p.optOuts, pre)
 	}
 	p.mu.Unlock()
+	if !dup && p.bus != nil {
+		p.bus.Publish("opt_out", map[string]any{"prefix": pre.String()})
+	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintf(w, "excluded %v from future probing rounds\n", pre)
 }
@@ -151,6 +182,7 @@ type BlockRecord struct {
 }
 
 func (p *Portal) handleBlocks(w http.ResponseWriter, r *http.Request) {
+	p.reqBlocks.Inc()
 	tl := p.store.Timeline()
 	month := 0
 	if v, err := strconv.Atoi(r.URL.Query().Get("month")); err == nil {
@@ -202,6 +234,7 @@ type RespRecord struct {
 }
 
 func (p *Portal) handleResponsiveness(w http.ResponseWriter, r *http.Request) {
+	p.reqResp.Inc()
 	tl := p.store.Timeline()
 	blk, err := netmodel.ParseBlock(r.URL.Query().Get("block"))
 	if err != nil {

@@ -39,6 +39,12 @@ type roundRun struct {
 	sendErr   error // last abandoned-probe error
 	sendAbort bool  // error budget exhausted
 
+	// pub tracks the sender counters already published to the metrics
+	// registry, so each batch adds only its delta (one atomic add per batch,
+	// not per packet) while /metrics stays live mid-round.
+	pub      Stats
+	pubSlept time.Duration
+
 	// Receiver-owned state.
 	recv     Stats // Received, Valid, Duplicates, Invalid, NonEcho, RecvErrors
 	blocks   []BlockResult
@@ -184,13 +190,30 @@ func (r *roundRun) sendBatches(s *Scanner, ctx context.Context, cur *Cursor, dra
 			bufs[i] = r.encodeProbe(bufs[i][:0], &probeBuf, src, dsts[i], now, uint16(seq)+uint16(i))
 			pkts[i] = bufs[i]
 		}
-		if !r.writeBatch(s, ctx, pkts, dsts, pktAddr, addrs, seq, &probeBuf, src) {
+		r.cfg.Metrics.BatchFill.Observe(float64(len(pkts)) / float64(nb))
+		ok := r.writeBatch(s, ctx, pkts, dsts, pktAddr, addrs, seq, &probeBuf, src)
+		r.publishSend()
+		if !ok {
 			return
 		}
 		seq += uint64(len(pkts))
 		if drain != nil {
 			drain()
 		}
+	}
+}
+
+// publishSend adds the growth of the sender-owned counters since the last
+// publish to the metrics registry. Called once per batch by the sender only.
+func (r *roundRun) publishSend() {
+	m := r.cfg.Metrics
+	m.ProbesSent.Add(r.send.Sent - r.pub.Sent)
+	m.SendErrors.Add(r.send.SendErrors - r.pub.SendErrors)
+	m.Retries.Add(r.send.Retries - r.pub.Retries)
+	r.pub.Sent, r.pub.SendErrors, r.pub.Retries = r.send.Sent, r.send.SendErrors, r.send.Retries
+	if slept := r.rl.Slept(); slept > r.pubSlept {
+		m.RateSleepNs.Add(uint64(slept - r.pubSlept))
+		r.pubSlept = slept
 	}
 }
 
@@ -261,6 +284,12 @@ func (r *roundRun) writeBatch(s *Scanner, ctx context.Context, pkts [][]byte, ds
 		if attempt < r.cfg.Retries && IsTransient(err) {
 			r.send.Retries++
 			attempt++
+			if r.cfg.Events != nil {
+				r.cfg.Events.Publish("retry", map[string]any{
+					"shard": r.cfg.Shard, "attempt": attempt,
+					"backoff_ms": backoff.Milliseconds(), "error": err.Error(),
+				})
+			}
 			r.rng = splitmix(r.rng)
 			r.cfg.Clock.Sleep(backoff/2 + time.Duration(r.rng%uint64(backoff)))
 			if backoff < time.Second {
@@ -354,6 +383,7 @@ func (r *roundRun) cooldown(s *Scanner, ctx context.Context, rb *recvBufs) {
 // responsive IPs.
 func (r *roundRun) recvFailure(err error) bool {
 	r.recv.RecvErrors++
+	r.cfg.Metrics.RecvErrors.Inc()
 	r.recvErr = err
 	if !IsTransient(err) || r.recv.RecvErrors > uint64(r.cfg.MaxRecvErrors) {
 		r.recvDead = true
@@ -365,35 +395,42 @@ func (r *roundRun) recvFailure(err error) bool {
 // processReply parses, validates and aggregates one inbound packet
 // (receiver-owned state only).
 func (r *roundRun) processReply(pkt []byte, at time.Time) {
+	mt := r.cfg.Metrics
 	h, body, err := icmp.ParseIPv4(pkt)
 	if err != nil || h.Protocol != icmp.ProtoICMP {
 		r.recv.Invalid++
+		mt.RepliesInvalid.Inc()
 		return
 	}
 	m, err := icmp.Parse(body)
 	if err != nil {
 		r.recv.Invalid++
+		mt.RepliesInvalid.Inc()
 		return
 	}
 	if m.Type != icmp.TypeEchoReply {
 		r.recv.NonEcho++
+		mt.RepliesNonEcho.Inc()
 		return
 	}
 	reply, ok := r.val.DecodeReply(h.Src, m, at)
 	if !ok {
 		r.recv.Invalid++
+		mt.RepliesInvalid.Inc()
 		return
 	}
 	r.recv.Received++
 	bi := r.targets.BlockIndex(reply.From)
 	if bi < 0 {
 		r.recv.Invalid++
+		mt.RepliesInvalid.Inc()
 		return
 	}
 	br := &r.blocks[bi]
 	host := reply.From.HostByte()
 	if br.Responded(host) {
 		r.recv.Duplicates++
+		mt.RepliesDuplicate.Inc()
 		return
 	}
 	br.RespMask[host/64] |= 1 << (host % 64)
@@ -401,6 +438,7 @@ func (r *roundRun) processReply(pkt []byte, at time.Time) {
 	br.RTTSum += reply.RTT
 	br.RTTCount++
 	r.recv.Valid++
+	mt.RepliesValid.Inc()
 }
 
 // finalize merges the sender- and receiver-owned halves into rd in a fixed

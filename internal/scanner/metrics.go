@@ -1,0 +1,50 @@
+package scanner
+
+import "countrymon/internal/obs"
+
+// Metrics holds the scanner's hot-path instruments, resolved once at setup so
+// the engine never does a registry or label lookup per packet. Build it with
+// NewMetrics; on a nil registry every field is nil and every operation is an
+// inert nil-check (pinned by the obs package's no-allocation test).
+type Metrics struct {
+	ProbesSent *obs.Counter // scanner_probes_sent_total
+	SendErrors *obs.Counter // scanner_send_errors_total (abandoned probes)
+	Retries    *obs.Counter // scanner_retries_total (individual re-sends)
+	RecvErrors *obs.Counter // scanner_recv_errors_total (hard read failures)
+
+	// Replies by validation result, children of scanner_replies_total{result}.
+	RepliesValid     *obs.Counter
+	RepliesDuplicate *obs.Counter
+	RepliesInvalid   *obs.Counter
+	RepliesNonEcho   *obs.Counter
+
+	BatchFill   *obs.Histogram // scanner_batch_fill_ratio
+	RateSleepNs *obs.Counter   // scanner_rate_sleep_ns_total
+}
+
+// NewMetrics registers the scanner's instruments on reg (idempotently, so
+// every shard of a parallel scan shares the same counters) and returns the
+// resolved handles. A nil registry yields a Metrics whose instruments are all
+// nil — valid and inert.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	replies := reg.CounterVec("scanner_replies_total",
+		"Inbound packets by validation result.", "result")
+	return &Metrics{
+		ProbesSent: reg.Counter("scanner_probes_sent_total",
+			"Probes transmitted (per packet, after batching and retries)."),
+		SendErrors: reg.Counter("scanner_send_errors_total",
+			"Probes abandoned after the retry budget."),
+		Retries: reg.Counter("scanner_retries_total",
+			"Individual probe re-send attempts after transient errors."),
+		RecvErrors: reg.Counter("scanner_recv_errors_total",
+			"Hard (non-timeout) receive failures."),
+		RepliesValid:     replies.With("valid"),
+		RepliesDuplicate: replies.With("duplicate"),
+		RepliesInvalid:   replies.With("invalid"),
+		RepliesNonEcho:   replies.With("nonecho"),
+		BatchFill: reg.Histogram("scanner_batch_fill_ratio",
+			"Fraction of each send batch actually filled with probes.", 0),
+		RateSleepNs: reg.Counter("scanner_rate_sleep_ns_total",
+			"Nanoseconds the sender slept for rate-limiter pacing."),
+	}
+}

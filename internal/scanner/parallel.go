@@ -52,6 +52,12 @@ func ScanParallel(ctx context.Context, targets *TargetSet, shards int, cfg Confi
 		}
 		rd, err := New(tr, scfg).RunContext(ctx, targets)
 		outs[i] = shardOut{rd: rd, err: err}
+		if cfg.Events != nil && rd != nil {
+			cfg.Events.Publish("shard_done", map[string]any{
+				"shard": i, "shards": shards, "sent": rd.Stats.Sent,
+				"valid": rd.Stats.Valid, "partial": rd.Partial,
+			})
+		}
 	})
 
 	rds := make([]*RoundData, 0, shards)
@@ -67,7 +73,14 @@ func ScanParallel(ctx context.Context, targets *TargetSet, shards int, cfg Confi
 			firstErr = o.err
 		}
 	}
-	return MergeRounds(targets, rds), firstErr
+	merged := MergeRounds(targets, rds)
+	if cfg.Events != nil {
+		cfg.Events.Publish("shards_merged", map[string]any{
+			"shards": shards, "sent": merged.Stats.Sent,
+			"valid": merged.Stats.Valid, "coverage": merged.Coverage(),
+		})
+	}
+	return merged, firstErr
 }
 
 // MergeRounds combines per-shard RoundData (shards of one round over the

@@ -29,6 +29,7 @@ type RateLimiter struct {
 	burst    int64
 	tokens   int64
 	last     time.Time
+	slept    time.Duration // cumulative pacing sleep (single-caller state)
 }
 
 // DefaultRate is the campaign's probing rate in packets per second.
@@ -61,6 +62,7 @@ func (rl *RateLimiter) Wait() {
 	for rl.tokens <= 0 {
 		need := time.Duration(1-rl.tokens) * rl.interval
 		rl.clock.Sleep(need)
+		rl.slept += need
 		now = rl.clock.Now()
 		rl.refill(now)
 	}
@@ -78,10 +80,17 @@ func (rl *RateLimiter) WaitN(n int) {
 	rl.refill(rl.clock.Now())
 	rl.tokens -= int64(n)
 	if rl.tokens < 0 {
-		rl.clock.Sleep(time.Duration(-rl.tokens) * rl.interval)
+		d := time.Duration(-rl.tokens) * rl.interval
+		rl.clock.Sleep(d)
+		rl.slept += d
 		rl.refill(rl.clock.Now())
 	}
 }
+
+// Slept returns the cumulative time this limiter has spent sleeping for
+// pacing — the scanner's scanner_rate_sleep_ns_total source. Like Wait/WaitN
+// it is single-caller (sender-goroutine) state.
+func (rl *RateLimiter) Slept() time.Duration { return rl.slept }
 
 func (rl *RateLimiter) refill(now time.Time) {
 	elapsed := now.Sub(rl.last)

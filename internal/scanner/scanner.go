@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"countrymon/internal/netmodel"
+	"countrymon/internal/obs"
 )
 
 // ErrTimeout is returned by Transport.ReadPacket when no packet arrived
@@ -85,6 +86,15 @@ type Config struct {
 	// round deterministic; the mode pays off on real transports, where
 	// receiver blocking overlaps with send syscalls.
 	Pipelined bool
+
+	// Metrics, when built over a live registry (see NewMetrics), receives
+	// the round's hot-path instrumentation: probes sent, batch fill, rate
+	// sleep, reply validation results. Nil (or NewMetrics(nil)) disables it
+	// at the cost of a nil check per instrumentation point.
+	Metrics *Metrics
+	// Events, when non-nil, receives structured events (retry taken, shard
+	// merged) from the engine. Nil publishes nothing.
+	Events *obs.Bus
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +143,9 @@ func (c Config) withDefaults() Config {
 	if c.Batch < c.ProbesPerAddr {
 		c.Batch = c.ProbesPerAddr
 	}
+	if c.Metrics == nil {
+		c.Metrics = &Metrics{} // all-nil instruments: inert
+	}
 	return c
 }
 
@@ -151,6 +164,22 @@ type Stats struct {
 	Retries    uint64
 	RecvErrors uint64
 	Elapsed    time.Duration
+}
+
+// Add folds b into s: counters add and Elapsed accumulates, so a campaign
+// total is the sum of its rounds. (Shard merging within one round instead
+// takes the max Elapsed; see MergeRounds.)
+func (s *Stats) Add(b Stats) {
+	s.Sent += b.Sent
+	s.Received += b.Received
+	s.Valid += b.Valid
+	s.Duplicates += b.Duplicates
+	s.Invalid += b.Invalid
+	s.NonEcho += b.NonEcho
+	s.SendErrors += b.SendErrors
+	s.Retries += b.Retries
+	s.RecvErrors += b.RecvErrors
+	s.Elapsed += b.Elapsed
 }
 
 // BlockResult accumulates one /24 block's responses in a round.

@@ -1,0 +1,69 @@
+package signals
+
+import (
+	"time"
+
+	"countrymon/internal/obs"
+)
+
+// Metrics holds the analysis-side instruments: series-construction and
+// detection timings plus detected outages by signal kind. Build with
+// NewMetrics; on a nil registry every instrument is nil and inert.
+type Metrics struct {
+	BuildSeconds  *obs.Histogram // signals_series_build_seconds
+	DetectSeconds *obs.Histogram // signals_detect_seconds
+
+	// Outage events by participating signal, children of
+	// signals_outages_total{signal}. An event counts once per signal that
+	// fired during it, matching Detection.CountBySignal.
+	OutagesBGP *obs.Counter
+	OutagesFBS *obs.Counter
+	OutagesIPS *obs.Counter
+}
+
+// NewMetrics registers (idempotently) the signal instruments on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	outages := reg.CounterVec("signals_outages_total",
+		"Detected outage events by participating signal.", "signal")
+	return &Metrics{
+		BuildSeconds: reg.Histogram("signals_series_build_seconds",
+			"Time to build one entity's AS or region series.", 0),
+		DetectSeconds: reg.Histogram("signals_detect_seconds",
+			"Time to run outage detection over one entity series.", 0),
+		OutagesBGP: outages.With("bgp"),
+		OutagesFBS: outages.With("fbs"),
+		OutagesIPS: outages.With("ips"),
+	}
+}
+
+// Observe attaches m to the builder: subsequent (non-memoized) series builds
+// record their construction time. A nil m detaches.
+func (b *Builder) Observe(m *Metrics) {
+	if m == nil {
+		m = &Metrics{}
+	}
+	b.metrics = m
+}
+
+// DetectObs is Detect plus instrumentation: detection timing and per-signal
+// outage counts land on m (nil m is allowed and records nothing).
+func DetectObs(es *EntitySeries, cfg Config, m *Metrics) *Detection {
+	if m == nil {
+		m = &Metrics{}
+	}
+	t0 := time.Now()
+	d := Detect(es, cfg)
+	m.DetectSeconds.ObserveSince(t0)
+	for _, o := range d.Outages {
+		if o.Signals.Has(SignalBGP) {
+			m.OutagesBGP.Inc()
+		}
+		if o.Signals.Has(SignalFBS) {
+			m.OutagesFBS.Inc()
+		}
+		if o.Signals.Has(SignalIPS) {
+			m.OutagesIPS.Inc()
+		}
+	}
+	return d
+}

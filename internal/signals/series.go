@@ -13,6 +13,8 @@
 package signals
 
 import (
+	"time"
+
 	"countrymon/internal/dataset"
 	"countrymon/internal/netmodel"
 	"countrymon/internal/par"
@@ -70,6 +72,8 @@ type Builder struct {
 	// ablations) allocates its own buffers.
 	asCache     par.Cache[netmodel.ASN, *EntitySeries]
 	regionCache par.Cache[*regional.RegionResult, *EntitySeries]
+	// metrics records series-build timings (see Observe); never nil.
+	metrics *Metrics
 }
 
 // NewBuilder precomputes eligibility for all blocks and months, gating
@@ -90,6 +94,7 @@ func NewBuilderMinCoverage(store *dataset.Store, space *netmodel.Space, minCover
 		elig:     make([][]bool, store.NumBlocks()),
 		asBlocks: make(map[netmodel.ASN][]int),
 		missing:  store.EffectiveMissing(minCoverage),
+		metrics:  &Metrics{},
 	}
 	months := tl.NumMonths()
 	// Eligibility rows are independent per block: shard them across the
@@ -133,6 +138,7 @@ func (b *Builder) AS(asn netmodel.ASN) *EntitySeries {
 }
 
 func (b *Builder) buildAS(asn netmodel.ASN) *EntitySeries {
+	defer b.metrics.BuildSeconds.ObserveSince(time.Now())
 	es := b.newSeries(asn.String())
 	rounds := b.tl.NumRounds()
 	for _, bi := range b.asBlocks[asn] {
@@ -169,6 +175,7 @@ func (b *Builder) Region(rr *regional.RegionResult, cl *regional.Classifier) *En
 }
 
 func (b *Builder) buildRegion(rr *regional.RegionResult, cl *regional.Classifier) *EntitySeries {
+	defer b.metrics.BuildSeconds.ObserveSince(time.Now())
 	es := b.newSeries(rr.Region.String())
 	rounds := b.tl.NumRounds()
 	for _, bc := range rr.Blocks {

@@ -1,0 +1,149 @@
+package countrymon
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"countrymon/internal/obs"
+)
+
+// Hooks are per-round observation callbacks for Run. All fields are
+// optional; hooks run synchronously on the campaign goroutine, so they must
+// not block for long.
+type Hooks struct {
+	// OnRound fires after each round is handled (scanned, salvaged or
+	// missing) with the round index and its scan statistics.
+	OnRound func(round int, st Stats)
+	// OnCheckpoint fires after every successful checkpoint write.
+	OnCheckpoint func(round int, path string)
+	// OnEvent receives every structured event the monitor emits (round
+	// lifecycle, checkpoints, detections) — the same stream Options.Bus
+	// carries, delivered in-process.
+	OnEvent func(ev obs.Event)
+}
+
+// RunConfig configures one Run invocation.
+type RunConfig struct {
+	Hooks Hooks
+	// PreRound, when non-nil, runs before each round is scanned — the place
+	// to apply BGP snapshots or decide to MarkMissing. Returning an error
+	// aborts the campaign (after a checkpoint, if one is configured).
+	PreRound func(round int) error
+}
+
+// Run drives the campaign to completion: every remaining round is scanned
+// in sequence, hooks fire per round and per checkpoint, and ctx cancellation
+// stops the campaign at the next round boundary — after writing a final
+// checkpoint when CheckpointPath is set, so the campaign resumes exactly
+// where it stopped. It returns nil on completion, ctx's error on
+// cancellation, or the first hard scan/checkpoint/PreRound error.
+//
+// Run replaces the hand-rolled `for mon.NextRound() { mon.ScanRound() }`
+// loop, which remains supported.
+func (m *Monitor) Run(ctx context.Context, rc RunConfig) error {
+	m.hooks = rc.Hooks
+	defer func() { m.hooks = Hooks{} }()
+	for m.NextRound() {
+		if ctx.Err() != nil {
+			return m.checkpointBeforeReturn(ctx.Err())
+		}
+		if rc.PreRound != nil {
+			if err := rc.PreRound(m.round); err != nil {
+				return m.checkpointBeforeReturn(err)
+			}
+		}
+		round := m.round
+		st, err := m.ScanRoundContext(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return m.checkpointBeforeReturn(ctx.Err())
+			}
+			return err
+		}
+		if rc.Hooks.OnRound != nil {
+			rc.Hooks.OnRound(round, st)
+		}
+	}
+	return nil
+}
+
+// checkpointBeforeReturn persists progress before surfacing cause, so an
+// interrupted campaign loses nothing that was already measured. Without a
+// CheckpointPath it returns cause untouched.
+func (m *Monitor) checkpointBeforeReturn(cause error) error {
+	if m.opts.CheckpointPath == "" {
+		return cause
+	}
+	if err := m.Checkpoint(); err != nil {
+		return errors.Join(cause, err)
+	}
+	return cause
+}
+
+// CampaignStats returns the accumulated scan statistics of every round
+// handled so far (scanned and salvaged rounds; rounds marked missing add
+// nothing).
+func (m *Monitor) CampaignStats() Stats { return m.campaign }
+
+// emit publishes one structured event to the bus (when configured) and the
+// active OnEvent hook. It is a no-op — no field-map allocation — when
+// neither sink is attached.
+func (m *Monitor) emit(kind string, fields func() map[string]any) {
+	if m.bus == nil && m.hooks.OnEvent == nil {
+		return
+	}
+	ev := m.bus.Publish(kind, fields())
+	if m.hooks.OnEvent != nil {
+		m.hooks.OnEvent(ev)
+	}
+}
+
+// emitDetection reports a detection run on the bus/hook.
+func (m *Monitor) emitDetection(entity string, d *Detection) {
+	m.emit("detection", func() map[string]any {
+		return map[string]any{
+			"entity": entity, "outages": len(d.Outages),
+			"flagged_rounds": d.TotalRounds(),
+		}
+	})
+}
+
+// monMetrics are the Monitor's own instruments (the scanner's live inside
+// scanner.Metrics). All fields are nil — inert — without a registry.
+type monMetrics struct {
+	roundsScanned  *obs.Counter   // monitor_rounds_total{outcome=scanned}
+	roundsSalvaged *obs.Counter   // monitor_rounds_total{outcome=salvaged}
+	roundsMissing  *obs.Counter   // monitor_rounds_total{outcome=missing}
+	roundDur       *obs.Histogram // monitor_round_duration_seconds
+	coverage       *obs.Histogram // monitor_round_coverage
+	ckptTotal      *obs.Counter   // monitor_checkpoint_total
+	ckptDur        *obs.Histogram // monitor_checkpoint_seconds
+	lastRound      *obs.Gauge     // monitor_last_round
+	resumeRound    *obs.Gauge     // monitor_resume_round
+}
+
+func newMonMetrics(reg *obs.Registry) *monMetrics {
+	rounds := reg.CounterVec("monitor_rounds_total",
+		"Campaign rounds handled, by outcome.", "outcome")
+	return &monMetrics{
+		roundsScanned:  rounds.With("scanned"),
+		roundsSalvaged: rounds.With("salvaged"),
+		roundsMissing:  rounds.With("missing"),
+		roundDur: reg.Histogram("monitor_round_duration_seconds",
+			"Scan-round duration in campaign time.", 0),
+		coverage: reg.Histogram("monitor_round_coverage",
+			"Fraction of targets probed per round.", 0),
+		ckptTotal: reg.Counter("monitor_checkpoint_total",
+			"Checkpoint files written."),
+		ckptDur: reg.Histogram("monitor_checkpoint_seconds",
+			"Checkpoint write latency (wall clock).", 0),
+		lastRound: reg.Gauge("monitor_last_round",
+			"Most recently handled round index."),
+		resumeRound: reg.Gauge("monitor_resume_round",
+			"Round the campaign resumed from (0 for fresh campaigns)."),
+	}
+}
+
+// roundAt formats a round's scheduled time for events.
+func roundAt(at time.Time) string { return at.UTC().Format(time.RFC3339) }
