@@ -4,7 +4,7 @@ GO ?= go
 # baseline default), bump to e.g. 3s for stable timing comparisons.
 BENCHTIME ?= 1x
 
-.PHONY: all build test race vet fmt bench bench-smoke bench-diff fuzz-smoke metrics-lint ci
+.PHONY: all build test race vet fmt bench bench-smoke bench-diff fuzz-smoke chaos-smoke metrics-lint ci
 
 all: build
 
@@ -48,6 +48,13 @@ bench-diff:
 		| $(GO) run ./cmd/benchjson > /tmp/bench_current.json
 	$(GO) run ./cmd/benchjson -diff BENCH_baseline.json /tmp/bench_current.json
 
+# Seeded chaos soak: a three-vantage fleet campaign with scripted blackout,
+# stall and flap windows against individual vantages, asserting zero false
+# block-outage declarations against the sim ground truth plus determinism
+# across worker counts and kill/resume.
+chaos-smoke:
+	$(GO) test -run '^TestChaos' -count=1 -v .
+
 # Check that every metric registered in code appears in the README's
 # catalogue table and vice versa.
 metrics-lint:
@@ -60,7 +67,7 @@ fuzz-smoke:
 	$(GO) test ./internal/icmp -fuzz '^FuzzParseICMP$$' -fuzztime 5s -run '^$$'
 
 # The full gate: formatting, static analysis, the metric-catalogue check,
-# tests, the race detector, the benchmark smoke run, the fuzz smoke, and the
-# (non-fatal) bench diff.
-ci: fmt vet metrics-lint test race bench-smoke fuzz-smoke
+# tests, the race detector, the benchmark smoke run, the fuzz smoke, the
+# chaos soak, and the (non-fatal) bench diff.
+ci: fmt vet metrics-lint test race bench-smoke fuzz-smoke chaos-smoke
 	-$(MAKE) bench-diff

@@ -7,8 +7,13 @@
 //
 //	countrymon [-scale 0.12] [-interval 6] [-seed 1]
 //	           [-save data.cmds] [-load data.cmds]
-//	           [-packet-rounds N] [-region Kherson] [-as 25482]
+//	           [-packet-rounds N] [-vantages N] [-quorum k]
+//	           [-region Kherson] [-as 25482]
 //	           [-metrics :9090]
+//
+// With -vantages N the packet-level rounds run through a supervised
+// multi-vantage fleet (internal/fleet) instead of a single scanner, with
+// -quorum controlling the k-of-n corroboration of suspect block outages.
 //
 // With -metrics, live pipeline instrumentation — scanner counters, signal
 // build/detect timings, outage counts — is served on /metrics (Prometheus
@@ -26,6 +31,7 @@ import (
 
 	"countrymon/internal/analysis"
 	"countrymon/internal/dataset"
+	"countrymon/internal/fleet"
 	"countrymon/internal/netmodel"
 	"countrymon/internal/obs"
 	"countrymon/internal/regional"
@@ -45,6 +51,8 @@ func main() {
 	load := flag.String("load", "", "load a dataset instead of generating")
 	packetRounds := flag.Int("packet-rounds", 0, "additionally run N packet-level scan rounds through the real scanner")
 	parallel := flag.Int("parallel", 1, "in-process scan shards per packet-level round (COUNTRYMON_WORKERS caps workers)")
+	vantages := flag.Int("vantages", 0, "run packet-level rounds over a supervised fleet of N vantages")
+	quorum := flag.Int("quorum", 0, "k of the fleet's k-of-n outage corroboration (0 = min(2, vantages))")
 	region := flag.String("region", "Kherson", "region to detail")
 	asn := flag.Uint("as", 25482, "AS to detail")
 	minCov := flag.Float64("min-coverage", signals.DefaultMinCoverage,
@@ -97,7 +105,7 @@ func main() {
 	}
 
 	if *packetRounds > 0 {
-		runPacketRounds(sc, store, *packetRounds, *parallel, reg, bus)
+		runPacketRounds(sc, store, *packetRounds, *parallel, *vantages, *quorum, reg, bus)
 	}
 
 	log.Printf("classifying %d regions across %d months...", netmodel.NumRegions, store.Timeline().NumMonths())
@@ -183,9 +191,11 @@ func printOutages(d *signals.Detection, interval time.Duration, store *dataset.S
 // runPacketRounds replays the first N rounds through the real scanner over
 // the simulated wire and cross-checks the fast generator's counts. With
 // parallel > 1 each round fans out over in-process shards via ScanParallel,
-// which must agree with the serial scan bit-for-bit.
-func runPacketRounds(sc *sim.Scenario, store *dataset.Store, n, parallel int, reg *obs.Registry, bus *obs.Bus) {
-	log.Printf("packet-level validation: scanning %d rounds through the real scanner (parallel=%d)...", n, parallel)
+// which must agree with the serial scan bit-for-bit; with vantages > 0 the
+// rounds run through a supervised multi-vantage fleet instead, whose fused
+// output must agree just the same.
+func runPacketRounds(sc *sim.Scenario, store *dataset.Store, n, parallel, vantages, quorum int, reg *obs.Registry, bus *obs.Bus) {
+	log.Printf("packet-level validation: scanning %d rounds through the real scanner (parallel=%d, vantages=%d)...", n, parallel, vantages)
 	scanM := scanner.NewMetrics(reg)
 	// Scan a tractable subset: the Kherson Table-5 ASes.
 	var prefixes []netmodel.Prefix
@@ -199,19 +209,47 @@ func runPacketRounds(sc *sim.Scenario, store *dataset.Store, n, parallel int, re
 		log.Fatalf("targets: %v", err)
 	}
 	local := netmodel.MustParseAddr("198.51.100.1")
+	baseCfg := scanner.Config{
+		Rate: scanner.DefaultRate * 10, Seed: 99,
+		Cooldown: 2 * time.Second,
+		Metrics:  scanM, Events: bus,
+	}
+	var sup *fleet.Supervisor
+	if vantages > 0 {
+		specs := make([]fleet.Spec, vantages)
+		for i := range specs {
+			specs[i] = fleet.Spec{
+				Name: fmt.Sprintf("v%d", i),
+				Transport: func(round int, at time.Time) (scanner.Transport, scanner.Clock, error) {
+					net := simnet.New(local, sc.Responder(), at)
+					return net, net, nil
+				},
+			}
+		}
+		sup, err = fleet.New(specs, fleet.Config{
+			Targets: ts, Scan: baseCfg, Quorum: quorum,
+			Registry: reg, Bus: bus,
+		})
+		if err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+	}
 	mismatches, checked := 0, 0
 	for round := 0; round < n && round < sc.TL.NumRounds(); round++ {
 		if sc.Missing[round] {
 			continue
 		}
 		at := sc.TL.Time(round)
-		cfg := scanner.Config{
-			Rate: scanner.DefaultRate * 10, Seed: 99, Epoch: uint32(round + 1),
-			Cooldown: 2 * time.Second,
-			Metrics:  scanM, Events: bus,
-		}
+		cfg := baseCfg
+		cfg.Epoch = uint32(round + 1)
 		var rd *scanner.RoundData
-		if parallel > 1 {
+		if sup != nil {
+			var rep *fleet.RoundReport
+			rd, rep, err = sup.ScanRound(context.Background(), round, at, nil)
+			if err == nil && rep.SelfOutage {
+				log.Fatalf("fleet: self-outage in round %d with healthy sim vantages", round)
+			}
+		} else if parallel > 1 {
 			rd, err = scanner.ScanParallel(context.Background(), ts, parallel, cfg,
 				func(shard, shards int) (scanner.Transport, scanner.Clock, error) {
 					net := simnet.New(local, sc.Responder(), at)

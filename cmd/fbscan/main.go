@@ -16,16 +16,31 @@
 // (/metrics Prometheus text or JSON, /events SSE or long-poll) while the
 // scan runs.
 //
+// With -vantages N (campaign mode) the rounds run over a supervised
+// multi-vantage fleet: per-vantage circuit breakers, same-round shard
+// failover and k-of-n (-quorum) corroboration of suspect block outages.
+// -vantage-faults scripts a distinct fault profile per vantage
+// (semicolon-separated, in vantage order) so individual vantages can be
+// blacked out, stalled or flapped while the rest of the fleet keeps the
+// measurement honest.
+//
 // Usage:
 //
 //	fbscan [-mode sim|udp] [-rate 8000] [-at 2022-05-01T12:00:00Z]
 //	       [-seed 1] [-scale 0.05] [-faults spec] [-rounds N]
+//	       [-vantages N] [-quorum k] [-vantage-faults "spec;spec;..."]
 //	       [-checkpoint file] [-resume file] [-min-coverage 0.8]
 //	       [-metrics :9090] [cidr ...]
 //
-// Exit codes: 0 success; 1 a round (or the scan) ended below -min-coverage,
-// or a hard failure; 3 -resume named a checkpoint of a different campaign
-// (countrymon.ResumeMismatchError); 130 interrupted by signal.
+// Exit codes:
+//
+//	0   success — every round at full coverage, fleet (if any) healthy
+//	1   a round (or the scan) ended below -min-coverage, or a hard failure
+//	3   -resume named a checkpoint of a different campaign
+//	    (countrymon.ResumeMismatchError)
+//	4   campaign completed degraded: a vantage was quarantined, a round ran
+//	    below -quorum, or the fleet itself went dark for a round
+//	130 interrupted by signal
 package main
 
 import (
@@ -37,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -74,6 +90,9 @@ func main() {
 	batch := flag.Int("batch", 0, "transport batch size (0 = engine default)")
 	pipeline := flag.Bool("pipeline", false, "run sender and receiver as separate goroutines")
 	faultSpec := flag.String("faults", "", "fault-injection profile, e.g. \"seed=7,senderr=0.01,blackout=24h+8h\"")
+	vantages := flag.Int("vantages", 0, "run the campaign over a supervised fleet of N vantages (campaign mode only)")
+	quorum := flag.Int("quorum", 0, "k of the fleet's k-of-n outage corroboration (0 = min(2, vantages))")
+	vantageFaults := flag.String("vantage-faults", "", "per-vantage fault profiles, semicolon-separated in vantage order (overrides -faults for the fleet)")
 	rounds := flag.Int("rounds", 1, "campaign length in rounds (>1 runs the monitor, sim mode only)")
 	interval := flag.Duration("interval", 2*time.Hour, "campaign probing interval")
 	checkpoint := flag.String("checkpoint", "", "campaign checkpoint file (atomic, written periodically)")
@@ -138,6 +157,12 @@ func main() {
 	if *parallel > 1 && *shards > 1 {
 		log.Fatal("-parallel (in-process shards) and -shards (multi-vantage sharding) are mutually exclusive")
 	}
+	if *vantages > 0 && *shards > 1 {
+		log.Fatal("-vantages (supervised fleet) and -shards (manual sharding) are mutually exclusive")
+	}
+	if *vantageFaults != "" && *vantages <= 0 {
+		log.Fatal("-vantage-faults needs -vantages")
+	}
 
 	if *rounds > 1 {
 		if *mode != "sim" {
@@ -145,11 +170,14 @@ func main() {
 		}
 		runCampaign(sc, prefixes, exclude, at, prof, injecting,
 			*rounds, *interval, *rate, *seed, *checkpoint, *resume, *minCov,
-			*parallel, *batch, *pipeline, reg, bus)
+			*parallel, *batch, *pipeline, *vantages, *quorum, *vantageFaults, reg, bus)
 		return
 	}
 	if *checkpoint != "" || *resume != "" {
 		log.Fatal("-checkpoint/-resume need campaign mode (-rounds > 1)")
+	}
+	if *vantages > 0 {
+		log.Fatal("-vantages needs campaign mode (-rounds > 1)")
 	}
 
 	targets, err := scanner.NewTargetSet(prefixes, exclude)
@@ -308,7 +336,8 @@ func (c *vclock) Sleep(d time.Duration) {
 func runCampaign(sc *sim.Scenario, prefixes, exclude []netmodel.Prefix, at time.Time,
 	prof faults.Profile, injecting bool, rounds int, interval time.Duration,
 	rate int, seed uint64, checkpoint, resume string, minCov float64,
-	parallel, batch int, pipeline bool, reg *obs.Registry, bus *obs.Bus) {
+	parallel, batch int, pipeline bool, vantages, quorum int, vantageFaults string,
+	reg *obs.Registry, bus *obs.Bus) {
 
 	local := netmodel.MustParseAddr("198.51.100.1")
 	opts := countrymon.Options{
@@ -325,7 +354,37 @@ func runCampaign(sc *sim.Scenario, prefixes, exclude []netmodel.Prefix, at time.
 		faultTrs []*faults.Transport
 	)
 	var tr countrymon.Transport
-	if parallel > 1 {
+	if vantages > 0 {
+		// Supervised fleet: every vantage builds fresh per-round networks
+		// anchored at the round's scheduled time; the monitor advances a
+		// standalone virtual clock between rounds.
+		profs := vantageProfiles(vantages, vantageFaults, prof, injecting, at)
+		injecting = injecting || vantageFaults != ""
+		opts.Clock = &vclock{now: at}
+		opts.ScanShards = parallel
+		opts.Quorum = quorum
+		for i := 0; i < vantages; i++ {
+			vp := profs[i]
+			vi := i
+			opts.Vantages = append(opts.Vantages, countrymon.VantageSpec{
+				Name: fmt.Sprintf("v%d", i),
+				Transport: func(round int, rat time.Time) (countrymon.Transport, countrymon.Clock, error) {
+					net := simnet.New(local, sc.Responder(), rat)
+					if vp == nil {
+						return net, net, nil
+					}
+					p := *vp
+					p.Seed += uint64(vi) * 0x9e3779b9
+					ftr := faults.NewTransport(net, nil, p)
+					ftr.Observe(faults.NewMetrics(reg))
+					fmu.Lock()
+					faultTrs = append(faultTrs, ftr)
+					fmu.Unlock()
+					return ftr, ftr, nil
+				},
+			})
+		}
+	} else if parallel > 1 {
 		// Each round builds fresh per-shard networks anchored at the round's
 		// scheduled time; the monitor itself advances a standalone virtual
 		// clock between rounds.
@@ -372,7 +431,11 @@ func runCampaign(sc *sim.Scenario, prefixes, exclude []netmodel.Prefix, at time.
 	if resume != "" {
 		log.Printf("resumed from %s at round %d of %d", resume, mon.Round(), rounds)
 	}
-	log.Printf("campaign: %d /24 blocks, %d rounds every %v, mode=sim", mon.Store().NumBlocks(), rounds, interval)
+	fleetNote := ""
+	if vantages > 0 {
+		fleetNote = fmt.Sprintf(", fleet of %d vantages", vantages)
+	}
+	log.Printf("campaign: %d /24 blocks, %d rounds every %v, mode=sim%s", mon.Store().NumBlocks(), rounds, interval, fleetNote)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -422,5 +485,49 @@ func runCampaign(sc *sim.Scenario, prefixes, exclude []netmodel.Prefix, at time.
 			low, rounds, 100*minCov)
 		os.Exit(1)
 	}
+	if rep, ok := mon.FleetReport(); ok {
+		if rep.Suspects > 0 {
+			log.Printf("fleet fusion: %d suspect blocks (%d alive, %d down, %d held), %d steals",
+				rep.Suspects, rep.FusedAlive, rep.FusedDown, rep.FusedHeld, rep.Steals)
+		}
+		if rep.Degraded() {
+			fmt.Fprintf(os.Stderr,
+				"fbscan: campaign completed degraded: quarantined=%v degraded_rounds=%d self_outages=%d\n",
+				rep.Quarantined, rep.DegradedRounds, rep.SelfOutages)
+			os.Exit(4)
+		}
+	}
 	log.Printf("campaign complete: all %d rounds at full coverage", rounds)
+}
+
+// vantageProfiles resolves the per-vantage fault profiles: -vantage-faults
+// assigns profiles positionally (empty segments leave that vantage clean);
+// otherwise the ambient -faults profile, if any, applies to every vantage.
+func vantageProfiles(vantages int, spec string, ambient faults.Profile, injecting bool, base time.Time) []*faults.Profile {
+	profs := make([]*faults.Profile, vantages)
+	if spec == "" {
+		if injecting {
+			for i := range profs {
+				p := ambient
+				profs[i] = &p
+			}
+		}
+		return profs
+	}
+	segs := strings.Split(spec, ";")
+	if len(segs) > vantages {
+		log.Fatalf("-vantage-faults has %d profiles for %d vantages", len(segs), vantages)
+	}
+	for i, seg := range segs {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		p, err := faults.ParseProfile(seg, base)
+		if err != nil {
+			log.Fatalf("-vantage-faults[%d]: %v", i, err)
+		}
+		profs[i] = &p
+	}
+	return profs
 }

@@ -7,7 +7,8 @@
 //	metricslint [-root .] [-readme README.md]
 //
 // Registration sites are found syntactically — calls of the form
-// .Counter("name", .Gauge("name", .Histogram("name" or .CounterVec("name"
+// .Counter("name", .Gauge("name", .Histogram("name", .CounterVec("name" or
+// .GaugeVec("name"
 // in non-test Go files (the internal/obs framework itself is skipped) — and
 // compared against the backticked first column of the README's catalogue
 // table. Exit status 1 on any drift.
@@ -25,7 +26,7 @@ import (
 	"strings"
 )
 
-var registerRE = regexp.MustCompile(`\.(Counter|Gauge|Histogram|CounterVec)\(\s*"([a-z][a-z0-9_]*)"`)
+var registerRE = regexp.MustCompile(`\.(Counter|Gauge|Histogram|CounterVec|GaugeVec)\(\s*"([a-z][a-z0-9_]*)"`)
 
 // tableRowRE matches the first backticked cell of a markdown table row.
 var tableRowRE = regexp.MustCompile("^\\|\\s*`([a-z][a-z0-9_]*)`\\s*\\|")

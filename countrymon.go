@@ -60,11 +60,14 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"syscall"
 	"time"
 
 	"countrymon/internal/bgp"
 	"countrymon/internal/dataset"
+	"countrymon/internal/fleet"
 	"countrymon/internal/geodb"
 	"countrymon/internal/netmodel"
 	"countrymon/internal/obs"
@@ -96,6 +99,12 @@ type (
 	Clock = scanner.Clock
 	// Stats summarizes one scan round.
 	Stats = scanner.Stats
+	// VantageSpec describes one vantage of a supervised fleet (see
+	// Options.Vantages and internal/fleet).
+	VantageSpec = fleet.Spec
+	// FleetReport aggregates a fleet campaign's resilience outcome:
+	// quarantined vantages, degraded rounds, steals and fusion tallies.
+	FleetReport = fleet.CampaignReport
 )
 
 // Signal kind bits of a Detection.
@@ -154,6 +163,21 @@ type Options struct {
 	Pipelined bool
 	Batch     int
 
+	// Vantages runs every round over a supervised multi-vantage fleet
+	// (internal/fleet): each vantage scans its share of the round over its
+	// own transports, circuit breakers quarantine flapping vantages, failed
+	// shards fail over to healthy vantages within the round, and suspect
+	// block transitions need k-of-n corroboration before they count as
+	// down. When set, Transport may be nil and is ignored, as is
+	// ShardTransport (the fleet manages its own sharding; ScanShards > 1
+	// sets the fleet's shard count). A round on which no vantage produced
+	// usable data is recorded missing — a self-outage, not a target outage.
+	Vantages []VantageSpec
+	// Quorum is k of the fleet's k-of-n corroboration: the coverage-weighted
+	// dark votes needed before a suspect block transitions to down (default
+	// min(2, len(Vantages))). Only meaningful with Vantages.
+	Quorum int
+
 	// Origins maps each /24 block's origin AS. When nil, AS-level queries
 	// need ApplyBGPSnapshot to have been called (origins are learned from
 	// routing).
@@ -201,6 +225,12 @@ type Monitor struct {
 	// sinceCkpt counts rounds handled since the last checkpoint write.
 	sinceCkpt int
 
+	// sup supervises the vantage fleet (nil outside fleet mode);
+	// lastDataRound is the most recent round with ingested scan data — the
+	// fleet's previous belief for suspect detection — or -1.
+	sup           *fleet.Supervisor
+	lastDataRound int
+
 	// Observability: bus and hooks receive events, metrics/scanM/sigM are
 	// the per-subsystem instruments (never nil; inert without a Registry),
 	// campaign accumulates Stats across scanned rounds.
@@ -222,8 +252,12 @@ type Monitor struct {
 // New validates options and builds the monitor.
 func New(opts Options) (*Monitor, error) {
 	parallel := opts.ScanShards > 1 && opts.ShardTransport != nil
-	if opts.Transport == nil && !parallel {
-		return nil, errors.New("countrymon: Transport is required (or ScanShards > 1 with ShardTransport)")
+	fleetMode := len(opts.Vantages) > 0
+	if opts.Transport == nil && !parallel && !fleetMode {
+		return nil, errors.New("countrymon: Transport is required (or ScanShards > 1 with ShardTransport, or Vantages)")
+	}
+	if fleetMode && opts.ShardTransport != nil {
+		return nil, errors.New("countrymon: Vantages and ShardTransport are mutually exclusive (the fleet shards its own scans)")
 	}
 	if opts.Interval <= 0 {
 		opts.Interval = timeline.DefaultInterval
@@ -253,19 +287,53 @@ func New(opts Options) (*Monitor, error) {
 	}
 	tl := timeline.New(opts.Start, opts.End, opts.Interval)
 	m := &Monitor{
-		opts:    opts,
-		tl:      tl,
-		targets: targets,
-		store:   dataset.NewStore(tl, targets.Blocks()),
-		origins: make(map[BlockID]ASN),
-		bus:     opts.Bus,
-		metrics: newMonMetrics(opts.Registry),
-		scanM:   scanner.NewMetrics(opts.Registry),
-		sigM:    signals.NewMetrics(opts.Registry),
+		opts:          opts,
+		tl:            tl,
+		targets:       targets,
+		store:         dataset.NewStore(tl, targets.Blocks()),
+		origins:       make(map[BlockID]ASN),
+		bus:           opts.Bus,
+		metrics:       newMonMetrics(opts.Registry),
+		scanM:         scanner.NewMetrics(opts.Registry),
+		sigM:          signals.NewMetrics(opts.Registry),
+		lastDataRound: -1,
+	}
+	if fleetMode {
+		shards := opts.ScanShards
+		if shards <= 1 {
+			shards = 0 // fleet default: one shard per vantage
+		}
+		sup, err := fleet.New(opts.Vantages, fleet.Config{
+			Targets: targets,
+			Scan: scanner.Config{
+				Rate:      opts.Rate,
+				Seed:      opts.Seed,
+				Batch:     opts.Batch,
+				Pipelined: opts.Pipelined,
+				Metrics:   m.scanM,
+				Events:    opts.Bus,
+			},
+			Shards:   shards,
+			Quorum:   opts.Quorum,
+			Registry: opts.Registry,
+			Bus:      opts.Bus,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("countrymon: %w", err)
+		}
+		m.sup = sup
 	}
 	if opts.ResumeFrom != "" {
 		if err := m.resume(opts.ResumeFrom); err != nil {
 			return nil, err
+		}
+		// Re-derive the fleet's previous belief: the latest resumed round
+		// that actually carries scan data.
+		for r := m.round - 1; r >= 0; r-- {
+			if m.store.Done(r) && !m.store.Missing(r) {
+				m.lastDataRound = r
+				break
+			}
 		}
 		m.metrics.resumeRound.Set(int64(m.round))
 		m.emit("resume", func() map[string]any {
@@ -386,12 +454,43 @@ func (m *Monitor) ScanRoundContext(ctx context.Context) (Stats, error) {
 		rd  *scanner.RoundData
 		err error
 	)
-	if m.opts.ScanShards > 1 && m.opts.ShardTransport != nil {
+	switch {
+	case m.sup != nil:
+		var rep *fleet.RoundReport
+		rd, rep, err = m.sup.ScanRound(ctx, round, at, m.prevBelief())
+		if err != nil {
+			return Stats{}, err
+		}
+		if rep.SelfOutage {
+			// The fleet, not the target, was dark: record the round missing
+			// so signal derivation treats it exactly like a vantage outage
+			// and no block series carries fabricated zeros.
+			m.store.SetCoverage(m.round, 0)
+			m.store.SetMissing(m.round)
+			m.metrics.roundsMissing.Inc()
+			m.metrics.coverage.Observe(0)
+			m.metrics.lastRound.Set(int64(m.round))
+			m.emit("round_missing", func() map[string]any {
+				return map[string]any{"round": round, "reason": "fleet_self_outage"}
+			})
+			m.invalidate()
+			m.round++
+			if err := m.maybeCheckpoint(); err != nil {
+				return Stats{}, err
+			}
+			if !m.NextRound() {
+				m.emit("campaign_complete", func() map[string]any {
+					return map[string]any{"rounds": m.tl.NumRounds()}
+				})
+			}
+			return Stats{}, nil
+		}
+	case m.opts.ScanShards > 1 && m.opts.ShardTransport != nil:
 		rd, err = scanner.ScanParallel(ctx, m.targets, m.opts.ScanShards, cfg,
 			func(shard, shards int) (Transport, Clock, error) {
 				return m.opts.ShardTransport(round, at, shard, shards)
 			})
-	} else {
+	default:
 		rd, err = scanner.New(m.opts.Transport, cfg).RunContext(ctx, m.targets)
 	}
 	if err != nil {
@@ -409,6 +508,7 @@ func (m *Monitor) ScanRoundContext(ctx context.Context) (Stats, error) {
 		outcome = "round_missing"
 	} else {
 		m.store.AddRoundData(m.round, rd)
+		m.lastDataRound = m.round
 		if rd.Partial {
 			m.store.SetCoverage(m.round, rd.Coverage())
 			m.metrics.roundsSalvaged.Inc()
@@ -445,20 +545,26 @@ func (m *Monitor) ScanRoundContext(ctx context.Context) (Stats, error) {
 	return rd.Stats, nil
 }
 
-// Checkpoint writes the store to Options.CheckpointPath atomically (temp
-// file + rename), so a crash mid-write never corrupts the previous
-// checkpoint. It returns ErrNoCheckpoint when no path is configured.
+// Checkpoint writes the store to Options.CheckpointPath atomically and
+// durably: the temp file is fsynced before the rename (a rename only
+// atomically replaces content that has actually reached the disk) and the
+// containing directory is fsynced after it, so a crash at any point leaves
+// either the old checkpoint or the complete new one — never a torn or
+// empty file. It returns ErrNoCheckpoint when no path is configured.
 func (m *Monitor) Checkpoint() error {
 	if m.opts.CheckpointPath == "" {
 		return ErrNoCheckpoint
 	}
 	t0 := time.Now()
 	tmp := m.opts.CheckpointPath + ".tmp"
-	if err := m.store.Save(tmp); err != nil {
+	if err := m.store.SaveSync(tmp); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, m.opts.CheckpointPath); err != nil {
 		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(filepath.Dir(m.opts.CheckpointPath)); err != nil {
 		return err
 	}
 	m.sinceCkpt = 0
@@ -469,6 +575,41 @@ func (m *Monitor) Checkpoint() error {
 	})
 	if m.hooks.OnCheckpoint != nil {
 		m.hooks.OnCheckpoint(m.round, m.opts.CheckpointPath)
+	}
+	return nil
+}
+
+// prevBelief returns the fleet's previous-belief lookup: each block's
+// response count from the most recent round with ingested data, or no
+// belief at all before the first such round.
+func (m *Monitor) prevBelief() fleet.PrevFunc {
+	last := m.lastDataRound
+	if last < 0 {
+		return func(int) (int, bool) { return 0, false }
+	}
+	return func(bi int) (int, bool) { return m.store.Resp(bi, last), true }
+}
+
+// FleetReport returns the fleet campaign report when the monitor runs a
+// vantage fleet (Options.Vantages); ok is false otherwise.
+func (m *Monitor) FleetReport() (FleetReport, bool) {
+	if m.sup == nil {
+		return FleetReport{}, false
+	}
+	return m.sup.Report(), true
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash. Some
+// filesystems do not support fsync on directories; those errors are ignored
+// (the rename itself is still atomic there).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		return err
 	}
 	return nil
 }

@@ -201,7 +201,10 @@ func (t *Transport) WritePacket(b []byte) error {
 	t.mu.Lock()
 	if w, ok := t.windowAt(now); ok {
 		switch w.Kind {
-		case Blackout, SendErrors, Stall, Flap:
+		// Stall is deliberately absent: a wedged receive path lets every
+		// send "succeed", which is exactly what makes it poisonous — the
+		// scan completes with full coverage and zero replies.
+		case Blackout, SendErrors, Flap:
 			t.cnt.SendErrors++
 			t.metrics.SendErrors.Inc()
 			t.mu.Unlock()
@@ -338,6 +341,10 @@ func (t *Transport) ReadBatch(pkts [][]byte, ats []time.Time, wait time.Duration
 //	flap=48h+12h/30m        connectivity flaps for 12h with 30m half-cycle
 //
 // Example: "seed=7,senderr=0.01,blackout=60h+4h".
+//
+// Windows of the same kind must not overlap (the first active window wins
+// at runtime, so an overlap silently shadows part of the spec); overlapping
+// specs are rejected.
 func ParseProfile(spec string, base time.Time) (Profile, error) {
 	p := Profile{Seed: 1}
 	spec = strings.TrimSpace(spec)
@@ -392,6 +399,18 @@ func ParseProfile(spec string, base time.Time) (Profile, error) {
 		}
 	}
 	sort.SliceStable(p.Windows, func(i, j int) bool { return p.Windows[i].From.Before(p.Windows[j].From) })
+	// Overlapping windows of the same kind are almost always a typo in the
+	// spec (the first active window wins at runtime, silently shadowing the
+	// second), so reject them outright.
+	for i := 1; i < len(p.Windows); i++ {
+		for j := 0; j < i; j++ {
+			a, b := p.Windows[j], p.Windows[i]
+			if a.Kind == b.Kind && b.From.Before(a.To) && a.From.Before(b.To) {
+				return p, fmt.Errorf("faults: overlapping %s windows [%s, %s) and [%s, %s)",
+					a.Kind, a.From.Sub(base), a.To.Sub(base), b.From.Sub(base), b.To.Sub(base))
+			}
+		}
+	}
 	return p, nil
 }
 

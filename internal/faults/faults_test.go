@@ -2,6 +2,7 @@ package faults_test
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -193,5 +194,52 @@ func TestParseProfile(t *testing.T) {
 	}
 	if p, err := faults.ParseProfile("", base); err != nil || len(p.Windows) != 0 {
 		t.Error("empty spec must parse to an empty profile")
+	}
+}
+
+func TestParseProfileRejections(t *testing.T) {
+	base := time.Date(2022, 3, 2, 22, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name, spec, wantErr string
+	}{
+		{"clause without equals", "blackout", "not key=value"},
+		{"bad seed", "seed=abc", "bad seed"},
+		{"negative send probability", "senderr=-0.1", `bad probability "-0.1" for senderr`},
+		{"negative drop probability", "drop=-1", `bad probability "-1" for drop`},
+		{"truncation probability above one", "trunc=1.5", `bad probability "1.5" for trunc`},
+		{"unparseable probability", "drop=lots", `bad probability "lots" for drop`},
+		{"unknown fault kind", "meltdown=1h+2h", `unknown fault "meltdown"`},
+		{"window missing duration", "blackout=1h", "not offset+duration"},
+		{"window bad offset", "blackout=soon+2h", "bad window offset"},
+		{"window bad duration", "blackout=1h+later", "bad window duration"},
+		{"window zero duration", "blackout=1h+0s", "bad window duration"},
+		{"window negative duration", "stall=1h+-30m", "bad window duration"},
+		{"flap missing period", "flap=1h+2h", "needs offset+dur/period"},
+		{"flap bad period", "flap=1h+2h/often", "bad flap period"},
+		{"overlapping same-kind windows", "blackout=1h+4h,blackout=3h+2h", "overlapping blackout windows"},
+		{"identical windows overlap", "stall=2h+1h,stall=2h+1h", "overlapping stall windows"},
+		{"containment is overlap", "recverr=1h+10h,recverr=2h+1h", "overlapping recverr windows"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := faults.ParseProfile(tc.spec, base)
+			if err == nil {
+				t.Fatalf("ParseProfile(%q) accepted, want error containing %q", tc.spec, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ParseProfile(%q) error %q, want substring %q", tc.spec, err, tc.wantErr)
+			}
+		})
+	}
+
+	// Overlap is only rejected within a kind: adjacent and cross-kind
+	// windows coexist.
+	for _, ok := range []string{
+		"blackout=1h+2h,blackout=3h+2h", // back-to-back: [1h,3h) then [3h,5h)
+		"blackout=1h+4h,stall=2h+1h",    // different kinds may overlap
+	} {
+		if _, err := faults.ParseProfile(ok, base); err != nil {
+			t.Errorf("ParseProfile(%q) rejected: %v", ok, err)
+		}
 	}
 }

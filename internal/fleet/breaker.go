@@ -1,0 +1,114 @@
+package fleet
+
+// BreakerState is a vantage circuit breaker's position.
+type BreakerState uint8
+
+const (
+	// Closed: the vantage is healthy and receives primary shards.
+	Closed BreakerState = iota
+	// Open: the vantage tripped and is quarantined — no work until its
+	// quarantine expires.
+	Open
+	// HalfOpen: the quarantine expired; the vantage gets a single trial
+	// shard. Success closes the breaker, failure reopens it with a doubled
+	// quarantine, so a flapping vantage is quarantined exponentially longer
+	// each time it relapses.
+	HalfOpen
+)
+
+var stateNames = [...]string{"closed", "open", "half_open"}
+
+func (s BreakerState) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes the per-vantage circuit breaker.
+type BreakerConfig struct {
+	// Threshold is how many consecutive heartbeat failures trip the
+	// breaker (default 3).
+	Threshold int
+	// OpenRounds is the initial quarantine length in rounds (default 2);
+	// every failed half-open trial doubles it, up to MaxOpenRounds
+	// (default 16).
+	OpenRounds    int
+	MaxOpenRounds int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.OpenRounds <= 0 {
+		c.OpenRounds = 2
+	}
+	if c.MaxOpenRounds <= 0 {
+		c.MaxOpenRounds = 16
+	}
+	return c
+}
+
+// breaker is the closed → open → half-open state machine guarding one
+// vantage. All transitions happen on the supervisor goroutine between scan
+// waves, in fixed vantage order, so fleet rounds stay deterministic.
+type breaker struct {
+	cfg         BreakerConfig
+	state       BreakerState
+	consecFails int
+	quarantine  int // current quarantine length (rounds), doubles on relapse
+	trialAt     int // first round at which a half-open trial may run
+}
+
+func newBreaker(cfg BreakerConfig) breaker {
+	cfg = cfg.withDefaults()
+	return breaker{cfg: cfg, quarantine: cfg.OpenRounds}
+}
+
+// beginRound advances open → half-open when the quarantine has expired and
+// returns the state the vantage enters the round with.
+func (b *breaker) beginRound(round int) BreakerState {
+	if b.state == Open && round >= b.trialAt {
+		b.state = HalfOpen
+	}
+	return b.state
+}
+
+// success records a healthy heartbeat. A half-open trial success closes the
+// breaker and resets the quarantine backoff. It reports whether the state
+// changed.
+func (b *breaker) success() bool {
+	b.consecFails = 0
+	if b.state == HalfOpen {
+		b.state = Closed
+		b.quarantine = b.cfg.OpenRounds
+		return true
+	}
+	return false
+}
+
+// failure records a missed heartbeat during round. A closed breaker trips
+// after Threshold consecutive failures; a half-open trial failure reopens
+// immediately with a doubled quarantine. It reports whether the breaker
+// (re)opened.
+func (b *breaker) failure(round int) bool {
+	b.consecFails++
+	switch b.state {
+	case HalfOpen:
+		b.quarantine *= 2
+		if b.quarantine > b.cfg.MaxOpenRounds {
+			b.quarantine = b.cfg.MaxOpenRounds
+		}
+		b.state = Open
+		b.trialAt = round + 1 + b.quarantine
+		return true
+	case Closed:
+		if b.consecFails >= b.cfg.Threshold {
+			b.state = Open
+			b.trialAt = round + 1 + b.quarantine
+			return true
+		}
+	}
+	return false
+}

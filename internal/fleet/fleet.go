@@ -1,0 +1,695 @@
+// Package fleet supervises a multi-vantage scanner fleet: N vantages scan a
+// round's address-block shards concurrently, a per-vantage circuit breaker
+// (closed → open → half-open, with exponential-backoff quarantine)
+// translates missed heartbeats into quarantine, failed shards are
+// deterministically reassigned ("stolen") to healthy vantages within the
+// same round, and suspect block transitions are corroborated by re-probing
+// from independent vantages before k-of-n fusion (internal/signals) lets a
+// block go down.
+//
+// The point is the distinction the paper's operators had to make by hand:
+// "our vantage is sick" (a self-outage, reported on the obs bus and never
+// written into the measurement) versus "the target is dark" (a corroborated
+// observation). A single stalled or blacked-out vantage therefore cannot
+// fabricate a country-wide outage.
+//
+// Determinism: every scan runs over a fresh per-(vantage, round) transport
+// from the vantage's factory, results are slotted by shard index, and all
+// state mutation — breaker transitions, steals, fusion, belief updates —
+// happens on the supervisor goroutine in fixed (shard, vantage) order
+// between scan waves. Fleet round output is byte-identical regardless of
+// COUNTRYMON_WORKERS.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"countrymon/internal/netmodel"
+	"countrymon/internal/obs"
+	"countrymon/internal/par"
+	"countrymon/internal/scanner"
+	"countrymon/internal/signals"
+)
+
+// Spec describes one vantage.
+type Spec struct {
+	// Name identifies the vantage in events, metrics and reports.
+	Name string
+	// Transport builds a fresh transport (and clock) for one scan this
+	// vantage runs in round `round`, scheduled at `at`. It is called once
+	// per assigned shard and once per corroboration re-probe, possibly from
+	// concurrent goroutines, so it must be safe for concurrent use and must
+	// return independent transports. Transports implementing io.Closer are
+	// closed when their scan finishes.
+	Transport func(round int, at time.Time) (scanner.Transport, scanner.Clock, error)
+}
+
+// Config configures a Supervisor.
+type Config struct {
+	// Targets is the shared target set every vantage scans.
+	Targets *scanner.TargetSet
+	// Scan is the base per-scan configuration (rate, seed, batching,
+	// metrics, events); Shard/Shards/Epoch/Clock are overridden per scan.
+	Scan scanner.Config
+	// Shards is how many shards a round's primary scan splits into
+	// (default: the number of vantages).
+	Shards int
+	// Quorum is k of the k-of-n corroboration: the coverage-weighted dark
+	// votes needed before a suspect block transitions to down (default
+	// min(2, vantages); the effective quorum never exceeds the vantages
+	// that produced a verdict).
+	Quorum int
+	// MinShardCoverage is the heartbeat gate: a shard scan below this
+	// coverage counts as a missed heartbeat and is rescanned elsewhere
+	// (default 0.8).
+	MinShardCoverage float64
+	// Breaker tunes the per-vantage circuit breaker.
+	Breaker BreakerConfig
+	// HealthAlpha is the EWMA weight of the newest heartbeat in the
+	// per-vantage health score (default 0.3).
+	HealthAlpha float64
+
+	// Registry and Bus attach the fleet's instruments and event stream.
+	Registry *obs.Registry
+	Bus      *obs.Bus
+}
+
+// RoundReport describes how one fleet round went.
+type RoundReport struct {
+	Round     int
+	Healthy   int // vantages that entered the round closed
+	Eligible  int // closed + half-open vantages
+	Steals    int // shards reassigned mid-round
+	Uncovered int // shards no vantage could scan
+	// SelfOutage: no shard produced usable data — the fleet, not the
+	// target, was dark. The round must be recorded missing.
+	SelfOutage bool
+	// Degraded: the round ran below quorum, left shards uncovered, or was
+	// a self-outage.
+	Degraded bool
+	// Fusion tallies over this round's suspect blocks.
+	Suspects, FusedAlive, FusedDown, FusedHeld int
+}
+
+// CampaignReport aggregates across all rounds scanned so far.
+type CampaignReport struct {
+	// Quarantined lists vantages whose breaker ever opened, in vantage
+	// order, each once.
+	Quarantined                                []string
+	DegradedRounds                             int
+	SelfOutages                                int
+	Steals                                     int
+	Suspects, FusedAlive, FusedDown, FusedHeld int
+}
+
+// Degraded reports whether the campaign completed degraded: a vantage was
+// quarantined or at least one round ran below quorum / with coverage holes.
+func (r CampaignReport) Degraded() bool {
+	return len(r.Quarantined) > 0 || r.DegradedRounds > 0 || r.SelfOutages > 0
+}
+
+// vantage is one fleet member's supervisor-side state.
+type vantage struct {
+	spec     Spec
+	br       breaker
+	health   float64 // heartbeat EWMA in [0, 1]
+	healthG  *obs.Gauge
+	everOpen bool
+}
+
+// Supervisor runs the fleet. It is not safe for concurrent use; drive it
+// from one goroutine (the Monitor does).
+type Supervisor struct {
+	cfg      Config
+	vantages []*vantage
+	m        *metrics
+	fuseM    *signals.FusionMetrics
+	bus      *obs.Bus
+
+	// lastResp is the fused per-block belief of the most recent usable
+	// round, the fallback prev when ScanRound's caller passes none.
+	lastResp []int
+	haveLast bool
+
+	rep CampaignReport
+}
+
+// New validates the configuration and builds a supervisor.
+func New(specs []Spec, cfg Config) (*Supervisor, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("fleet: at least one vantage required")
+	}
+	if cfg.Targets == nil {
+		return nil, errors.New("fleet: Targets required")
+	}
+	seen := make(map[string]bool, len(specs))
+	for i := range specs {
+		if specs[i].Transport == nil {
+			return nil, fmt.Errorf("fleet: vantage %d has no transport factory", i)
+		}
+		if specs[i].Name == "" {
+			specs[i].Name = fmt.Sprintf("v%d", i)
+		}
+		if seen[specs[i].Name] {
+			return nil, fmt.Errorf("fleet: duplicate vantage name %q", specs[i].Name)
+		}
+		seen[specs[i].Name] = true
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = len(specs)
+	}
+	if cfg.Quorum <= 0 {
+		cfg.Quorum = 2
+		if len(specs) < 2 {
+			cfg.Quorum = 1
+		}
+	}
+	if cfg.MinShardCoverage <= 0 {
+		cfg.MinShardCoverage = 0.8
+	}
+	if cfg.HealthAlpha <= 0 || cfg.HealthAlpha > 1 {
+		cfg.HealthAlpha = 0.3
+	}
+	s := &Supervisor{
+		cfg:      cfg,
+		m:        newMetrics(cfg.Registry),
+		fuseM:    signals.NewFusionMetrics(cfg.Registry),
+		bus:      cfg.Bus,
+		lastResp: make([]int, cfg.Targets.NumBlocks()),
+	}
+	for _, sp := range specs {
+		v := &vantage{spec: sp, br: newBreaker(cfg.Breaker), health: 1,
+			healthG: s.m.health.With(sp.Name)}
+		v.healthG.Set(1000)
+		s.vantages = append(s.vantages, v)
+	}
+	return s, nil
+}
+
+// Vantages returns the vantage names in fleet order.
+func (s *Supervisor) Vantages() []string {
+	names := make([]string, len(s.vantages))
+	for i, v := range s.vantages {
+		names[i] = v.spec.Name
+	}
+	return names
+}
+
+// Report returns the campaign-level aggregation so far.
+func (s *Supervisor) Report() CampaignReport {
+	out := s.rep
+	out.Quarantined = append([]string(nil), s.rep.Quarantined...)
+	return out
+}
+
+// State returns a vantage's current breaker state (by fleet order index).
+func (s *Supervisor) State(i int) BreakerState { return s.vantages[i].br.state }
+
+// scanJob is one (shard, vantage) scan assignment within a round.
+type scanJob struct {
+	shard, vi int
+}
+
+type scanOut struct {
+	rd  *scanner.RoundData
+	err error
+}
+
+// PrevFunc supplies the last believed response count of a block (by target
+// block index) for suspect detection; ok=false means no belief yet.
+type PrevFunc func(blockIdx int) (resp int, ok bool)
+
+// ScanRound scans round `round` (scheduled at `at`) across the fleet:
+// assignment, failover, merge, corroboration and fusion. prev supplies the
+// previous per-block belief (nil uses the supervisor's internal belief).
+//
+// The returned RoundData is the merged, fusion-corrected round; it is nil
+// only on a self-outage (rep.SelfOutage) or a hard error. Shards no vantage
+// could scan leave a coverage hole (RoundData.Partial), which the caller
+// gates like any salvaged round.
+func (s *Supervisor) ScanRound(ctx context.Context, round int, at time.Time, prev PrevFunc) (*scanner.RoundData, *RoundReport, error) {
+	rep := &RoundReport{Round: round}
+	n := len(s.vantages)
+
+	// Quarantine expiry: open breakers whose time is up go half-open.
+	states := make([]BreakerState, n)
+	for i, v := range s.vantages {
+		before := v.br.state
+		states[i] = v.br.beginRound(round)
+		if states[i] != before {
+			s.transition(v, round, states[i])
+		}
+		switch states[i] {
+		case Closed:
+			rep.Healthy++
+			rep.Eligible++
+		case HalfOpen:
+			rep.Eligible++
+		}
+	}
+
+	shards := s.cfg.Shards
+	jobs, unassigned := s.assign(states, round, shards)
+	rep.Uncovered = unassigned
+
+	// Scan waves with same-round failover: failed shards are stolen by the
+	// next healthy vantage that has not tried them yet.
+	results := make([]*scanner.RoundData, shards)
+	owners := make([]int, shards)
+	tried := make([][]bool, shards)
+	for i := range tried {
+		tried[i] = make([]bool, n)
+	}
+	for _, j := range jobs {
+		tried[j.shard][j.vi] = true
+	}
+	okScans := make([]int, n)   // successful shard scans per vantage this round
+	failScans := make([]int, n) // missed heartbeats per vantage this round
+	for len(jobs) > 0 {
+		outs := make([]scanOut, len(jobs))
+		par.ForEach(len(jobs), func(i int) {
+			outs[i] = s.scanShard(ctx, jobs[i].vi, jobs[i].shard, shards, round, at)
+		})
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		var next []scanJob
+		for i, j := range jobs { // jobs are in shard order: deterministic
+			out := outs[i]
+			v := s.vantages[j.vi]
+			if out.err == nil && out.rd != nil && !out.rd.RecvDead &&
+				out.rd.Coverage() >= s.cfg.MinShardCoverage {
+				results[j.shard] = out.rd
+				owners[j.shard] = j.vi
+				okScans[j.vi]++
+				continue
+			}
+			failScans[j.vi]++
+			if v.br.failure(round) {
+				s.transition(v, round, Open)
+			}
+			s.emit("shard_failed", func() map[string]any {
+				f := map[string]any{"round": round, "shard": j.shard, "vantage": v.spec.Name}
+				if out.err != nil {
+					f["error"] = out.err.Error()
+				}
+				return f
+			})
+			thief := s.thief(j, tried[j.shard])
+			if thief < 0 {
+				rep.Uncovered++
+				continue
+			}
+			tried[j.shard][thief] = true
+			next = append(next, scanJob{shard: j.shard, vi: thief})
+			rep.Steals++
+			s.m.steals.Inc()
+			s.emit("shard_steal", func() map[string]any {
+				return map[string]any{"round": round, "shard": j.shard,
+					"from": v.spec.Name, "to": s.vantages[thief].spec.Name}
+			})
+		}
+		jobs = next
+	}
+
+	poisoned := make([]bool, n)
+	if allNil(results) {
+		rep.SelfOutage = true
+		rep.Degraded = true
+		s.m.selfOutages.Inc()
+		s.m.degraded.Inc()
+		s.emit("fleet_self_outage", func() map[string]any {
+			return map[string]any{"round": round, "eligible": rep.Eligible}
+		})
+		s.settleRound(rep, okScans, failScans, poisoned, nil, round)
+		return nil, rep, nil
+	}
+
+	merged := s.merge(results, shards)
+	s.corroborate(ctx, round, at, prev, merged, results, owners, poisoned, rep)
+	s.settleRound(rep, okScans, failScans, poisoned, merged, round)
+	return merged, rep, nil
+}
+
+// assign distributes the round's shards over eligible vantages: round-robin
+// in fixed vantage order with a rotating per-round offset, half-open
+// vantages capped at one trial shard. Returns the jobs in shard order and
+// how many shards found no vantage at all.
+func (s *Supervisor) assign(states []BreakerState, round, shards int) ([]scanJob, int) {
+	n := len(s.vantages)
+	jobs := make([]scanJob, 0, shards)
+	unassigned := 0
+	trialUsed := make([]bool, n)
+	cursor := round % n
+	for sh := 0; sh < shards; sh++ {
+		vi := -1
+		for try := 0; try < n; try++ {
+			c := (cursor + try) % n
+			if states[c] == Open || (states[c] == HalfOpen && trialUsed[c]) {
+				continue
+			}
+			vi = c
+			break
+		}
+		if vi < 0 {
+			unassigned++
+			continue
+		}
+		if states[vi] == HalfOpen {
+			trialUsed[vi] = true
+		}
+		cursor = vi + 1
+		jobs = append(jobs, scanJob{shard: sh, vi: vi})
+	}
+	return jobs, unassigned
+}
+
+// thief picks the next closed vantage (after the failed owner, in fleet
+// order) that has not yet tried this shard, or -1.
+func (s *Supervisor) thief(j scanJob, tried []bool) int {
+	n := len(s.vantages)
+	for try := 1; try <= n; try++ {
+		vi := (j.vi + try) % n
+		if tried[vi] || s.vantages[vi].br.state != Closed {
+			continue
+		}
+		return vi
+	}
+	return -1
+}
+
+// scanShard runs one vantage's scan of one shard over a fresh transport.
+func (s *Supervisor) scanShard(ctx context.Context, vi, shard, shards, round int, at time.Time) scanOut {
+	tr, clk, err := s.vantages[vi].spec.Transport(round, at)
+	if err != nil {
+		return scanOut{err: err}
+	}
+	if c, ok := tr.(io.Closer); ok {
+		defer c.Close()
+	}
+	if clk == nil {
+		if c, ok := tr.(scanner.Clock); ok {
+			clk = c
+		}
+	}
+	cfg := s.cfg.Scan
+	cfg.Shard, cfg.Shards = shard, shards
+	cfg.Epoch = uint32(round + 1)
+	cfg.Clock = clk
+	rd, err := scanner.New(tr, cfg).RunContext(ctx, s.cfg.Targets)
+	return scanOut{rd: rd, err: err}
+}
+
+// merge folds the per-shard results (placeholding unscanned shards, so their
+// targets count as a coverage hole) in shard order.
+func (s *Supervisor) merge(results []*scanner.RoundData, shards int) *scanner.RoundData {
+	rds := make([]*scanner.RoundData, 0, shards)
+	for sh, rd := range results {
+		if rd == nil {
+			rds = append(rds, &scanner.RoundData{
+				Targets:      s.cfg.Targets,
+				ShardTargets: scanner.ShardLen(s.cfg.Targets.Len(), sh, shards),
+				Partial:      true,
+			})
+			continue
+		}
+		rds = append(rds, rd)
+	}
+	return scanner.MergeRounds(s.cfg.Targets, rds)
+}
+
+// corroborate finds suspect blocks (believed alive, now reading depressed),
+// re-probes them in full from every closed vantage, and fuses the verdicts
+// per block: any full-block alive evidence overrides the dark reading, a
+// coverage-weighted dark quorum confirms the transition, and anything short
+// of either holds the previous belief. Vantages whose dark samples were
+// overridden on enough blocks are "poisoned" — silently feeding darkness —
+// and charged a missed heartbeat even though their scans looked complete.
+func (s *Supervisor) corroborate(ctx context.Context, round int, at time.Time, prev PrevFunc,
+	merged *scanner.RoundData, results []*scanner.RoundData, owners []int,
+	poisoned []bool, rep *RoundReport) {
+
+	prevOf := func(bi int) (int, bool) {
+		if prev != nil {
+			return prev(bi)
+		}
+		if !s.haveLast {
+			return 0, false
+		}
+		return s.lastResp[bi], true
+	}
+
+	var suspects []int
+	prevResp := make(map[int]int)
+	for bi := range merged.Blocks {
+		p, ok := prevOf(bi)
+		if ok && p > 0 && int(merged.Blocks[bi].RespCount) < p {
+			suspects = append(suspects, bi)
+			prevResp[bi] = p
+		}
+	}
+	rep.Suspects = len(suspects)
+	if len(suspects) == 0 {
+		return
+	}
+
+	// Per-vantage sample verdicts from the primary shards already scanned.
+	n := len(s.vantages)
+	sample := make([][]int, n) // per vantage: resp per suspect (by suspects index); nil = no data
+	weight := make([]float64, n)
+	probed := make([]int, n)
+	due := make([]int, n)
+	for sh, rd := range results {
+		if rd == nil {
+			continue
+		}
+		vi := owners[sh]
+		if sample[vi] == nil {
+			sample[vi] = make([]int, len(suspects))
+		}
+		for si, bi := range suspects {
+			sample[vi][si] += int(rd.Blocks[bi].RespCount)
+		}
+		probed[vi] += rd.Probed
+		due[vi] += rd.ShardTargets
+	}
+	for vi := range s.vantages {
+		if due[vi] > 0 {
+			weight[vi] = float64(probed[vi]) / float64(due[vi])
+		}
+	}
+
+	// Full-block corroboration re-probes from every closed vantage.
+	prefixes := make([]netmodel.Prefix, len(suspects))
+	for i, bi := range suspects {
+		blk := s.cfg.Targets.Blocks()[bi]
+		prefixes[i] = netmodel.Prefix{Base: blk.First(), Bits: 24}
+	}
+	suspectTS, err := scanner.NewTargetSet(prefixes, nil)
+	if err != nil {
+		return // cannot corroborate; fusion below works from samples alone
+	}
+	var corr []int
+	for vi, v := range s.vantages {
+		if v.br.state == Closed {
+			corr = append(corr, vi)
+		}
+	}
+	couts := make([]scanOut, len(corr))
+	par.ForEach(len(corr), func(i int) {
+		couts[i] = s.reprobe(ctx, corr[i], round, at, suspectTS)
+	})
+
+	// Fuse per suspect block, in block order.
+	overridden := make([]int, n) // dark sample votes overridden per vantage
+	darkVotes := make([]int, n)
+	for si, bi := range suspects {
+		var verdicts []signals.VantageVerdict
+		for vi, v := range s.vantages {
+			if sample[vi] == nil {
+				continue
+			}
+			verdicts = append(verdicts, signals.VantageVerdict{
+				Vantage: v.spec.Name, Resp: sample[vi][si], Weight: weight[vi],
+			})
+			if sample[vi][si] == 0 {
+				darkVotes[vi]++
+			}
+		}
+		for ci, vi := range corr {
+			out := couts[ci]
+			if out.err != nil || out.rd == nil || out.rd.RecvDead {
+				continue
+			}
+			sbi := suspectTS.BlockIndex(s.cfg.Targets.Blocks()[bi].First())
+			if sbi < 0 {
+				continue
+			}
+			verdicts = append(verdicts, signals.VantageVerdict{
+				Vantage: s.vantages[vi].spec.Name,
+				Resp:    int(out.rd.Blocks[sbi].RespCount),
+				Weight:  out.rd.Coverage(),
+				Full:    true,
+			})
+		}
+		fused, outcome := signals.FuseBlock(prevResp[bi], int(merged.Blocks[bi].RespCount), verdicts, s.cfg.Quorum)
+		s.fuseM.Observe(outcome)
+		switch outcome {
+		case signals.FuseAlive:
+			rep.FusedAlive++
+			for vi := range s.vantages {
+				if sample[vi] != nil && sample[vi][si] == 0 {
+					overridden[vi]++
+				}
+			}
+		case signals.FuseDown:
+			rep.FusedDown++
+		case signals.FuseHeld:
+			rep.FusedHeld++
+		}
+		merged.Blocks[bi].RespCount = uint16(fused)
+	}
+
+	// Poisoned-heartbeat check: a vantage whose dark samples were overridden
+	// on at least max(2, half the fused-alive blocks) fed silent darkness
+	// this round; its scan "succeeded" but its heartbeat did not. Requiring
+	// that every one of its dark votes was overridden keeps a vantage that
+	// also saw genuine darkness (shared with the quorum) out of the net.
+	if rep.FusedAlive > 0 {
+		threshold := (rep.FusedAlive + 1) / 2
+		if threshold < 2 {
+			threshold = 2
+		}
+		for vi, v := range s.vantages {
+			if overridden[vi] < threshold || overridden[vi] < darkVotes[vi] {
+				continue
+			}
+			poisoned[vi] = true
+			s.emit("vantage_poisoned", func() map[string]any {
+				return map[string]any{"round": round, "vantage": v.spec.Name,
+					"overridden": overridden[vi]}
+			})
+		}
+	}
+
+	s.emit("fleet_fusion", func() map[string]any {
+		return map[string]any{"round": round, "suspects": rep.Suspects,
+			"alive": rep.FusedAlive, "down": rep.FusedDown, "held": rep.FusedHeld}
+	})
+}
+
+// reprobe runs one vantage's full scan of the suspect blocks.
+func (s *Supervisor) reprobe(ctx context.Context, vi, round int, at time.Time, ts *scanner.TargetSet) scanOut {
+	tr, clk, err := s.vantages[vi].spec.Transport(round, at)
+	if err != nil {
+		return scanOut{err: err}
+	}
+	if c, ok := tr.(io.Closer); ok {
+		defer c.Close()
+	}
+	if clk == nil {
+		if c, ok := tr.(scanner.Clock); ok {
+			clk = c
+		}
+	}
+	cfg := s.cfg.Scan
+	cfg.Shard, cfg.Shards = 0, 1
+	cfg.Epoch = uint32(round + 1)
+	cfg.Clock = clk
+	rd, err := scanner.New(tr, cfg).RunContext(ctx, ts)
+	return scanOut{rd: rd, err: err}
+}
+
+// settleRound applies end-of-round heartbeats (including deferred half-open
+// trial verdicts and poisoning), updates health EWMAs and beliefs, and
+// aggregates the campaign report. All in fixed vantage order.
+func (s *Supervisor) settleRound(rep *RoundReport, okScans, failScans []int, poisoned []bool, merged *scanner.RoundData, round int) {
+	for vi, v := range s.vantages {
+		if okScans[vi] == 0 && failScans[vi] == 0 && !poisoned[vi] {
+			continue // did not participate: no heartbeat either way
+		}
+		healthy := failScans[vi] == 0 && okScans[vi] > 0 && !poisoned[vi]
+		switch {
+		case healthy:
+			// Deferred on purpose: a half-open trial only closes the breaker
+			// after it survived the fusion poison check, so a stalled vantage
+			// whose trial scan "completed" (all-dark) stays quarantined.
+			if v.br.success() {
+				s.transition(v, round, Closed)
+			}
+		case poisoned[vi] && v.br.state != Open:
+			// Shard-scan failures were charged at wave time; poisoning is the
+			// one failure discovered only after fusion.
+			if v.br.failure(round) {
+				s.transition(v, round, Open)
+			}
+		}
+		outcome := 0.0
+		if healthy {
+			outcome = 1
+		}
+		v.health = (1-s.cfg.HealthAlpha)*v.health + s.cfg.HealthAlpha*outcome
+		v.healthG.Set(int64(v.health*1000 + 0.5))
+	}
+
+	if rep.Healthy < s.cfg.Quorum || rep.Uncovered > 0 {
+		rep.Degraded = true
+		if !rep.SelfOutage { // self-outage already counted the round
+			s.m.degraded.Inc()
+		}
+	}
+
+	if merged != nil && !merged.RecvDead {
+		for bi := range merged.Blocks {
+			s.lastResp[bi] = int(merged.Blocks[bi].RespCount)
+		}
+		s.haveLast = true
+	}
+
+	s.rep.Steals += rep.Steals
+	s.rep.Suspects += rep.Suspects
+	s.rep.FusedAlive += rep.FusedAlive
+	s.rep.FusedDown += rep.FusedDown
+	s.rep.FusedHeld += rep.FusedHeld
+	if rep.Degraded {
+		s.rep.DegradedRounds++
+	}
+	if rep.SelfOutage {
+		s.rep.SelfOutages++
+	}
+}
+
+// transition records a breaker state change on metrics, events and the
+// quarantine report.
+func (s *Supervisor) transition(v *vantage, round int, to BreakerState) {
+	s.m.transitions.With(to.String()).Inc()
+	if to == Open && !v.everOpen {
+		v.everOpen = true
+		s.rep.Quarantined = append(s.rep.Quarantined, v.spec.Name)
+	}
+	s.emit("breaker_transition", func() map[string]any {
+		return map[string]any{"round": round, "vantage": v.spec.Name,
+			"to": to.String(), "quarantine": v.br.quarantine}
+	})
+}
+
+// emit publishes one event when a bus is attached.
+func (s *Supervisor) emit(kind string, fields func() map[string]any) {
+	if s.bus == nil {
+		return
+	}
+	s.bus.Publish(kind, fields())
+}
+
+func allNil(rds []*scanner.RoundData) bool {
+	for _, rd := range rds {
+		if rd != nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,438 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"countrymon/internal/netmodel"
+	"countrymon/internal/obs"
+	"countrymon/internal/scanner"
+	"countrymon/internal/simnet"
+)
+
+const density = 40 // ground truth: hosts 0..39 of every block answer
+
+func testTargets(t *testing.T) *scanner.TargetSet {
+	t.Helper()
+	ts, err := scanner.NewTargetSet([]netmodel.Prefix{
+		{Base: netmodel.MustParseAddr("198.51.100.0"), Bits: 23},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func aliveResponder() simnet.Responder {
+	return simnet.ResponderFunc(func(dst netmodel.Addr, at time.Time) simnet.Reply {
+		if dst.HostByte() < density {
+			return simnet.Reply{Kind: simnet.EchoReply, RTT: 25 * time.Millisecond}
+		}
+		return simnet.Reply{Kind: simnet.NoReply}
+	})
+}
+
+// deadResponder is the silent-poison vantage: probes go out, nothing comes
+// back, the scan "completes" with full coverage and zero replies.
+func deadResponder() simnet.Responder {
+	return simnet.ResponderFunc(func(netmodel.Addr, time.Time) simnet.Reply {
+		return simnet.Reply{Kind: simnet.NoReply}
+	})
+}
+
+// outageAfter answers like aliveResponder until from, then goes dark: the
+// genuine target outage every vantage agrees on.
+func outageAfter(from time.Time) simnet.Responder {
+	alive := aliveResponder()
+	return simnet.ResponderFunc(func(dst netmodel.Addr, at time.Time) simnet.Reply {
+		if !at.Before(from) {
+			return simnet.Reply{Kind: simnet.NoReply}
+		}
+		return alive.Respond(dst, at)
+	})
+}
+
+func simSpec(name string, resp simnet.Responder) Spec {
+	local := netmodel.MustParseAddr("203.0.113.1")
+	return Spec{Name: name, Transport: func(round int, at time.Time) (scanner.Transport, scanner.Clock, error) {
+		n := simnet.New(local, resp, at)
+		return n, n, nil
+	}}
+}
+
+func errSpec(name string) Spec {
+	return Spec{Name: name, Transport: func(int, time.Time) (scanner.Transport, scanner.Clock, error) {
+		return nil, nil, errors.New("vantage unreachable")
+	}}
+}
+
+func baseConfig(t *testing.T) Config {
+	return Config{
+		Targets: testTargets(t),
+		Scan:    scanner.Config{Seed: 7, Rate: 200000, Cooldown: time.Second},
+	}
+}
+
+// truthPrev supplies the established belief: every block answered with
+// `density` hosts last round.
+func truthPrev(int) (int, bool) { return density, true }
+
+var campaignStart = time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func roundAt(r int) time.Time { return campaignStart.Add(time.Duration(r) * 2 * time.Hour) }
+
+func assertTruth(t *testing.T, rd *scanner.RoundData, round int) {
+	t.Helper()
+	if rd == nil {
+		t.Fatalf("round %d: nil RoundData", round)
+	}
+	if rd.Coverage() < 1 {
+		t.Fatalf("round %d: coverage %.3f, want 1", round, rd.Coverage())
+	}
+	for bi := range rd.Blocks {
+		if got := int(rd.Blocks[bi].RespCount); got != density {
+			t.Fatalf("round %d block %d: resp %d, want %d", round, bi, got, density)
+		}
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	b := newBreaker(BreakerConfig{Threshold: 3, OpenRounds: 2, MaxOpenRounds: 8})
+	if st := b.beginRound(0); st != Closed {
+		t.Fatalf("initial state %v, want closed", st)
+	}
+	// Two failures stay closed, the third trips.
+	if b.failure(0) || b.failure(0) {
+		t.Fatal("breaker tripped before threshold")
+	}
+	if !b.failure(0) || b.state != Open {
+		t.Fatalf("breaker did not trip at threshold (state %v)", b.state)
+	}
+	// Quarantined for OpenRounds: rounds 1, 2 stay open, round 3 trials.
+	if st := b.beginRound(1); st != Open {
+		t.Fatalf("round 1 state %v, want open", st)
+	}
+	if st := b.beginRound(2); st != Open {
+		t.Fatalf("round 2 state %v, want open", st)
+	}
+	if st := b.beginRound(3); st != HalfOpen {
+		t.Fatalf("round 3 state %v, want half_open", st)
+	}
+	// Failed trial doubles the quarantine: open through round 7, trial at 8.
+	if !b.failure(3) || b.state != Open || b.quarantine != 4 {
+		t.Fatalf("failed trial: state %v quarantine %d, want open 4", b.state, b.quarantine)
+	}
+	for r := 4; r <= 7; r++ {
+		if st := b.beginRound(r); st != Open {
+			t.Fatalf("round %d state %v, want open", r, st)
+		}
+	}
+	if st := b.beginRound(8); st != HalfOpen {
+		t.Fatalf("round 8 state %v, want half_open", st)
+	}
+	// Another failed trial hits the MaxOpenRounds cap.
+	b.failure(8)
+	if b.quarantine != 8 {
+		t.Fatalf("quarantine %d, want capped 8", b.quarantine)
+	}
+	b.beginRound(17)
+	if b.state != HalfOpen {
+		t.Fatalf("state %v, want half_open at round 17", b.state)
+	}
+	// A successful trial closes and resets the backoff.
+	if !b.success() || b.state != Closed || b.quarantine != 2 {
+		t.Fatalf("trial success: state %v quarantine %d, want closed 2", b.state, b.quarantine)
+	}
+}
+
+func TestHealthyRound(t *testing.T) {
+	specs := []Spec{
+		simSpec("v0", aliveResponder()),
+		simSpec("v1", aliveResponder()),
+		simSpec("v2", aliveResponder()),
+	}
+	s, err := New(specs, baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, rep, err := s.ScanRound(context.Background(), 0, campaignStart, truthPrev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTruth(t, rd, 0)
+	if rep.Healthy != 3 || rep.Eligible != 3 || rep.Steals != 0 || rep.Degraded {
+		t.Fatalf("report %+v, want 3 healthy, no steals, not degraded", rep)
+	}
+	if rep.Suspects != 0 {
+		t.Fatalf("healthy round produced %d suspects", rep.Suspects)
+	}
+	if s.Report().Degraded() {
+		t.Fatal("healthy campaign reports degraded")
+	}
+}
+
+func TestFailoverAndQuarantine(t *testing.T) {
+	specs := []Spec{
+		errSpec("v0"), // never comes up
+		simSpec("v1", aliveResponder()),
+		simSpec("v2", aliveResponder()),
+	}
+	cfg := baseConfig(t)
+	cfg.Registry = obs.NewRegistry()
+	s, err := New(specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 5; r++ {
+		rd, rep, err := s.ScanRound(context.Background(), r, roundAt(r), truthPrev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every round still delivers the full truth: v0's shards are stolen
+		// while it is closed and never assigned once it is quarantined.
+		assertTruth(t, rd, r)
+		if rep.SelfOutage || rep.Uncovered != 0 {
+			t.Fatalf("round %d: %+v — coverage hole despite healthy thieves", r, rep)
+		}
+	}
+	// Threshold 3: v0 fails its shard in rounds 0, 1, 2 and trips.
+	if st := s.State(0); st != Open {
+		t.Fatalf("v0 state %v, want open", st)
+	}
+	rep := s.Report()
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != "v0" {
+		t.Fatalf("quarantined %v, want [v0]", rep.Quarantined)
+	}
+	if rep.Steals < 3 {
+		t.Fatalf("steals %d, want >= 3 (one per failed round)", rep.Steals)
+	}
+	if !rep.Degraded() {
+		t.Fatal("campaign with a quarantined vantage must report degraded")
+	}
+	var b strings.Builder
+	cfg.Registry.WritePrometheus(&b)
+	for _, want := range []string{
+		`fleet_breaker_transitions_total{to="open"} 1`,
+		`fleet_vantage_health{vantage="v0"}`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("metrics missing %q in\n%s", want, b.String())
+		}
+	}
+}
+
+func TestStalledVantageCannotFakeAnOutage(t *testing.T) {
+	// v0's receive path is wedged: its scans complete with full coverage and
+	// zero replies. Without fusion this silently halves every block's count;
+	// with it, corroboration restores the truth and the poisoned heartbeat
+	// eventually quarantines v0.
+	specs := []Spec{
+		simSpec("v0", deadResponder()),
+		simSpec("v1", aliveResponder()),
+		simSpec("v2", aliveResponder()),
+	}
+	s, err := New(specs, baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 6; r++ {
+		rd, rep, err := s.ScanRound(context.Background(), r, roundAt(r), truthPrev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Zero false outages, ever: fusion restores every suspect block.
+		assertTruth(t, rd, r)
+		if rep.FusedDown != 0 {
+			t.Fatalf("round %d: %d blocks fused down — false outage", r, rep.FusedDown)
+		}
+	}
+	if st := s.State(0); st != Open {
+		t.Fatalf("v0 state %v, want open (poisoned heartbeats must trip it)", st)
+	}
+	rep := s.Report()
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != "v0" {
+		t.Fatalf("quarantined %v, want [v0]", rep.Quarantined)
+	}
+	if rep.FusedAlive == 0 {
+		t.Fatal("no blocks were fused alive — the poison was never corrected")
+	}
+	if rep.FusedDown != 0 {
+		t.Fatalf("campaign fused %d blocks down, want 0", rep.FusedDown)
+	}
+}
+
+func TestGenuineOutageStillDetected(t *testing.T) {
+	// All vantages are healthy and the target really goes dark in round 2:
+	// the dark quorum must confirm the transition in that same round.
+	outStart := roundAt(2)
+	specs := []Spec{
+		simSpec("v0", outageAfter(outStart)),
+		simSpec("v1", outageAfter(outStart)),
+		simSpec("v2", outageAfter(outStart)),
+	}
+	s, err := New(specs, baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := density
+	for r := 0; r < 4; r++ {
+		rd, rep, err := s.ScanRound(context.Background(), r, roundAt(r),
+			func(int) (int, bool) { return prev, true })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < 2 {
+			assertTruth(t, rd, r)
+		} else {
+			for bi := range rd.Blocks {
+				if rd.Blocks[bi].RespCount != 0 {
+					t.Fatalf("round %d block %d: resp %d, want 0 (real outage)",
+						r, bi, rd.Blocks[bi].RespCount)
+				}
+			}
+			if r == 2 && rep.FusedDown != rd.Targets.NumBlocks() {
+				t.Fatalf("round 2 fused %d blocks down, want %d", rep.FusedDown, rd.Targets.NumBlocks())
+			}
+		}
+		prev = int(rd.Blocks[0].RespCount)
+	}
+	// A corroborated target outage is not a fleet problem: nobody tripped.
+	for i := range specs {
+		if st := s.State(i); st != Closed {
+			t.Fatalf("vantage %d state %v, want closed", i, st)
+		}
+	}
+	if s.Report().Degraded() {
+		t.Fatal("corroborated target outage must not mark the campaign degraded")
+	}
+}
+
+func TestSelfOutage(t *testing.T) {
+	specs := []Spec{errSpec("v0"), errSpec("v1"), errSpec("v2")}
+	cfg := baseConfig(t)
+	cfg.Breaker = BreakerConfig{Threshold: 3, OpenRounds: 2}
+	s, err := New(specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, rep, err := s.ScanRound(context.Background(), 0, campaignStart, truthPrev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd != nil || !rep.SelfOutage || !rep.Degraded {
+		t.Fatalf("round 0: rd=%v rep=%+v, want nil data and self-outage", rd, rep)
+	}
+	// With every shard failing over every vantage, all three trip in round 0
+	// and round 1 is a self-outage before a single scan is attempted.
+	_, rep, err = s.ScanRound(context.Background(), 1, roundAt(1), truthPrev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SelfOutage || rep.Eligible != 0 {
+		t.Fatalf("round 1: %+v, want eligible=0 self-outage", rep)
+	}
+	if got := s.Report().SelfOutages; got != 2 {
+		t.Fatalf("SelfOutages = %d, want 2", got)
+	}
+}
+
+// fleetTranscript runs a fixed degraded-fleet campaign and renders every
+// round's full output as a string, for byte-identity comparisons.
+func fleetTranscript(t *testing.T) string {
+	t.Helper()
+	specs := []Spec{
+		simSpec("v0", deadResponder()),
+		errSpec("v1"),
+		simSpec("v2", aliveResponder()),
+		simSpec("v3", aliveResponder()),
+	}
+	s, err := New(specs, baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for r := 0; r < 6; r++ {
+		rd, rep, err := s.ScanRound(context.Background(), r, roundAt(r), truthPrev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "round %d rep %+v\n", r, *rep)
+		if rd == nil {
+			fmt.Fprintf(&b, "  self-outage\n")
+			continue
+		}
+		fmt.Fprintf(&b, "  probed %d/%d partial %v recvdead %v\n",
+			rd.Probed, rd.ShardTargets, rd.Partial, rd.RecvDead)
+		for bi := range rd.Blocks {
+			fmt.Fprintf(&b, "  block %d resp %d\n", bi, rd.Blocks[bi].RespCount)
+		}
+	}
+	fmt.Fprintf(&b, "campaign %+v\n", s.Report())
+	return b.String()
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	t.Setenv("COUNTRYMON_WORKERS", "1")
+	serial := fleetTranscript(t)
+	t.Setenv("COUNTRYMON_WORKERS", "8")
+	wide := fleetTranscript(t)
+	if serial != wide {
+		t.Fatalf("fleet output depends on COUNTRYMON_WORKERS:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", serial, wide)
+	}
+}
+
+func TestSingleVantageMatchesDirectScan(t *testing.T) {
+	// A one-vantage fleet with nothing to corroborate must reproduce a
+	// direct scanner run bit for bit.
+	cfg := baseConfig(t)
+	s, err := New([]Spec{simSpec("v0", aliveResponder())}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, _, err := s.ScanRound(context.Background(), 0, campaignStart, truthPrev)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net := simnet.New(netmodel.MustParseAddr("203.0.113.1"), aliveResponder(), campaignStart)
+	direct := cfg.Scan
+	direct.Epoch = 1
+	direct.Clock = net
+	want, err := scanner.New(net, direct).RunContext(context.Background(), cfg.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rd.Blocks) != len(want.Blocks) {
+		t.Fatalf("block count %d != %d", len(rd.Blocks), len(want.Blocks))
+	}
+	for bi := range want.Blocks {
+		if rd.Blocks[bi].RespCount != want.Blocks[bi].RespCount {
+			t.Fatalf("block %d: fleet %d direct %d", bi,
+				rd.Blocks[bi].RespCount, want.Blocks[bi].RespCount)
+		}
+	}
+	if rd.Probed != want.Probed || rd.ShardTargets != want.ShardTargets {
+		t.Fatalf("probed/targets (%d/%d) != (%d/%d)",
+			rd.Probed, rd.ShardTargets, want.Probed, want.ShardTargets)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("no vantages accepted")
+	}
+	if _, err := New([]Spec{{Name: "x"}}, Config{Targets: testTargets(t)}); err == nil {
+		t.Error("missing transport factory accepted")
+	}
+	dup := []Spec{simSpec("a", aliveResponder()), simSpec("a", aliveResponder())}
+	if _, err := New(dup, Config{Targets: testTargets(t)}); err == nil {
+		t.Error("duplicate vantage names accepted")
+	}
+	if _, err := New([]Spec{simSpec("a", aliveResponder())}, Config{}); err == nil {
+		t.Error("missing targets accepted")
+	}
+}

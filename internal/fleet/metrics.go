@@ -1,0 +1,28 @@
+package fleet
+
+import "countrymon/internal/obs"
+
+// metrics are the supervisor's instruments. All fields are nil — inert —
+// without a registry.
+type metrics struct {
+	health      *obs.GaugeVec // fleet_vantage_health{vantage}, health EWMA in permille
+	transitions *obs.CounterVec
+	steals      *obs.Counter
+	degraded    *obs.Counter
+	selfOutages *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		health: reg.GaugeVec("fleet_vantage_health",
+			"Per-vantage heartbeat health EWMA, in permille.", "vantage"),
+		transitions: reg.CounterVec("fleet_breaker_transitions_total",
+			"Vantage circuit-breaker transitions, by target state.", "to"),
+		steals: reg.Counter("fleet_steals_total",
+			"Shards reassigned to a healthy vantage after their owner failed mid-round."),
+		degraded: reg.Counter("fleet_rounds_degraded_total",
+			"Rounds that ran below quorum or left a shard uncovered."),
+		selfOutages: reg.Counter("fleet_self_outages_total",
+			"Rounds with no usable vantage at all (self-outage, not target outage)."),
+	}
+}

@@ -25,7 +25,11 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		switch {
 		case f.labels != nil:
 			for _, ch := range children {
-				fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(f.labels, ch.values), ch.c.Value())
+				if f.kind == kindGauge {
+					fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(f.labels, ch.values), ch.g.Value())
+				} else {
+					fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(f.labels, ch.values), ch.c.Value())
+				}
 			}
 		case f.kind == kindCounter:
 			fmt.Fprintf(w, "%s %d\n", f.name, f.counter.Value())
@@ -62,10 +66,12 @@ func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// jsonSeries is one labeled sample in the JSON export.
+// jsonSeries is one labeled sample in the JSON export: counter children
+// carry `value`, gauge children carry `gauge`.
 type jsonSeries struct {
 	Labels map[string]string `json:"labels"`
-	Value  uint64            `json:"value"`
+	Value  *uint64           `json:"value,omitempty"`
+	Gauge  *int64            `json:"gauge,omitempty"`
 }
 
 // jsonMetric is one metric family in the JSON export.
@@ -92,7 +98,15 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 					for i, n := range f.labels {
 						labels[n] = ch.values[i]
 					}
-					m.Series = append(m.Series, jsonSeries{Labels: labels, Value: ch.c.Value()})
+					s := jsonSeries{Labels: labels}
+					if f.kind == kindGauge {
+						g := ch.g.Value()
+						s.Gauge = &g
+					} else {
+						v := ch.c.Value()
+						s.Value = &v
+					}
+					m.Series = append(m.Series, s)
 				}
 			case f.kind == kindCounter:
 				v := f.counter.Value()

@@ -185,6 +185,33 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return ch.c
 }
 
+// GaugeVec is a labeled gauge family: one instantaneous value per label
+// combination (e.g. a health score per vantage). With resolves a label
+// combination to its Gauge; resolve once at setup and keep the pointer.
+type GaugeVec struct {
+	fam *family
+}
+
+// With returns the gauge for the given label values (created on first use).
+// It returns nil — a valid, inert Gauge receiver — on a nil vec or a
+// label-arity mismatch.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil || len(values) != len(v.fam.labels) {
+		return nil
+	}
+	key := strings.Join(values, "\x00")
+	f := v.fam
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch, ok := f.children[key]
+	if !ok {
+		ch = &child{values: append([]string(nil), values...), g: &Gauge{}}
+		f.children[key] = ch
+		f.childOrder = append(f.childOrder, key)
+	}
+	return ch.g
+}
+
 // metric kinds, mirrored in the export formats.
 const (
 	kindCounter = "counter"
@@ -208,9 +235,12 @@ type family struct {
 	childOrder []string
 }
 
+// child is one label combination of a family; exactly one of c/g is set,
+// matching the family's kind.
 type child struct {
 	values []string
 	c      *Counter
+	g      *Gauge
 }
 
 // Registry holds named metric families in registration order. Registration
@@ -296,6 +326,18 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 			labels: append([]string(nil), labels...), children: make(map[string]*child)}
 	})
 	return &CounterVec{fam: f}
+}
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	f := r.register(name, kindGauge, labels, func() *family {
+		return &family{name: name, help: help, kind: kindGauge,
+			labels: append([]string(nil), labels...), children: make(map[string]*child)}
+	})
+	return &GaugeVec{fam: f}
 }
 
 // Names returns the registered metric names in registration order.

@@ -99,6 +99,59 @@ func TestCounterVec(t *testing.T) {
 	}
 }
 
+func TestGaugeVec(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.GaugeVec("test_health", "", "vantage")
+	a := v.With("v0")
+	a.Set(750)
+	if v.With("v0") != a {
+		t.Fatal("same labels resolved to a different gauge")
+	}
+	v.With("v1").Set(-3)
+	if a.Value() != 750 || v.With("v1").Value() != -3 {
+		t.Fatalf("gauge children = %d, %d", a.Value(), v.With("v1").Value())
+	}
+	if v.With("v0", "extra") != nil {
+		t.Fatal("label-arity mismatch did not return nil")
+	}
+	var nilVec *GaugeVec
+	nilVec.With("x").Set(1) // must not panic
+
+	var prom strings.Builder
+	reg.WritePrometheus(&prom)
+	for _, want := range []string{
+		"# TYPE test_health gauge",
+		`test_health{vantage="v0"} 750`,
+		`test_health{vantage="v1"} -3`,
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prometheus export missing %q\n%s", want, prom.String())
+		}
+	}
+
+	var buf strings.Builder
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]struct {
+		Type   string `json:"type"`
+		Series []struct {
+			Labels map[string]string `json:"labels"`
+			Gauge  *int64            `json:"gauge"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	m := out["test_health"]
+	if m.Type != "gauge" || len(m.Series) != 2 {
+		t.Fatalf("test_health = %+v", m)
+	}
+	if m.Series[0].Gauge == nil || *m.Series[0].Gauge != 750 || m.Series[0].Labels["vantage"] != "v0" {
+		t.Fatalf("gauge series = %+v", m.Series)
+	}
+}
+
 func TestNilInstrumentsAreInert(t *testing.T) {
 	var (
 		c *Counter

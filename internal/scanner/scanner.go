@@ -294,7 +294,7 @@ func (s *Scanner) RunContext(ctx context.Context, targets *TargetSet) (*RoundDat
 	rd := &RoundData{
 		Targets:      targets,
 		Blocks:       make([]BlockResult, targets.NumBlocks()),
-		ShardTargets: shardLen(targets.Len(), cfg.Shard, cfg.Shards),
+		ShardTargets: ShardLen(targets.Len(), cfg.Shard, cfg.Shards),
 	}
 	for i := range rd.Blocks {
 		rd.Blocks[i].Block = targets.Blocks()[i]
@@ -320,9 +320,10 @@ func (s *Scanner) RunContext(ctx context.Context, targets *TargetSet) (*RoundDat
 	return rd, r.abortState()
 }
 
-// shardLen is how many of the n permuted indices shard receives: every
-// shards-th emitted element starting at offset shard.
-func shardLen(n uint64, shard, shards int) int {
+// ShardLen is how many of the n permuted indices shard receives: every
+// shards-th emitted element starting at offset shard. Fleet supervisors use
+// it to account for the coverage hole an unscanned shard leaves behind.
+func ShardLen(n uint64, shard, shards int) int {
 	if uint64(shard) >= n {
 		return 0
 	}

@@ -1,0 +1,117 @@
+package signals
+
+import (
+	"strings"
+	"testing"
+
+	"countrymon/internal/obs"
+)
+
+func v(name string, resp int, weight float64, full bool) VantageVerdict {
+	return VantageVerdict{Vantage: name, Resp: resp, Weight: weight, Full: full}
+}
+
+func TestFuseBlock(t *testing.T) {
+	cases := []struct {
+		name     string
+		prev     int
+		merged   int
+		verdicts []VantageVerdict
+		quorum   int
+		wantResp int
+		wantOut  FuseOutcome
+	}{
+		{
+			name: "full alive evidence overrides a sick vantage's zeros",
+			prev: 40, merged: 27,
+			verdicts: []VantageVerdict{
+				v("v0", 0, 1, false), // stalled: its stratum read all-dark
+				v("v1", 40, 1, true), v("v2", 40, 1, true),
+			},
+			quorum: 2, wantResp: 40, wantOut: FuseAlive,
+		},
+		{
+			name: "sample-only alive evidence keeps the merged count",
+			prev: 40, merged: 27,
+			verdicts: []VantageVerdict{
+				v("v0", 0, 1, false), v("v1", 13, 1, false), v("v2", 14, 1, false),
+			},
+			quorum: 2, wantResp: 27, wantOut: FuseAlive,
+		},
+		{
+			name: "unanimous dark reaches quorum",
+			prev: 40, merged: 0,
+			verdicts: []VantageVerdict{
+				v("v0", 0, 1, true), v("v1", 0, 1, true), v("v2", 0, 1, true),
+			},
+			quorum: 2, wantResp: 0, wantOut: FuseDown,
+		},
+		{
+			name: "low-coverage dark votes fall short and hold the belief",
+			prev: 40, merged: 0,
+			verdicts: []VantageVerdict{
+				v("v0", 0, 0.5, true), v("v1", 0, 0.6, true), v("v2", 0, 0.5, true),
+			},
+			quorum: 2, wantResp: 40, wantOut: FuseHeld,
+		},
+		{
+			name: "single healthy vantage: effective quorum shrinks to 1",
+			prev: 40, merged: 0,
+			verdicts: []VantageVerdict{v("v0", 0, 1, true)},
+			quorum:   2, wantResp: 0, wantOut: FuseDown,
+		},
+		{
+			name: "full verdict supersedes the same vantage's dark sample",
+			prev: 40, merged: 0,
+			verdicts: []VantageVerdict{
+				v("v0", 0, 1, false), v("v0", 40, 1, true), v("v1", 0, 1, true),
+			},
+			quorum: 2, wantResp: 40, wantOut: FuseAlive,
+		},
+		{
+			name: "no verdicts at all holds the belief",
+			prev: 40, merged: 0, verdicts: nil,
+			quorum: 2, wantResp: 40, wantOut: FuseHeld,
+		},
+		{
+			name: "alive never exceeds truth: merged beats a lossy re-probe",
+			prev: 40, merged: 38,
+			verdicts: []VantageVerdict{v("v0", 35, 1, true), v("v1", 0, 1, true)},
+			quorum:   2, wantResp: 38, wantOut: FuseAlive,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, out := FuseBlock(tc.prev, tc.merged, tc.verdicts, tc.quorum)
+			if resp != tc.wantResp || out != tc.wantOut {
+				t.Fatalf("FuseBlock = (%d, %v), want (%d, %v)", resp, out, tc.wantResp, tc.wantOut)
+			}
+		})
+	}
+}
+
+func TestFusionMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewFusionMetrics(reg)
+	m.Observe(FuseAlive)
+	m.Observe(FuseAlive)
+	m.Observe(FuseDown)
+	m.Observe(FuseHeld)
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	for _, want := range []string{
+		`signals_fusion_total{outcome="alive"} 2`,
+		`signals_fusion_total{outcome="down"} 1`,
+		`signals_fusion_total{outcome="held"} 1`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("missing %q in\n%s", want, b.String())
+		}
+	}
+	// Nil metrics are inert.
+	var nilM *FusionMetrics
+	nilM.Observe(FuseDown)
+	if FuseDown.String() != "down" || FuseAlive.String() != "alive" || FuseHeld.String() != "held" {
+		t.Error("FuseOutcome names wrong")
+	}
+}
