@@ -4,7 +4,7 @@ GO ?= go
 # baseline default), bump to e.g. 3s for stable timing comparisons.
 BENCHTIME ?= 1x
 
-.PHONY: all build test race vet fmt bench bench-smoke bench-diff fuzz-smoke chaos-smoke metrics-lint ci
+.PHONY: all build test race vet fmt bench bench-smoke bench-diff bench-gate fuzz-smoke chaos-smoke metrics-lint ci
 
 all: build
 
@@ -29,9 +29,16 @@ fmt:
 # Record a benchmark baseline: every benchmark (including the workers=1 vs
 # workers=all scaling pairs) with memory stats, converted to JSON keyed by
 # benchmark name. Compare BENCH_baseline.json across commits / machines.
+# The headline benchmarks are then re-recorded exactly as bench-gate will
+# measure them — same benchtime, one test binary at a time — and merged over
+# the 1x numbers, so gate comparisons are like-for-like.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) ./... \
 		| $(GO) run ./cmd/benchjson > BENCH_baseline.json
+	$(GO) test -run '^$$' -bench '$(GATE_BENCH_RE)' -benchmem -benchtime=$(GATE_BENCHTIME) -p 1 $(GATE_PKGS) \
+		> /tmp/bench_headline.txt
+	$(GO) run ./cmd/benchjson -merge BENCH_baseline.json < /tmp/bench_headline.txt > BENCH_baseline.json.tmp
+	mv BENCH_baseline.json.tmp BENCH_baseline.json
 	@echo "wrote BENCH_baseline.json"
 
 # One-iteration pass over every benchmark: catches bit-rot in the bench
@@ -48,6 +55,22 @@ bench-diff:
 		| $(GO) run ./cmd/benchjson > /tmp/bench_current.json
 	$(GO) run ./cmd/benchjson -diff BENCH_baseline.json /tmp/bench_current.json
 
+# Fatal headline-metric gate: re-run only the benchmarks behind the headline
+# numbers (scan throughput, streaming fold, codec round-trip) with enough
+# iterations to be stable — one test binary at a time (-p 1), so package
+# runs never contend for CPU — then fail on a >20% regression against the
+# committed baseline. Complements bench-diff, which surveys everything but
+# only advises.
+GATE_BENCHTIME ?= 0.5s
+GATE_BENCH_RE = ^(BenchmarkScanRound|BenchmarkFoldRound|BenchmarkStoreWriteTo|BenchmarkStoreReadFrom)$$
+GATE_PKGS = . ./internal/dataset ./internal/signals
+GATE_HEADLINES = probes_per_sec,rounds_per_sec,BenchmarkStoreWriteTo:ns_per_op,BenchmarkStoreReadFrom:ns_per_op
+bench-gate:
+	$(GO) test -run '^$$' -bench '$(GATE_BENCH_RE)' -benchmem -benchtime=$(GATE_BENCHTIME) -p 1 $(GATE_PKGS) \
+		> /tmp/bench_gate.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench_gate.txt > /tmp/bench_gate.json
+	$(GO) run ./cmd/benchjson -gate -headline '$(GATE_HEADLINES)' BENCH_baseline.json /tmp/bench_gate.json
+
 # Seeded chaos soak: a three-vantage fleet campaign with scripted blackout,
 # stall and flap windows against individual vantages, asserting zero false
 # block-outage declarations against the sim ground truth plus determinism
@@ -60,14 +83,17 @@ chaos-smoke:
 metrics-lint:
 	$(GO) run ./cmd/metricslint
 
-# Short native-fuzz smoke over the packet parsers: a few seconds each is
-# enough to exercise the mutator beyond the seed corpus in CI.
+# Short native-fuzz smoke over the packet parsers and the columnar codecs:
+# a few seconds each is enough to exercise the mutator beyond the seed
+# corpus in CI.
 fuzz-smoke:
 	$(GO) test ./internal/icmp -fuzz '^FuzzParseIPv4$$' -fuzztime 5s -run '^$$'
 	$(GO) test ./internal/icmp -fuzz '^FuzzParseICMP$$' -fuzztime 5s -run '^$$'
+	$(GO) test ./internal/dataset -fuzz '^FuzzRLE$$' -fuzztime 5s -run '^$$'
+	$(GO) test ./internal/dataset -fuzz '^FuzzColumnV4$$' -fuzztime 5s -run '^$$'
 
 # The full gate: formatting, static analysis, the metric-catalogue check,
 # tests, the race detector, the benchmark smoke run, the fuzz smoke, the
-# chaos soak, and the (non-fatal) bench diff.
-ci: fmt vet metrics-lint test race bench-smoke fuzz-smoke chaos-smoke
+# chaos soak, the fatal headline-metric gate, and the (non-fatal) bench diff.
+ci: fmt vet metrics-lint test race bench-smoke fuzz-smoke chaos-smoke bench-gate
 	-$(MAKE) bench-diff

@@ -7,12 +7,25 @@
 // metrics reported via b.ReportMetric (e.g. the experiment metrics the
 // benchmark harness re-exports). Non-benchmark lines (goos/pkg banners,
 // PASS/ok) are echoed to stderr so they stay visible when stdout is a file.
+// With -merge base.json the parsed entries overlay the existing baseline
+// instead of replacing it — how `make bench` re-records the headline
+// benchmarks at the gate's (longer) benchtime so gate comparisons are
+// like-for-like.
 //
 // With -diff old.json new.json it instead compares two baselines: per
 // benchmark, the ns/op and allocs/op deltas are printed, regressions worse
 // than -threshold (default 20%) are flagged, and the exit status is 1 when
 // any benchmark regressed — wired as a non-fatal CI step so the perf
 // trajectory stays visible per PR without blocking on noisy hosts.
+//
+// With -gate old.json new.json only the named -headline metrics are
+// checked, and the check is meant to be fatal in CI: a headline metric that
+// regressed beyond -threshold — or disappeared from the new baseline —
+// exits 1. Each comma-separated headline is either a bare custom-metric
+// name ("probes_per_sec", matched in every benchmark that reports it;
+// metrics ending in _per_sec are higher-is-better, all others
+// lower-is-better) or "Benchmark:metric" pinning one benchmark's metric,
+// where metric may also be ns_per_op or allocs_per_op.
 package main
 
 import (
@@ -37,13 +50,20 @@ type entry struct {
 
 func main() {
 	diff := flag.Bool("diff", false, "compare two baseline files (old.json new.json) instead of converting stdin")
+	gate := flag.Bool("gate", false, "fail (exit 1) when a -headline metric regressed beyond -threshold between old.json and new.json")
+	headline := flag.String("headline", "probes_per_sec,rounds_per_sec",
+		"comma-separated headline metrics for -gate: bare metric name or Benchmark:metric")
 	threshold := flag.Float64("threshold", 0.20, "regression fraction that fails the diff (0.20 = 20% worse)")
+	mergePath := flag.String("merge", "", "overlay the parsed entries onto this existing baseline before emitting")
 	flag.Parse()
 
-	if *diff {
+	if *diff || *gate {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -diff old.json new.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff|-gate old.json new.json")
 			os.Exit(2)
+		}
+		if *gate {
+			os.Exit(runGate(flag.Arg(0), flag.Arg(1), *headline, *threshold))
 		}
 		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *threshold))
 	}
@@ -67,6 +87,17 @@ func main() {
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *mergePath != "" {
+		base, err := loadBaseline(*mergePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		for n, e := range results {
+			base[n] = e
+		}
+		results = base
 	}
 	names := make([]string, 0, len(results))
 	for n := range results {
@@ -155,6 +186,96 @@ func runDiff(oldPath, newPath string, threshold float64) int {
 		return 1
 	}
 	return 0
+}
+
+// runGate checks only the named headline metrics, fatally: exit 1 when any
+// regressed beyond the threshold or vanished from the new baseline, exit 0
+// otherwise. Unlike runDiff, which surveys everything advisorily, the gate
+// is the small set of numbers the project refuses to lose.
+func runGate(oldPath, newPath, headlines string, threshold float64) int {
+	oldB, err := loadBaseline(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newB, err := loadBaseline(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	names := make([]string, 0, len(newB))
+	for n := range newB {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	failures, checked := 0, 0
+	fmt.Printf("%-72s %14s %14s %8s\n", "headline", "old", "new", "change")
+	for _, spec := range strings.Split(headlines, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		bench, metric := "", spec
+		if i := strings.Index(spec, ":"); i >= 0 {
+			bench, metric = spec[:i], spec[i+1:]
+		}
+		higherBetter := strings.HasSuffix(metric, "_per_sec")
+		matched := 0
+		for _, n := range names {
+			if bench != "" && n != bench {
+				continue
+			}
+			nv, ok := metricValue(newB[n], metric)
+			if !ok {
+				continue
+			}
+			matched++
+			label := n + ":" + metric
+			ov, ok := float64(0), false
+			if oe := oldB[n]; oe != nil {
+				ov, ok = metricValue(oe, metric)
+			}
+			if !ok {
+				fmt.Printf("%-72s %14s %14.1f %8s  [new]\n", label, "-", nv, "-")
+				continue
+			}
+			reg := delta(ov, nv)
+			if higherBetter {
+				reg = -reg
+			}
+			checked++
+			flag := ""
+			if reg > threshold {
+				flag = fmt.Sprintf("  [FAIL >%d%%]", int(threshold*100))
+				failures++
+			}
+			fmt.Printf("%-72s %14.1f %14.1f %+7.1f%%%s\n", label, ov, nv, 100*delta(ov, nv), flag)
+		}
+		if matched == 0 {
+			fmt.Printf("%-72s  [FAIL: missing from %s]\n", spec, newPath)
+			failures++
+		}
+	}
+	fmt.Printf("\n%d headline metrics checked, %d failed\n", checked, failures)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// metricValue resolves a headline metric name against one entry: the
+// built-in ns_per_op / allocs_per_op fields or a custom b.ReportMetric unit.
+func metricValue(e *entry, metric string) (float64, bool) {
+	switch metric {
+	case "ns_per_op":
+		return e.NsPerOp, e.NsPerOp != 0
+	case "allocs_per_op":
+		return e.AllocsPerOp, true
+	default:
+		v, ok := e.Metrics[metric]
+		return v, ok
+	}
 }
 
 // delta returns (new-old)/old, treating a missing (zero) old value as "no

@@ -49,6 +49,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "scenario seed")
 	save := flag.String("save", "", "write the generated dataset to this file")
 	load := flag.String("load", "", "load a dataset instead of generating")
+	lazy := flag.Bool("lazy", false, "open -load lazily: v4 resp columns decode on first touch")
 	packetRounds := flag.Int("packet-rounds", 0, "additionally run N packet-level scan rounds through the real scanner")
 	parallel := flag.Int("parallel", 1, "in-process scan shards per packet-level round (COUNTRYMON_WORKERS caps workers)")
 	vantages := flag.Int("vantages", 0, "run packet-level rounds over a supervised fleet of N vantages")
@@ -85,7 +86,11 @@ func main() {
 	var store *dataset.Store
 	if *load != "" {
 		var err error
-		store, err = dataset.Load(*load)
+		if *lazy {
+			store, err = dataset.OpenLazy(*load)
+		} else {
+			store, err = dataset.Load(*load)
+		}
 		if err != nil {
 			log.Fatalf("load: %v", err)
 		}

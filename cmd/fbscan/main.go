@@ -29,7 +29,8 @@
 //	fbscan [-mode sim|udp] [-rate 8000] [-at 2022-05-01T12:00:00Z]
 //	       [-seed 1] [-scale 0.05] [-faults spec] [-rounds N]
 //	       [-vantages N] [-quorum k] [-vantage-faults "spec;spec;..."]
-//	       [-checkpoint file] [-resume file] [-min-coverage 0.8]
+//	       [-checkpoint file] [-resume file] [-roundlog file]
+//	       [-stream-signals] [-min-coverage 0.8]
 //	       [-metrics :9090] [cidr ...]
 //
 // Exit codes:
@@ -97,6 +98,8 @@ func main() {
 	interval := flag.Duration("interval", 2*time.Hour, "campaign probing interval")
 	checkpoint := flag.String("checkpoint", "", "campaign checkpoint file (atomic, written periodically)")
 	resume := flag.String("resume", "", "resume a killed campaign from this checkpoint file")
+	roundLog := flag.String("roundlog", "", "append-only per-round journal (replayed over the checkpoint on restart)")
+	streamSignals := flag.Bool("stream-signals", false, "fold each round into warm signal series instead of rebuilding on every query")
 	minCov := flag.Float64("min-coverage", 0.8, "round coverage below this fraction is a failure")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /events on this address (e.g. :9090)")
 	flag.Parse()
@@ -169,12 +172,13 @@ func main() {
 			log.Fatal("campaign mode (-rounds > 1) requires -mode sim")
 		}
 		runCampaign(sc, prefixes, exclude, at, prof, injecting,
-			*rounds, *interval, *rate, *seed, *checkpoint, *resume, *minCov,
+			*rounds, *interval, *rate, *seed, *checkpoint, *resume, *roundLog,
+			*streamSignals, *minCov,
 			*parallel, *batch, *pipeline, *vantages, *quorum, *vantageFaults, reg, bus)
 		return
 	}
-	if *checkpoint != "" || *resume != "" {
-		log.Fatal("-checkpoint/-resume need campaign mode (-rounds > 1)")
+	if *checkpoint != "" || *resume != "" || *roundLog != "" {
+		log.Fatal("-checkpoint/-resume/-roundlog need campaign mode (-rounds > 1)")
 	}
 	if *vantages > 0 {
 		log.Fatal("-vantages needs campaign mode (-rounds > 1)")
@@ -335,7 +339,8 @@ func (c *vclock) Sleep(d time.Duration) {
 // boundary after a final checkpoint.
 func runCampaign(sc *sim.Scenario, prefixes, exclude []netmodel.Prefix, at time.Time,
 	prof faults.Profile, injecting bool, rounds int, interval time.Duration,
-	rate int, seed uint64, checkpoint, resume string, minCov float64,
+	rate int, seed uint64, checkpoint, resume, roundLog string,
+	streamSignals bool, minCov float64,
 	parallel, batch int, pipeline bool, vantages, quorum int, vantageFaults string,
 	reg *obs.Registry, bus *obs.Bus) {
 
@@ -345,6 +350,7 @@ func runCampaign(sc *sim.Scenario, prefixes, exclude []netmodel.Prefix, at time.
 		Start: at, Rounds: rounds, Interval: interval,
 		Rate: rate, Seed: seed,
 		CheckpointPath: checkpoint, ResumeFrom: resume,
+		RoundLogPath: roundLog, StreamSignals: streamSignals,
 		MinCoverage: minCov,
 		Batch:       batch, Pipelined: pipeline,
 		Registry: reg, Bus: bus,
@@ -418,6 +424,9 @@ func runCampaign(sc *sim.Scenario, prefixes, exclude []netmodel.Prefix, at time.
 		opts.Transport = tr
 	}
 	mon, err := countrymon.New(opts)
+	if err == nil {
+		defer mon.Close()
+	}
 	if err != nil {
 		var mm *countrymon.ResumeMismatchError
 		if errors.As(err, &mm) {

@@ -201,6 +201,19 @@ type Options struct {
 	// Zero means signals.DefaultMinCoverage; negative disables the gate.
 	MinCoverage float64
 
+	// StreamSignals keeps derived signal series warm across the campaign:
+	// instead of rebuilding every queried series from scratch after each
+	// round, the monitor folds the new round into the already-built series
+	// at O(blocks) per round (signals.NewStreamingBuilder). Per-query
+	// results are byte-identical to the batch path.
+	StreamSignals bool
+	// RoundLogPath enables the append-only per-round journal: each handled
+	// round is appended (one durable O(blocks) write) as it lands, and on
+	// startup any rounds in an existing journal that the checkpoint missed
+	// are replayed into the store before scanning resumes. Complements —
+	// does not replace — CheckpointPath snapshots.
+	RoundLogPath string
+
 	// Registry, when non-nil, receives the monitor's, scanner's and signal
 	// pipeline's live metrics (round outcomes, durations, coverage,
 	// checkpoint latency, probe/reply counters — see the README's metric
@@ -244,6 +257,10 @@ type Monitor struct {
 	sigOnce  bool
 	sigBuild *signals.Builder
 	space    *netmodel.Space
+
+	// roundLog is the append-only per-round journal (nil without
+	// Options.RoundLogPath).
+	roundLog *dataset.RoundLog
 
 	classifier     *regional.Classifier
 	classification *regional.Result
@@ -327,14 +344,21 @@ func New(opts Options) (*Monitor, error) {
 		if err := m.resume(opts.ResumeFrom); err != nil {
 			return nil, err
 		}
-		// Re-derive the fleet's previous belief: the latest resumed round
-		// that actually carries scan data.
-		for r := m.round - 1; r >= 0; r-- {
-			if m.store.Done(r) && !m.store.Missing(r) {
-				m.lastDataRound = r
-				break
-			}
+	}
+	if opts.RoundLogPath != "" {
+		if err := m.attachRoundLog(); err != nil {
+			return nil, err
 		}
+	}
+	// Re-derive the fleet's previous belief: the latest recovered round
+	// (from checkpoint and/or journal) that actually carries scan data.
+	for r := m.round - 1; r >= 0; r-- {
+		if m.store.Done(r) && !m.store.Missing(r) {
+			m.lastDataRound = r
+			break
+		}
+	}
+	if opts.ResumeFrom != "" {
 		m.metrics.resumeRound.Set(int64(m.round))
 		m.emit("resume", func() map[string]any {
 			return map[string]any{"round": m.round, "path": opts.ResumeFrom}
@@ -344,6 +368,49 @@ func New(opts Options) (*Monitor, error) {
 		m.origins[b] = asn
 	}
 	return m, nil
+}
+
+// attachRoundLog replays any existing journal at Options.RoundLogPath over
+// the store — recovering rounds the last checkpoint missed — and opens it
+// for appending.
+func (m *Monitor) attachRoundLog() error {
+	path := m.opts.RoundLogPath
+	if _, err := os.Stat(path); err == nil {
+		if _, err := dataset.ReplayRoundLog(m.store, path); err != nil {
+			return fmt.Errorf("countrymon: round log replay: %w", err)
+		}
+		m.round = m.store.NextUndone()
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("countrymon: round log: %w", err)
+	}
+	rl, err := dataset.OpenRoundLog(path, m.store)
+	if err != nil {
+		return fmt.Errorf("countrymon: round log: %w", err)
+	}
+	m.roundLog = rl
+	return nil
+}
+
+// Close releases campaign resources (currently the round log). The monitor
+// must not be used afterwards.
+func (m *Monitor) Close() error {
+	if m.roundLog != nil {
+		err := m.roundLog.Close()
+		m.roundLog = nil
+		return err
+	}
+	return nil
+}
+
+// journalRound appends the just-handled round to the round log, if enabled.
+func (m *Monitor) journalRound(round int) error {
+	if m.roundLog == nil {
+		return nil
+	}
+	if err := m.roundLog.Append(m.store, round); err != nil {
+		return fmt.Errorf("countrymon: round log: %w", err)
+	}
+	return nil
 }
 
 // resume replaces the fresh store with a checkpointed one and positions the
@@ -408,7 +475,10 @@ func (m *Monitor) MarkMissing() error {
 	m.emit("round_missing", func() map[string]any {
 		return map[string]any{"round": round, "reason": "vantage"}
 	})
-	m.invalidate()
+	if err := m.journalRound(round); err != nil {
+		return err
+	}
+	m.foldRound(round)
 	m.round++
 	return m.maybeCheckpoint()
 }
@@ -473,7 +543,10 @@ func (m *Monitor) ScanRoundContext(ctx context.Context) (Stats, error) {
 			m.emit("round_missing", func() map[string]any {
 				return map[string]any{"round": round, "reason": "fleet_self_outage"}
 			})
-			m.invalidate()
+			if err := m.journalRound(round); err != nil {
+				return Stats{}, err
+			}
+			m.foldRound(round)
 			m.round++
 			if err := m.maybeCheckpoint(); err != nil {
 				return Stats{}, err
@@ -532,7 +605,10 @@ func (m *Monitor) ScanRoundContext(ctx context.Context) (Stats, error) {
 		}
 		return f
 	})
-	m.invalidate()
+	if err := m.journalRound(round); err != nil {
+		return rd.Stats, err
+	}
+	m.foldRound(round)
 	m.round++
 	if err := m.maybeCheckpoint(); err != nil {
 		return rd.Stats, err
@@ -637,14 +713,16 @@ func (m *Monitor) ApplyBGPSnapshot(snap *bgp.Snapshot, round int) {
 	if round >= m.tl.NumRounds() {
 		return
 	}
+	originsChanged := false
 	for bi, blk := range m.store.Blocks() {
 		asn, routed := snap.BlockOrigin[blk]
 		m.store.SetRound(bi, round, m.store.Resp(bi, round), routed)
-		if routed {
+		if routed && m.origins[blk] != asn {
 			m.origins[blk] = asn
+			originsChanged = true
 		}
 	}
-	m.invalidate()
+	m.invalidateFor(round, originsChanged)
 }
 
 // SetRouted marks a block's routedness directly (for pipelines that consume
@@ -655,13 +733,39 @@ func (m *Monitor) SetRouted(blk BlockID, round int, routed bool, origin ASN) {
 		return
 	}
 	m.store.SetRound(bi, round, m.store.Resp(bi, round), routed)
-	if origin != 0 {
+	originsChanged := false
+	if origin != 0 && m.origins[blk] != origin {
 		m.origins[blk] = origin
+		originsChanged = true
+	}
+	m.invalidateFor(round, originsChanged)
+}
+
+func (m *Monitor) invalidate() { m.sigOnce = false }
+
+// foldRound advances a warm streaming builder past the just-handled round,
+// falling back to a full invalidation when streaming is off, no builder is
+// warm yet, or the fold fails.
+func (m *Monitor) foldRound(round int) {
+	if m.opts.StreamSignals && m.sigOnce && m.sigBuild != nil && m.sigBuild.Streaming() {
+		if err := m.sigBuild.Fold(round); err == nil {
+			return
+		}
 	}
 	m.invalidate()
 }
 
-func (m *Monitor) invalidate() { m.sigOnce = false }
+// invalidateFor drops the cached signals builder unless a warm streaming
+// builder can absorb the change: routedness edits at or past the fold cursor
+// land when that round folds, while origin changes alter the AS grouping
+// itself and always force a rebuild.
+func (m *Monitor) invalidateFor(round int, originsChanged bool) {
+	if !originsChanged && m.opts.StreamSignals && m.sigOnce &&
+		m.sigBuild != nil && m.sigBuild.Streaming() && round >= m.sigBuild.NextFold() {
+		return
+	}
+	m.invalidate()
+}
 
 // buildSpace materializes a netmodel.Space from the learned origins.
 func (m *Monitor) buildSpace() *netmodel.Space {
@@ -700,7 +804,11 @@ func (m *Monitor) builder() *signals.Builder {
 		return m.sigBuild
 	}
 	m.space = m.buildSpace()
-	m.sigBuild = signals.NewBuilderMinCoverage(m.store, m.space, m.minCoverage())
+	if m.opts.StreamSignals {
+		m.sigBuild = signals.NewStreamingBuilder(m.store, m.space, m.minCoverage())
+	} else {
+		m.sigBuild = signals.NewBuilderMinCoverage(m.store, m.space, m.minCoverage())
+	}
 	m.sigBuild.Observe(m.sigM)
 	m.sigOnce = true
 	return m.sigBuild

@@ -1,0 +1,210 @@
+package countrymon
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"countrymon/internal/netmodel"
+	"countrymon/internal/signals"
+	"countrymon/internal/simnet"
+)
+
+// streamOpts builds the shared option set of the streaming-signals tests:
+// the standard outage scenario plus whatever durability knobs a variant
+// needs. Each call makes a fresh simnet, so independent runs see identical
+// virtual wire behaviour (rounds are scheduled on the timeline).
+func streamOpts(rounds int, stream bool, roundLog string) Options {
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	outFrom := start.Add(120 * 2 * time.Hour)
+	outTo := outFrom.Add(15 * 2 * time.Hour)
+	net := simnet.New(netmodel.MustParseAddr("198.51.100.1"), outageResponder(40, outFrom, outTo), start)
+	return Options{
+		Transport: net,
+		Targets:   []Prefix{netmodel.MustParsePrefix("91.198.4.0/23")},
+		Start:     start, Rounds: rounds, Interval: 2 * time.Hour,
+		Seed: 7,
+		Origins: map[BlockID]ASN{
+			netmodel.MustParseBlock("91.198.4.0/24"): 25482,
+			netmodel.MustParseBlock("91.198.5.0/24"): 25482,
+		},
+		StreamSignals: stream,
+		RoundLogPath:  roundLog,
+	}
+}
+
+func sameEntitySeries(t *testing.T, label string, want, got *signals.EntitySeries) {
+	t.Helper()
+	if len(want.BGP) != len(got.BGP) {
+		t.Fatalf("%s: %d rounds vs %d", label, len(want.BGP), len(got.BGP))
+	}
+	for r := range want.BGP {
+		if math.Float32bits(want.BGP[r]) != math.Float32bits(got.BGP[r]) ||
+			math.Float32bits(want.FBS[r]) != math.Float32bits(got.FBS[r]) ||
+			math.Float32bits(want.IPS[r]) != math.Float32bits(got.IPS[r]) ||
+			want.Missing[r] != got.Missing[r] {
+			t.Fatalf("%s: round %d: batch (%g, %g, %g) vs stream (%g, %g, %g)", label, r,
+				want.BGP[r], want.FBS[r], want.IPS[r], got.BGP[r], got.FBS[r], got.IPS[r])
+		}
+	}
+	for m := range want.IPSValidMonth {
+		if want.IPSValidMonth[m] != got.IPSValidMonth[m] {
+			t.Fatalf("%s: month %d: IPS validity differs", label, m)
+		}
+	}
+}
+
+// TestMonitorStreamSignalsMatchesBatch runs the same campaign with and
+// without StreamSignals, querying the streaming monitor's signals every
+// round — so each subsequent round folds into a warm builder instead of
+// invalidating it — and requires bit-identical series and detections.
+func TestMonitorStreamSignalsMatchesBatch(t *testing.T) {
+	const rounds = 200
+	run := func(stream bool) *Monitor {
+		mon, err := New(streamOpts(rounds, stream, ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mon.NextRound() {
+			round := mon.Round()
+			for _, blk := range mon.Store().Blocks() {
+				mon.SetRouted(blk, round, true, 25482)
+			}
+			if _, err := mon.ScanRound(); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			if stream {
+				// Query mid-campaign: this materializes the streaming
+				// builder, and MarkMissing/fold keep it warm from here on.
+				if es := mon.ASSeries(25482); es == nil {
+					t.Fatal("nil series")
+				}
+			}
+		}
+		return mon
+	}
+
+	batch := run(false)
+	streamed := run(true)
+
+	sameEntitySeries(t, "AS25482", batch.ASSeries(25482), streamed.ASSeries(25482))
+	sameOutages(t, "DetectAS", streamed.DetectAS(25482).Outages, batch.DetectAS(25482).Outages)
+	if len(batch.DetectAS(25482).Outages) != 1 {
+		t.Fatalf("scenario outages = %+v, want the scripted one", batch.DetectAS(25482).Outages)
+	}
+}
+
+// TestMonitorStreamSignalsWithMissingRounds exercises the fold across
+// MarkMissing rounds: the streaming monitor skips two rounds as vantage
+// outages while keeping its builder warm, and must agree with a batch
+// monitor doing the same.
+func TestMonitorStreamSignalsWithMissingRounds(t *testing.T) {
+	const rounds = 120
+	run := func(stream bool) *Monitor {
+		mon, err := New(streamOpts(rounds, stream, ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mon.NextRound() {
+			round := mon.Round()
+			if round == 50 || round == 51 {
+				if err := mon.MarkMissing(); err != nil {
+					t.Fatal(err)
+				}
+				if stream {
+					mon.ASSeries(25482)
+				}
+				continue
+			}
+			for _, blk := range mon.Store().Blocks() {
+				mon.SetRouted(blk, round, true, 25482)
+			}
+			if _, err := mon.ScanRound(); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			if stream {
+				mon.ASSeries(25482)
+			}
+		}
+		return mon
+	}
+	batch, streamed := run(false), run(true)
+	sameEntitySeries(t, "AS25482", batch.ASSeries(25482), streamed.ASSeries(25482))
+	if !streamed.ASSeries(25482).Missing[50] || !streamed.ASSeries(25482).Missing[51] {
+		t.Fatal("marked rounds not missing in streamed series")
+	}
+}
+
+// TestRoundLogCrashResume kills an un-checkpointed campaign mid-run and
+// resumes it from the round log alone: the journal replay must reposition
+// the cursor exactly where the kill happened (no redone rounds, unlike
+// checkpoint-cadence resume) and the finished store must be byte-identical
+// to an uninterrupted run.
+func TestRoundLogCrashResume(t *testing.T) {
+	const rounds = 60
+	dir := t.TempDir()
+
+	ref, err := New(streamOpts(rounds, true, dir+"/ref.cmrl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRounds(t, ref, -1)
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var refBytes bytes.Buffer
+	if _, err := ref.Store().WriteTo(&refBytes); err != nil {
+		t.Fatal(err)
+	}
+
+	killed, err := New(streamOpts(rounds, true, dir+"/killed.cmrl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRounds(t, killed, 25)
+	if err := killed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := New(streamOpts(rounds, true, dir+"/killed.cmrl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Round() != 25 {
+		t.Fatalf("resumed at round %d, want 25 (journal replays every handled round)", res.Round())
+	}
+	runRounds(t, res, -1)
+	if err := res.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var resBytes bytes.Buffer
+	if _, err := res.Store().WriteTo(&resBytes); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refBytes.Bytes(), resBytes.Bytes()) {
+		t.Fatalf("journal-resumed store differs from uninterrupted run (%d vs %d bytes)",
+			resBytes.Len(), refBytes.Len())
+	}
+	sameOutages(t, "DetectAS after journal resume",
+		res.DetectAS(25482).Outages, ref.DetectAS(25482).Outages)
+}
+
+// TestRoundLogRejectsMismatchedCampaign guards journal validation: a log
+// from a different campaign shape must not be silently adopted.
+func TestRoundLogRejectsMismatchedCampaign(t *testing.T) {
+	dir := t.TempDir()
+	mon, err := New(streamOpts(40, false, dir+"/a.cmrl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRounds(t, mon, 5)
+	if err := mon.Close(); err != nil {
+		t.Fatal(err)
+	}
+	opts := streamOpts(80, false, dir+"/a.cmrl") // different round count
+	if _, err := New(opts); err == nil {
+		t.Fatal("mismatched round log accepted")
+	}
+}

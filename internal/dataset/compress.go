@@ -66,6 +66,39 @@ func rleAppend(dst, src []byte) []byte {
 	return dst
 }
 
+// deltaRLEAppend compresses src onto dst as byte-wise wrapping deltas fed
+// through the RLE above (the v4 column coding). Responsive-count rows are
+// near-constant plateaus with occasional steps, so the delta transform turns
+// them into almost-all-zero streams that collapse into maximal runs.
+// scratch holds the transformed copy between calls (src is not modified).
+func deltaRLEAppend(dst, src []byte, scratch *[]byte) []byte {
+	if cap(*scratch) < len(src) {
+		*scratch = make([]byte, len(src))
+	}
+	d := (*scratch)[:len(src)]
+	var prev byte
+	for i, v := range src {
+		d[i] = v - prev
+		prev = v
+	}
+	return rleAppend(dst, d)
+}
+
+// deltaRLEDecode is the inverse of deltaRLEAppend: RLE-decode into dst, then
+// undo the delta transform with an in-place prefix sum. dst must be exactly
+// the expected length.
+func deltaRLEDecode(dst, src []byte) error {
+	if err := rleDecode(dst, src); err != nil {
+		return err
+	}
+	var prev byte
+	for i := range dst {
+		prev += dst[i]
+		dst[i] = prev
+	}
+	return nil
+}
+
 var errRLECorrupt = errors.New("dataset: corrupt RLE stream")
 
 // rleDecode decompresses src into dst, which must be exactly the expected

@@ -1,0 +1,220 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// RoundLog is an append-only journal of per-round observations, the
+// streaming counterpart of the checkpoint file: a full store snapshot costs
+// O(campaign) per write, the log costs O(blocks) per round. A campaign
+// appends each handled round as it lands; after a crash, replaying the log
+// over the last checkpoint reconstructs every round the snapshot missed.
+//
+// Binary format (little endian):
+//
+//	magic "CMRL" | version u32 | rounds u32 | nblocks u32
+//	records: round u32 | flags u8 (bit0 missing, bit1 done) | coverage u16
+//	         elen u32 | delta+RLE resp column (nblocks bytes decoded)
+//	         routed bitset [(nblocks+63)/64]u64 (bit b = block b routed)
+//
+// Each record is one Write followed by one fsync, so a crash leaves at most
+// one truncated record at the tail — which replay tolerates silently.
+const (
+	roundLogMagic   = "CMRL"
+	roundLogVersion = 1
+)
+
+const roundLogHeaderLen = 4 + 4 + 4 + 4
+
+// RoundLog appends per-round records to a journal file. Not safe for
+// concurrent use; the campaign loop owns it.
+type RoundLog struct {
+	f       *os.File
+	rounds  int
+	nblocks int
+	col     []uint8 // per-round resp column scratch
+	buf     []byte  // record staging buffer
+	scratch []byte  // delta transform scratch
+}
+
+// OpenRoundLog opens (or creates) the journal at path for appending rounds
+// of s. An existing log's header must match the store's dimensions.
+func OpenRoundLog(path string, s *Store) (*RoundLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &RoundLog{
+		f:       f,
+		rounds:  s.tl.NumRounds(),
+		nblocks: s.NumBlocks(),
+		col:     make([]uint8, s.NumBlocks()),
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		hdr := make([]byte, roundLogHeaderLen)
+		copy(hdr, roundLogMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], roundLogVersion)
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(l.rounds))
+		binary.LittleEndian.PutUint32(hdr[12:], uint32(l.nblocks))
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		hdr := make([]byte, roundLogHeaderLen)
+		if _, err := f.ReadAt(hdr, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("dataset: round log header: %w", err)
+		}
+		if err := checkRoundLogHeader(hdr, l.rounds, l.nblocks); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+func checkRoundLogHeader(hdr []byte, rounds, nblocks int) error {
+	if string(hdr[:4]) != roundLogMagic {
+		return fmt.Errorf("dataset: bad round log magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != roundLogVersion {
+		return fmt.Errorf("dataset: unsupported round log version %d", v)
+	}
+	if r := binary.LittleEndian.Uint32(hdr[8:]); int(r) != rounds {
+		return fmt.Errorf("dataset: round log rounds %d != store %d", r, rounds)
+	}
+	if n := binary.LittleEndian.Uint32(hdr[12:]); int(n) != nblocks {
+		return fmt.Errorf("dataset: round log blocks %d != store %d", n, nblocks)
+	}
+	return nil
+}
+
+// Append journals round's state from s: resp column, routedness, missing,
+// done and coverage. One durable write; safe to call again for the same
+// round (replay keeps the last record).
+func (l *RoundLog) Append(s *Store, round int) error {
+	if round < 0 || round >= l.rounds {
+		return fmt.Errorf("dataset: round log append %d out of range", round)
+	}
+	for bi := 0; bi < l.nblocks; bi++ {
+		l.col[bi] = s.respRow(bi)[round]
+	}
+	b := l.buf[:0]
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(round))
+	b = append(b, tmp[:4]...)
+	var flags byte
+	if s.missing[round] {
+		flags |= 1
+	}
+	if s.done[round] {
+		flags |= 2
+	}
+	b = append(b, flags)
+	binary.LittleEndian.PutUint16(tmp[:2], s.coverage[round])
+	b = append(b, tmp[:2]...)
+	lenAt := len(b)
+	b = append(b, 0, 0, 0, 0)
+	b = deltaRLEAppend(b, l.col, &l.scratch)
+	binary.LittleEndian.PutUint32(b[lenAt:], uint32(len(b)-lenAt-4))
+	for base := 0; base < l.nblocks; base += 64 {
+		limit := base + 64
+		if limit > l.nblocks {
+			limit = l.nblocks
+		}
+		var w uint64
+		for bi := base; bi < limit; bi++ {
+			if s.Routed(bi, round) {
+				w |= 1 << (bi - base)
+			}
+		}
+		var wb [8]byte
+		binary.LittleEndian.PutUint64(wb[:], w)
+		b = append(b, wb[:]...)
+	}
+	l.buf = b
+	if _, err := l.f.Write(b); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close closes the journal file.
+func (l *RoundLog) Close() error { return l.f.Close() }
+
+// ReplayRoundLog applies every complete record in the journal at path to s,
+// returning the rounds applied in record order (a round journaled twice is
+// applied twice; the later record wins). A truncated final record — the
+// normal shape of a crash mid-append — is ignored silently; anything else
+// malformed is an error.
+func ReplayRoundLog(s *Store, path string) ([]int, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) == 0 {
+		return nil, nil // created but never written: an empty journal
+	}
+	if len(buf) < roundLogHeaderLen {
+		return nil, fmt.Errorf("dataset: round log too short")
+	}
+	rounds := s.tl.NumRounds()
+	nblocks := s.NumBlocks()
+	if err := checkRoundLogHeader(buf[:roundLogHeaderLen], rounds, nblocks); err != nil {
+		return nil, err
+	}
+	words := (nblocks + 63) / 64
+	col := make([]uint8, nblocks)
+	var applied []int
+	pos := roundLogHeaderLen
+	for pos < len(buf) {
+		if pos+11 > len(buf) {
+			break // truncated tail
+		}
+		round := int(binary.LittleEndian.Uint32(buf[pos:]))
+		flags := buf[pos+4]
+		cov := binary.LittleEndian.Uint16(buf[pos+5:])
+		elen := int(binary.LittleEndian.Uint32(buf[pos+7:]))
+		if elen > 2*nblocks+64 {
+			return applied, fmt.Errorf("dataset: round log: implausible column length %d", elen)
+		}
+		end := pos + 11 + elen + 8*words
+		if end > len(buf) {
+			break // truncated tail
+		}
+		if round >= rounds {
+			return applied, fmt.Errorf("dataset: round log: round %d out of range", round)
+		}
+		if err := deltaRLEDecode(col, buf[pos+11:pos+11+elen]); err != nil {
+			return applied, fmt.Errorf("dataset: round log round %d: %w", round, err)
+		}
+		routed := buf[pos+11+elen : end]
+		for bi := 0; bi < nblocks; bi++ {
+			w := binary.LittleEndian.Uint64(routed[8*(bi/64):])
+			s.SetRound(bi, round, int(col[bi]), w>>(bi%64)&1 == 1)
+		}
+		s.coverage[round] = cov
+		s.missing[round] = flags&1 != 0
+		s.done[round] = flags&2 != 0
+		applied = append(applied, round)
+		pos = end
+	}
+	return applied, nil
+}

@@ -1,0 +1,210 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"countrymon/internal/netmodel"
+	"countrymon/internal/timeline"
+)
+
+func roundLogStore(t testing.TB) *Store {
+	t.Helper()
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	tl := timeline.New(start, start.Add(49*2*time.Hour), 2*time.Hour)
+	blocks := make([]netmodel.BlockID, 70) // two routed words per round
+	for i := range blocks {
+		blocks[i] = netmodel.BlockID(i)
+	}
+	return NewStore(tl, blocks)
+}
+
+// logRound writes one synthetic round into s and journals it.
+func logRound(t *testing.T, l *RoundLog, s *Store, r, salt int) {
+	t.Helper()
+	for bi := 0; bi < s.NumBlocks(); bi++ {
+		s.SetRound(bi, r, (bi*7+r+salt)%11, (bi+r+salt)%5 != 0)
+	}
+	if r%7 == 3 {
+		s.SetCoverage(r, 0.6)
+	}
+	s.SetDone(r)
+	if err := l.Append(s, r); err != nil {
+		t.Fatalf("append %d: %v", r, err)
+	}
+}
+
+func assertRoundEqual(t *testing.T, want, got *Store, r int) {
+	t.Helper()
+	for bi := 0; bi < want.NumBlocks(); bi++ {
+		if got.Resp(bi, r) != want.Resp(bi, r) || got.Routed(bi, r) != want.Routed(bi, r) {
+			t.Fatalf("round %d block %d: (%d,%v) vs (%d,%v)", r, bi,
+				got.Resp(bi, r), got.Routed(bi, r), want.Resp(bi, r), want.Routed(bi, r))
+		}
+	}
+	if got.Missing(r) != want.Missing(r) || got.Done(r) != want.Done(r) ||
+		got.Coverage(r) != want.Coverage(r) {
+		t.Fatalf("round %d: missing/done/coverage (%v,%v,%g) vs (%v,%v,%g)", r,
+			got.Missing(r), got.Done(r), got.Coverage(r),
+			want.Missing(r), want.Done(r), want.Coverage(r))
+	}
+}
+
+func TestRoundLogAppendReplay(t *testing.T) {
+	src := roundLogStore(t)
+	path := filepath.Join(t.TempDir(), "rounds.cmrl")
+	l, err := OpenRoundLog(path, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 10; r++ {
+		logRound(t, l, src, r, 0)
+	}
+	// A vantage-outage round journals too.
+	src.SetMissing(10)
+	if err := l.Append(src, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := roundLogStore(t)
+	applied, err := ReplayRoundLog(dst, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 11 {
+		t.Fatalf("applied %d rounds, want 11", len(applied))
+	}
+	for r := 0; r <= 10; r++ {
+		assertRoundEqual(t, src, dst, r)
+	}
+	if dst.NextUndone() != 11 {
+		t.Fatalf("NextUndone = %d, want 11", dst.NextUndone())
+	}
+}
+
+func TestRoundLogReopenAppendsAndDuplicateWins(t *testing.T) {
+	src := roundLogStore(t)
+	path := filepath.Join(t.TempDir(), "rounds.cmrl")
+	l, err := OpenRoundLog(path, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logRound(t, l, src, 0, 0)
+	logRound(t, l, src, 1, 0)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the header is validated, appends continue at the tail. Round
+	// 1 is re-journaled with different data — replay must keep the last.
+	l, err = OpenRoundLog(path, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logRound(t, l, src, 1, 99)
+	logRound(t, l, src, 2, 0)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := roundLogStore(t)
+	applied, err := ReplayRoundLog(dst, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 4 {
+		t.Fatalf("applied %d records, want 4", len(applied))
+	}
+	for r := 0; r <= 2; r++ {
+		assertRoundEqual(t, src, dst, r)
+	}
+}
+
+func TestRoundLogTruncatedTailTolerated(t *testing.T) {
+	src := roundLogStore(t)
+	path := filepath.Join(t.TempDir(), "rounds.cmrl")
+	l, err := OpenRoundLog(path, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 5; r++ {
+		logRound(t, l, src, r, 0)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-append leaves a partial record at the tail; replay must
+	// apply everything before it and stop silently.
+	for _, cut := range []int{1, 9, 40} {
+		trunc := filepath.Join(t.TempDir(), "trunc.cmrl")
+		if err := os.WriteFile(trunc, raw[:len(raw)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dst := roundLogStore(t)
+		applied, err := ReplayRoundLog(dst, trunc)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(applied) != 4 {
+			t.Fatalf("cut %d: applied %d rounds, want 4", cut, len(applied))
+		}
+		for r := 0; r < 4; r++ {
+			assertRoundEqual(t, src, dst, r)
+		}
+	}
+}
+
+func TestRoundLogValidation(t *testing.T) {
+	src := roundLogStore(t)
+	dir := t.TempDir()
+
+	// Empty file: created but never written — an empty journal, not an error.
+	empty := filepath.Join(dir, "empty.cmrl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if applied, err := ReplayRoundLog(src, empty); err != nil || len(applied) != 0 {
+		t.Fatalf("empty journal: applied=%v err=%v", applied, err)
+	}
+
+	// Dimension mismatch is rejected at open and at replay.
+	path := filepath.Join(dir, "rounds.cmrl")
+	l, err := OpenRoundLog(path, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logRound(t, l, src, 0, 0)
+	if err := l.Append(src, src.Timeline().NumRounds()); err == nil {
+		t.Fatal("out-of-range append accepted")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	other := NewStore(src.Timeline(), src.Blocks()[:32])
+	if _, err := OpenRoundLog(path, other); err == nil {
+		t.Fatal("mismatched store accepted at open")
+	}
+	if _, err := ReplayRoundLog(other, path); err == nil {
+		t.Fatal("mismatched store accepted at replay")
+	}
+
+	// Garbage header.
+	bad := filepath.Join(dir, "bad.cmrl")
+	if err := os.WriteFile(bad, bytes.Repeat([]byte{0xEE}, 64), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayRoundLog(src, bad); err == nil {
+		t.Fatal("garbage journal accepted")
+	}
+}

@@ -12,6 +12,7 @@ package dataset
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"countrymon/internal/netmodel"
 	"countrymon/internal/scanner"
@@ -46,6 +47,16 @@ type Store struct {
 	// rtt[b] is per-round mean RTT in milliseconds for tracked blocks
 	// (nil for untracked blocks to bound memory).
 	rtt map[int][]uint16
+
+	// Lazy v4 state (OpenLazy): resp rows start nil and materialize from
+	// the encoded blob on first touch. lazyOffs has nblocks+1 prefix
+	// offsets into lazyBlob; lazyOnce makes materialization safe under
+	// concurrent readers. Nil lazyOnce means an eager store.
+	lazyBlob []byte
+	lazyOffs []uint32
+	lazyOnce []sync.Once
+	lazyMu   sync.Mutex
+	lazyErr  error
 }
 
 // RespCap is the saturation value of per-round responsive counts.
@@ -57,6 +68,17 @@ const coverageFull = 0xFFFF
 // NewStore allocates a store for the given blocks (sorted + deduplicated
 // internally) over the timeline.
 func NewStore(tl *timeline.Timeline, blocks []netmodel.BlockID) *Store {
+	s := newStoreShell(tl, blocks)
+	for i := range s.resp {
+		s.resp[i] = make([]uint8, tl.NumRounds())
+	}
+	return s
+}
+
+// newStoreShell is NewStore without the resp-row allocations — the lazy
+// open path fills those on first touch instead, which is the point of the
+// v4 column index.
+func newStoreShell(tl *timeline.Timeline, blocks []netmodel.BlockID) *Store {
 	bs := append([]netmodel.BlockID(nil), blocks...)
 	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
 	out := bs[:0]
@@ -82,10 +104,40 @@ func NewStore(tl *timeline.Timeline, blocks []netmodel.BlockID) *Store {
 	words := (tl.NumRounds() + 63) / 64
 	for i, b := range out {
 		s.index[b] = i
-		s.resp[i] = make([]uint8, tl.NumRounds())
 		s.routed[i] = make([]uint64, words)
 	}
 	return s
+}
+
+// respRow returns block bi's materialized per-round series, delta+RLE
+// decoding the v4 column on first touch for lazily opened stores. Safe for
+// concurrent readers; a corrupt column yields a zero row and records the
+// first error (see Err).
+func (s *Store) respRow(bi int) []uint8 {
+	if s.lazyOnce == nil {
+		return s.resp[bi]
+	}
+	s.lazyOnce[bi].Do(func() {
+		row := make([]uint8, s.tl.NumRounds())
+		src := s.lazyBlob[s.lazyOffs[bi]:s.lazyOffs[bi+1]]
+		if err := deltaRLEDecode(row, src); err != nil {
+			s.lazyMu.Lock()
+			if s.lazyErr == nil {
+				s.lazyErr = fmt.Errorf("dataset: block %d: %w", bi, err)
+			}
+			s.lazyMu.Unlock()
+		}
+		s.resp[bi] = row
+	})
+	return s.resp[bi]
+}
+
+// Err returns the first lazy-decode error encountered, if any. Eagerly
+// loaded stores surface decode errors at load time and always return nil.
+func (s *Store) Err() error {
+	s.lazyMu.Lock()
+	defer s.lazyMu.Unlock()
+	return s.lazyErr
 }
 
 // Timeline returns the campaign timeline.
@@ -159,17 +211,28 @@ func (s *Store) NextUndone() int {
 // missing-round handling).
 func (s *Store) EffectiveMissing(minCoverage float64) []bool {
 	out := make([]bool, len(s.missing))
+	threshold := coverageThreshold(minCoverage)
+	for r := range out {
+		out[r] = s.missing[r] || s.coverage[r] < threshold
+	}
+	return out
+}
+
+// EffectiveMissingAt is EffectiveMissing for a single round — the same
+// thresholding, so an incremental signals fold and a batch rebuild agree on
+// every round's no-data state.
+func (s *Store) EffectiveMissingAt(r int, minCoverage float64) bool {
+	return s.missing[r] || s.coverage[r] < coverageThreshold(minCoverage)
+}
+
+func coverageThreshold(minCoverage float64) uint16 {
 	if minCoverage < 0 {
 		minCoverage = 0
 	}
 	if minCoverage > 1 {
 		minCoverage = 1
 	}
-	threshold := uint16(minCoverage * coverageFull)
-	for r := range out {
-		out[r] = s.missing[r] || s.coverage[r] < threshold
-	}
-	return out
+	return uint16(minCoverage * coverageFull)
 }
 
 // SetRound records one block's observation for a round. resp is clamped to
@@ -181,7 +244,7 @@ func (s *Store) SetRound(blockIdx, round int, resp int, routed bool) {
 	if resp < 0 {
 		resp = 0
 	}
-	s.resp[blockIdx][round] = uint8(resp)
+	s.respRow(blockIdx)[round] = uint8(resp)
 	if routed {
 		s.routed[blockIdx][round/64] |= 1 << (round % 64)
 	} else {
@@ -220,10 +283,10 @@ func (s *Store) RTTTracked(blockIdx int) bool {
 }
 
 // Resp returns the responsive-IP count of block blockIdx in round r.
-func (s *Store) Resp(blockIdx, round int) int { return int(s.resp[blockIdx][round]) }
+func (s *Store) Resp(blockIdx, round int) int { return int(s.respRow(blockIdx)[round]) }
 
 // RespSeries returns the block's full per-round series (do not mutate).
-func (s *Store) RespSeries(blockIdx int) []uint8 { return s.resp[blockIdx] }
+func (s *Store) RespSeries(blockIdx int) []uint8 { return s.respRow(blockIdx) }
 
 // Routed reports whether the block was BGP-routed in round r.
 func (s *Store) Routed(blockIdx, round int) bool {
@@ -244,7 +307,7 @@ func (s *Store) AddRoundData(round int, rd *scanner.RoundData) {
 		if resp > RespCap {
 			resp = RespCap
 		}
-		s.resp[bi][round] = uint8(resp)
+		s.respRow(bi)[round] = uint8(resp)
 		if br.RTTCount > 0 {
 			if _, ok := s.rtt[bi]; ok {
 				s.rtt[bi][round] = uint16(br.MeanRTT().Milliseconds())
@@ -278,12 +341,13 @@ func (s *Store) MonthStats(blockIdx, month int) MonthlyBlockStats {
 	lo, hi := s.tl.MonthRounds(month)
 	var st MonthlyBlockStats
 	var sum int
+	resp := s.respRow(blockIdx)
 	for r := lo; r < hi; r++ {
 		if s.missing[r] {
 			continue
 		}
 		st.MeasuredRounds++
-		c := int(s.resp[blockIdx][r])
+		c := int(resp[r])
 		sum += c
 		if c > st.EverActive {
 			st.EverActive = c

@@ -1,0 +1,344 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"countrymon/internal/netmodel"
+	"countrymon/internal/timeline"
+)
+
+// v4Store builds a small store with every kind of state the file format
+// carries: varied resp rows, unrouted stretches, missing and partial and
+// undone rounds, and a couple of RTT-tracked blocks.
+func v4Store(t testing.TB) *Store {
+	t.Helper()
+	start := time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC)
+	tl := timeline.New(start, start.Add(499*2*time.Hour), 2*time.Hour)
+	blocks := make([]netmodel.BlockID, 70) // >64, so routed rows span two words
+	for i := range blocks {
+		blocks[i] = netmodel.BlockID(i * 3)
+	}
+	s := NewStore(tl, blocks)
+	for bi := range blocks {
+		for r := 0; r < tl.NumRounds(); r++ {
+			s.SetRound(bi, r, (bi*31+r*7)%97, (bi+r)%13 != 0)
+		}
+	}
+	s.SetMissing(17)
+	s.SetMissing(230)
+	s.SetCoverage(44, 0.5)
+	s.SetCoverage(45, 0.91)
+	for r := 0; r < 300; r++ {
+		s.SetDone(r)
+	}
+	s.TrackRTT(3)
+	s.TrackRTT(68)
+	for r := 0; r < tl.NumRounds(); r++ {
+		s.SetRTT(3, r, uint16(20+r%40))
+		s.SetRTT(68, r, uint16(30+r%25))
+	}
+	return s
+}
+
+func assertStoresEqual(t *testing.T, want, got *Store) {
+	t.Helper()
+	if got.NumBlocks() != want.NumBlocks() || got.Timeline().NumRounds() != want.Timeline().NumRounds() {
+		t.Fatalf("dims %d×%d vs %d×%d", got.NumBlocks(), got.Timeline().NumRounds(),
+			want.NumBlocks(), want.Timeline().NumRounds())
+	}
+	rounds := want.Timeline().NumRounds()
+	for bi := 0; bi < want.NumBlocks(); bi++ {
+		if !bytes.Equal(got.RespSeries(bi), want.RespSeries(bi)) {
+			t.Fatalf("block %d: resp rows differ", bi)
+		}
+		for r := 0; r < rounds; r++ {
+			if got.Routed(bi, r) != want.Routed(bi, r) {
+				t.Fatalf("block %d round %d: routed %v vs %v", bi, r, got.Routed(bi, r), want.Routed(bi, r))
+			}
+		}
+		if got.RTTTracked(bi) != want.RTTTracked(bi) {
+			t.Fatalf("block %d: rtt tracking differs", bi)
+		}
+		if want.RTTTracked(bi) {
+			for r := 0; r < rounds; r++ {
+				if got.RTT(bi, r) != want.RTT(bi, r) {
+					t.Fatalf("block %d round %d: rtt %d vs %d", bi, r, got.RTT(bi, r), want.RTT(bi, r))
+				}
+			}
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		if got.Missing(r) != want.Missing(r) || got.Done(r) != want.Done(r) ||
+			got.Coverage(r) != want.Coverage(r) {
+			t.Fatalf("round %d: missing/done/coverage differ", r)
+		}
+	}
+}
+
+func TestV4FileRoundTrip(t *testing.T) {
+	s := v4Store(t)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if v := binary.LittleEndian.Uint32(raw[4:8]); v != 4 {
+		t.Fatalf("written version = %d, want 4", v)
+	}
+	got, err := ReadFrom(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEqual(t, s, got)
+}
+
+// writeV3 encodes the store in the legacy v3 layout (per-row length prefix
+// + plain RLE, no column index) so the decoder's backward-compat path stays
+// covered now that WriteTo emits v4.
+func writeV3(t *testing.T, s *Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := func(v any) {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf.WriteString(fileMagic)
+	w(uint32(3))
+	w(s.tl.Start().UnixNano())
+	w(int64(s.tl.Interval()))
+	w(uint32(s.tl.NumRounds()))
+	w(uint32(len(s.blocks)))
+	for _, b := range s.blocks {
+		w(uint32(b))
+	}
+	words := (s.tl.NumRounds() + 63) / 64
+	miss := make([]uint64, words)
+	done := make([]uint64, words)
+	for r := 0; r < s.tl.NumRounds(); r++ {
+		if s.missing[r] {
+			miss[r/64] |= 1 << (r % 64)
+		}
+		if s.done[r] {
+			done[r/64] |= 1 << (r % 64)
+		}
+	}
+	w(miss)
+	w(done)
+	var npartial uint32
+	for _, c := range s.coverage {
+		if c != coverageFull {
+			npartial++
+		}
+	}
+	w(npartial)
+	for r, c := range s.coverage {
+		if c != coverageFull {
+			w(uint32(r))
+			w(c)
+		}
+	}
+	for bi := range s.blocks {
+		rle := rleAppend(nil, s.respRow(bi))
+		w(uint32(len(rle)))
+		buf.Write(rle)
+	}
+	for _, row := range s.routed {
+		w(row)
+	}
+	var tracked []uint32
+	for bi := range s.blocks {
+		if s.RTTTracked(bi) {
+			tracked = append(tracked, uint32(bi))
+		}
+	}
+	w(uint32(len(tracked)))
+	for _, bi := range tracked {
+		w(bi)
+		w(s.rtt[int(bi)])
+	}
+	return buf.Bytes()
+}
+
+func TestV3FileStillReadable(t *testing.T) {
+	s := v4Store(t)
+	raw := writeV3(t, s)
+	got, err := ReadFrom(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEqual(t, s, got)
+
+	// OpenLazy has no column index to work with pre-v4 and must fall back
+	// to an eager load.
+	path := filepath.Join(t.TempDir(), "v3.cmds")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := OpenLazy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEqual(t, s, lazy)
+}
+
+func TestOpenLazyMatchesEager(t *testing.T) {
+	s := v4Store(t)
+	path := filepath.Join(t.TempDir(), "v4.cmds")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := OpenLazy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy.lazyOnce == nil {
+		t.Fatal("OpenLazy on a v4 file decoded eagerly")
+	}
+	// Touch rows out of order — materialization must be order-independent.
+	for _, bi := range []int{69, 0, 35, 1} {
+		if !bytes.Equal(lazy.RespSeries(bi), s.RespSeries(bi)) {
+			t.Fatalf("block %d: lazy row differs", bi)
+		}
+	}
+	assertStoresEqual(t, s, lazy)
+	if err := lazy.Err(); err != nil {
+		t.Fatalf("Err after full read: %v", err)
+	}
+}
+
+// respSectionOffsets locates the v4 column index and blob inside a written
+// file, mirroring the reader's offset math.
+func respSectionOffsets(raw []byte, nblocks, rounds int) (lensStart, blobStart int) {
+	words := (rounds + 63) / 64
+	pos := 4 + 4 + 8 + 8 + 4 + 4 // magic, version, start, interval, rounds, nblocks
+	pos += 4 * nblocks           // block IDs
+	pos += 8 * words * 2         // missing + done bitsets
+	npartial := int(binary.LittleEndian.Uint32(raw[pos:]))
+	pos += 4 + 6*npartial
+	return pos, pos + 4*nblocks
+}
+
+func TestOpenLazyCorruptColumnSurfacesError(t *testing.T) {
+	s := v4Store(t)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	lensStart, blobStart := respSectionOffsets(raw, s.NumBlocks(), s.tl.NumRounds())
+	colLen := int(binary.LittleEndian.Uint32(raw[lensStart:]))
+	if colLen == 0 {
+		t.Fatal("first column unexpectedly empty")
+	}
+	// An all-0xFF column can never decode to exactly `rounds` bytes: each
+	// control/operand pair emits a 129-run, and a trailing control byte
+	// without its operand is itself corrupt.
+	for i := 0; i < colLen; i++ {
+		raw[blobStart+i] = 0xFF
+	}
+	path := filepath.Join(t.TempDir(), "corrupt.cmds")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Eager open fails up front...
+	if _, err := ReadFrom(bytes.NewReader(raw)); err == nil {
+		t.Fatal("eager ReadFrom accepted a corrupt column")
+	}
+	// ...lazy open defers the failure to first touch of the bad column.
+	lazy, err := OpenLazy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row := lazy.RespSeries(0); len(row) != s.tl.NumRounds() {
+		t.Fatalf("corrupt row length %d", len(row))
+	}
+	if lazy.Err() == nil {
+		t.Fatal("Err() nil after touching a corrupt column")
+	}
+	// Healthy columns still decode.
+	if !bytes.Equal(lazy.RespSeries(1), s.RespSeries(1)) {
+		t.Fatal("healthy column mis-decoded after a corrupt sibling")
+	}
+}
+
+func TestOpenLazyTruncatedBlob(t *testing.T) {
+	s := v4Store(t)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	_, blobStart := respSectionOffsets(raw, s.NumBlocks(), s.tl.NumRounds())
+	path := filepath.Join(t.TempDir(), "trunc.cmds")
+	if err := os.WriteFile(path, raw[:blobStart+10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLazy(path); err == nil {
+		t.Fatal("OpenLazy accepted a file truncated inside the blob")
+	}
+}
+
+func FuzzRLE(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{5})
+	f.Add([]byte{0, 0, 0, 0, 1, 2, 3})
+	f.Add(bytes.Repeat([]byte{7}, 300))
+	f.Add([]byte{0xFF, 0xFF, 0x80, 0x01, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Round-trip: every byte string survives encode/decode exactly, and
+		// the encoding respects the documented worst-case bound (1 control
+		// byte per 128 literals).
+		enc := rleAppend(nil, data)
+		if max := len(data) + (len(data)+maxLiteralChunk-1)/maxLiteralChunk; len(enc) > max {
+			t.Fatalf("encoded %d bytes to %d, worst-case bound %d", len(data), len(enc), max)
+		}
+		dec := make([]byte, len(data))
+		if err := rleDecode(dec, enc); err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("round-trip mismatch: %v → %v → %v", data, enc, dec)
+		}
+		// Adversarial: the same bytes treated as an encoded stream must
+		// either fill the target exactly or be rejected — never panic,
+		// never report success on a partial fill.
+		dst := make([]byte, 257)
+		if err := rleDecode(dst, data); err == nil && len(data) == 0 {
+			t.Fatal("empty stream claimed to fill a 257-byte row")
+		}
+	})
+}
+
+func FuzzColumnV4(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 3, 3, 4, 4, 5})
+	f.Add(bytes.Repeat([]byte{42}, 500))
+	f.Add([]byte{0xFF, 0x00, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Round-trip through the v4 column coding (delta transform + RLE),
+		// bounding the encoding by the reader's plausibility limit.
+		var scratch []byte
+		enc := deltaRLEAppend(nil, data, &scratch)
+		if len(enc) > 2*len(data)+64 {
+			t.Fatalf("encoded %d bytes to %d, beyond the reader's 2n+64 limit", len(data), len(enc))
+		}
+		dec := make([]byte, len(data))
+		if err := deltaRLEDecode(dec, enc); err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("round-trip mismatch for %d bytes", len(data))
+		}
+		// Adversarial decode of arbitrary bytes must never panic and must
+		// reject partial fills.
+		dst := make([]byte, 100)
+		_ = deltaRLEDecode(dst, data)
+	})
+}

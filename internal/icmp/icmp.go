@@ -44,12 +44,20 @@ func (m *Message) Echo() bool {
 
 // Marshal encodes the message with a correct checksum.
 func Marshal(m Message) []byte {
-	return AppendMessage(nil, m)
+	return AppendMarshal(nil, m)
 }
 
 // AppendMessage appends the encoded message to dst and returns the extended
-// slice (allocation-free with a reused buffer).
+// slice (allocation-free with a reused buffer). It is AppendMarshal under
+// its historical name.
 func AppendMessage(dst []byte, m Message) []byte {
+	return AppendMarshal(dst, m)
+}
+
+// AppendMarshal appends the encoded message to dst in one pass — header,
+// payload and checksum written directly into the extended slice — and
+// returns it. With a reused buffer the encode performs no allocations.
+func AppendMarshal(dst []byte, m Message) []byte {
 	off := len(dst)
 	dst = append(dst, make([]byte, HeaderLen+len(m.Payload))...)
 	b := dst[off:]

@@ -64,6 +64,42 @@ func AppendIPv4(dst []byte, h IPv4Header, payload []byte) []byte {
 	return dst
 }
 
+// AppendMarshalIPv4 appends a complete IPv4+ICMP datagram to dst in a
+// single pass: the ICMP message is encoded directly into its final position
+// after the IPv4 header, so hot send loops skip the intermediate
+// payload-buffer copy that AppendIPv4(dst, h, AppendMarshal(...)) pays.
+// With a reused buffer the encode performs no allocations.
+func AppendMarshalIPv4(dst []byte, h IPv4Header, m Message) []byte {
+	total := IPv4HeaderLen + HeaderLen + len(m.Payload)
+	off := len(dst)
+	dst = append(dst, make([]byte, total)...)
+	b := dst[off:]
+	// ICMP region first: its checksum must cover the final bytes.
+	ic := b[IPv4HeaderLen:]
+	ic[0] = byte(m.Type)
+	ic[1] = m.Code
+	ic[2], ic[3] = 0, 0
+	binary.BigEndian.PutUint16(ic[4:], m.ID)
+	binary.BigEndian.PutUint16(ic[6:], m.Seq)
+	copy(ic[HeaderLen:], m.Payload)
+	binary.BigEndian.PutUint16(ic[2:], Checksum(ic))
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:], uint16(total))
+	binary.BigEndian.PutUint16(b[4:], h.ID)
+	// flags+fragment offset zero: the monitor never fragments.
+	for i := 6; i < 12; i++ {
+		b[i] = 0
+	}
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	src, dstA := h.Src.Bytes(), h.Dst.Bytes()
+	copy(b[12:16], src[:])
+	copy(b[16:20], dstA[:])
+	binary.BigEndian.PutUint16(b[10:], Checksum(b[:IPv4HeaderLen]))
+	return dst
+}
+
 // ParseIPv4 decodes an IPv4 packet, returning the header and its payload
 // (aliasing b). The header checksum is verified.
 func ParseIPv4(b []byte) (IPv4Header, []byte, error) {

@@ -1,0 +1,8 @@
+//go:build !race
+
+package icmp
+
+// raceEnabled reports whether the race detector instruments this build.
+// Under -race the append-extension fast path still allocates, so the
+// zero-alloc assertions only hold in uninstrumented builds.
+const raceEnabled = false

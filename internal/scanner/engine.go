@@ -152,7 +152,6 @@ func (r *roundRun) sendBatches(s *Scanner, ctx context.Context, cur *Cursor, dra
 	dsts := make([]netmodel.Addr, 0, nb)
 	pktAddr := make([]int, 0, nb)
 	addrs := make([]addrSend, 0, nb)
-	probeBuf := make([]byte, 0, 64)
 	src := r.tr.LocalAddr()
 	var seq uint64 // monotone probe counter, baked into the IPv4 ID field
 
@@ -187,11 +186,11 @@ func (r *roundRun) sendBatches(s *Scanner, ctx context.Context, cur *Cursor, dra
 		r.rl.WaitN(len(pkts))
 		now := r.cfg.Clock.Now()
 		for i := range pkts {
-			bufs[i] = r.encodeProbe(bufs[i][:0], &probeBuf, src, dsts[i], now, uint16(seq)+uint16(i))
+			bufs[i] = r.encodeProbe(bufs[i][:0], src, dsts[i], now, uint16(seq)+uint16(i))
 			pkts[i] = bufs[i]
 		}
 		r.cfg.Metrics.BatchFill.Observe(float64(len(pkts)) / float64(nb))
-		ok := r.writeBatch(s, ctx, pkts, dsts, pktAddr, addrs, seq, &probeBuf, src)
+		ok := r.writeBatch(s, ctx, pkts, dsts, pktAddr, addrs, seq, src)
 		r.publishSend()
 		if !ok {
 			return
@@ -217,12 +216,12 @@ func (r *roundRun) publishSend() {
 	}
 }
 
-// encodeProbe appends the full IPv4+ICMP probe datagram for dst to buf.
-func (r *roundRun) encodeProbe(buf []byte, probeBuf *[]byte, src, dst netmodel.Addr, now time.Time, id uint16) []byte {
-	*probeBuf = r.val.AppendProbe((*probeBuf)[:0], dst, now)
-	return icmp.AppendIPv4(buf, icmp.IPv4Header{
+// encodeProbe appends the full IPv4+ICMP probe datagram for dst to buf in
+// one pass (no intermediate payload buffer).
+func (r *roundRun) encodeProbe(buf []byte, src, dst netmodel.Addr, now time.Time, id uint16) []byte {
+	return r.val.AppendProbeIPv4(buf, icmp.IPv4Header{
 		TTL: r.cfg.TTL, Protocol: icmp.ProtoICMP, Src: src, Dst: dst, ID: id,
-	}, *probeBuf)
+	}, now)
 }
 
 // writeBatch transmits one assembled batch with the serial engine's exact
@@ -232,7 +231,7 @@ func (r *roundRun) encodeProbe(buf []byte, probeBuf *[]byte, src, dst netmodel.A
 // retries or fail hard are abandoned and counted, and every address
 // resolves as its last probe leaves the batch — including an error-budget
 // abort mid-batch. Returns false when the round must stop sending.
-func (r *roundRun) writeBatch(s *Scanner, ctx context.Context, pkts [][]byte, dsts []netmodel.Addr, pktAddr []int, addrs []addrSend, base uint64, probeBuf *[]byte, src netmodel.Addr) bool {
+func (r *roundRun) writeBatch(s *Scanner, ctx context.Context, pkts [][]byte, dsts []netmodel.Addr, pktAddr []int, addrs []addrSend, base uint64, src netmodel.Addr) bool {
 	overBudget := false
 	finish := func(j int, sentOK bool) {
 		st := &addrs[pktAddr[j]]
@@ -301,7 +300,7 @@ func (r *roundRun) writeBatch(s *Scanner, ctx context.Context, pkts [][]byte, ds
 			}
 			now := r.cfg.Clock.Now()
 			for j := i; j < len(pkts); j++ {
-				pkts[j] = r.encodeProbe(pkts[j][:0], probeBuf, src, dsts[j], now, uint16(base)+uint16(j))
+				pkts[j] = r.encodeProbe(pkts[j][:0], src, dsts[j], now, uint16(base)+uint16(j))
 			}
 			continue
 		}

@@ -58,6 +58,24 @@ func (v *Validator) AppendProbe(buf []byte, dst netmodel.Addr, at time.Time) []b
 	return icmp.AppendMessage(buf, icmp.Message{Type: icmp.TypeEchoRequest, ID: id, Seq: seq, Payload: payload[:]})
 }
 
+// AppendProbeIPv4 appends the complete IPv4+ICMP probe datagram for h.Dst
+// to buf in a single pass (icmp.AppendMarshalIPv4), skipping the
+// intermediate ICMP-payload buffer of AppendProbe + AppendIPv4. The probe
+// identity is derived from h.Dst; h.Protocol should be icmp.ProtoICMP.
+func (v *Validator) AppendProbeIPv4(buf []byte, h icmp.IPv4Header, at time.Time) []byte {
+	id, seq := v.idSeq(h.Dst)
+	var payload [probePayloadLen]byte
+	binary.BigEndian.PutUint32(payload[0:], v.epoch)
+	ms := at.Sub(v.start).Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	binary.BigEndian.PutUint32(payload[4:], uint32(ms))
+	return icmp.AppendMarshalIPv4(buf, h, icmp.Message{
+		Type: icmp.TypeEchoRequest, ID: id, Seq: seq, Payload: payload[:],
+	})
+}
+
 // ProbeReply is a validated echo reply.
 type ProbeReply struct {
 	From netmodel.Addr

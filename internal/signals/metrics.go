@@ -11,6 +11,7 @@ import (
 // NewMetrics; on a nil registry every instrument is nil and inert.
 type Metrics struct {
 	BuildSeconds  *obs.Histogram // signals_series_build_seconds
+	FoldSeconds   *obs.Histogram // signals_fold_seconds
 	DetectSeconds *obs.Histogram // signals_detect_seconds
 
 	// Outage events by participating signal, children of
@@ -28,6 +29,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	return &Metrics{
 		BuildSeconds: reg.Histogram("signals_series_build_seconds",
 			"Time to build one entity's AS or region series.", 0),
+		FoldSeconds: reg.Histogram("signals_fold_seconds",
+			"Time to fold one round into all warm streaming series.", 0),
 		DetectSeconds: reg.Histogram("signals_detect_seconds",
 			"Time to run outage detection over one entity series.", 0),
 		OutagesBGP: outages.With("bgp"),

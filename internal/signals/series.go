@@ -10,9 +10,16 @@
 // moving average with the static thresholds of Table 2, the "ongoing" flag
 // for total BGP loss, and ISP availability sensing (Baltra & Heidemann) to
 // filter dynamic-reallocation false positives out of the FBS signal.
+//
+// Two builder modes share one implementation: the batch mode derives series
+// from a complete store (the oracle every test compares against), and the
+// streaming mode (NewStreamingBuilder, Fold) keeps already-built series warm
+// across a running campaign, folding each new round in as it lands at
+// O(blocks touched this round) instead of rebuilding the full campaign.
 package signals
 
 import (
+	"sync"
 	"time"
 
 	"countrymon/internal/dataset"
@@ -60,13 +67,27 @@ type Builder struct {
 	store *dataset.Store
 	space *netmodel.Space
 	tl    *timeline.Timeline
-	// elig[bi][m] is FBS eligibility of block bi in month m.
-	elig [][]bool
+	// months caches tl.NumMonths(): the stride of the flattened per-block ×
+	// per-month arrays below.
+	months int
+	// monthOf caches the dense month index of every round.
+	monthOf []int32
+	// everMax[bi*months+m] is the partial E(b) aggregate: the maximum
+	// per-round responsive count of block bi seen in month m so far (over
+	// non-missing rounds). The streaming mode maintains it as rounds fold in.
+	everMax []uint8
+	// elig[bi*months+m] is FBS eligibility of block bi in month m — exactly
+	// everMax ≥ MinEverActive, kept materialized because it sits on the
+	// series-accumulation hot path.
+	elig []bool
 	// asBlocks maps each AS to its dense block indices in the store.
 	asBlocks map[netmodel.ASN][]int
 	// missing is the effective no-data mask: vantage outages plus partial
-	// rounds below the coverage gate.
+	// rounds below the coverage gate. Every derived series aliases it, so a
+	// streaming fold updates all of them at once.
 	missing []bool
+	// minCoverage is the partial-round gate the mask was computed with.
+	minCoverage float64
 	// asCache and regionCache memoize built series. Callers treat returned
 	// series as shared and read-only; anything derived from them (detection,
 	// ablations) allocates its own buffers.
@@ -74,6 +95,15 @@ type Builder struct {
 	regionCache par.Cache[*regional.RegionResult, *EntitySeries]
 	// metrics records series-build timings (see Observe); never nil.
 	metrics *Metrics
+
+	// Streaming state (see stream.go). foldMu guards the entity registry:
+	// series builds may run concurrently with each other (par.Cache), but
+	// Fold must not run concurrently with series queries — the campaign
+	// goroutine serializes them.
+	streaming bool
+	nextFold  int
+	foldMu    sync.Mutex
+	entities  []*foldEntity
 }
 
 // NewBuilder precomputes eligibility for all blocks and months, gating
@@ -87,22 +117,42 @@ func NewBuilder(store *dataset.Store, space *netmodel.Space) *Builder {
 // missing for every derived series.
 func NewBuilderMinCoverage(store *dataset.Store, space *netmodel.Space, minCoverage float64) *Builder {
 	tl := store.Timeline()
-	b := &Builder{
-		store:    store,
-		space:    space,
-		tl:       tl,
-		elig:     make([][]bool, store.NumBlocks()),
-		asBlocks: make(map[netmodel.ASN][]int),
-		missing:  store.EffectiveMissing(minCoverage),
-		metrics:  &Metrics{},
-	}
 	months := tl.NumMonths()
-	// Eligibility rows are independent per block: shard them across the
-	// worker pool.
+	rounds := tl.NumRounds()
+	b := &Builder{
+		store:       store,
+		space:       space,
+		tl:          tl,
+		months:      months,
+		monthOf:     make([]int32, rounds),
+		everMax:     make([]uint8, store.NumBlocks()*months),
+		elig:        make([]bool, store.NumBlocks()*months),
+		asBlocks:    make(map[netmodel.ASN][]int),
+		missing:     store.EffectiveMissing(minCoverage),
+		minCoverage: minCoverage,
+		metrics:     &Metrics{},
+	}
+	for r := 0; r < rounds; r++ {
+		b.monthOf[r] = int32(tl.MonthOfRound(r))
+	}
+	// The ever-active aggregates are independent per block: one pass over
+	// the block's round series per worker-pool shard. MonthStats skips only
+	// true vantage outages (not coverage-gated partial rounds), so the
+	// aggregation here must too.
+	outage := store.MissingRounds()
 	par.ForEach(store.NumBlocks(), func(bi int) {
-		b.elig[bi] = make([]bool, months)
+		resp := store.RespSeries(bi)
+		base := bi * months
+		for r := 0; r < rounds; r++ {
+			if outage[r] {
+				continue
+			}
+			if c := resp[r]; c > b.everMax[base+int(b.monthOf[r])] {
+				b.everMax[base+int(b.monthOf[r])] = c
+			}
+		}
 		for m := 0; m < months; m++ {
-			b.elig[bi][m] = store.EligibleFBS(bi, m, MinEverActive)
+			b.elig[base+m] = b.everMax[base+m] >= MinEverActive
 		}
 	})
 	// Group blocks per AS sequentially so each AS's block list stays in
@@ -124,7 +174,7 @@ func (b *Builder) Store() *dataset.Store { return b.store }
 func (b *Builder) Timeline() *timeline.Timeline { return b.tl }
 
 // Eligible reports FBS eligibility of block bi in month m.
-func (b *Builder) Eligible(bi, m int) bool { return b.elig[bi][m] }
+func (b *Builder) Eligible(bi, m int) bool { return b.elig[bi*b.months+m] }
 
 // ASBlocks returns the dense block indices of an AS.
 func (b *Builder) ASBlocks(asn netmodel.ASN) []int { return b.asBlocks[asn] }
@@ -143,22 +193,23 @@ func (b *Builder) buildAS(asn netmodel.ASN) *EntitySeries {
 	rounds := b.tl.NumRounds()
 	for _, bi := range b.asBlocks[asn] {
 		resp := b.store.RespSeries(bi)
+		base := bi * b.months
 		for r := 0; r < rounds; r++ {
 			if es.Missing[r] {
 				continue
 			}
-			m := b.tl.MonthOfRound(r)
 			c := float32(resp[r])
 			es.IPS[r] += c
 			if b.store.Routed(bi, r) {
 				es.BGP[r]++
 			}
-			if b.elig[bi][m] && c > 0 {
+			if b.elig[base+int(b.monthOf[r])] && c > 0 {
 				es.FBS[r]++
 			}
 		}
 	}
 	b.fillIPSValidity(es)
+	b.registerFold(&foldEntity{es: es, blocks: b.asBlocks[asn]})
 	return es
 }
 
@@ -178,17 +229,21 @@ func (b *Builder) buildRegion(rr *regional.RegionResult, cl *regional.Classifier
 	defer b.metrics.BuildSeconds.ObserveSince(time.Now())
 	es := b.newSeries(rr.Region.String())
 	rounds := b.tl.NumRounds()
+	fe := &foldEntity{es: es}
 	for _, bc := range rr.Blocks {
 		if !bc.Regional {
 			continue
 		}
 		bi := bc.Index
+		fe.blocks = append(fe.blocks, bi)
+		fe.eval = append(fe.eval, bc.EvalMonths)
 		resp := b.store.RespSeries(bi)
+		base := bi * b.months
 		for r := 0; r < rounds; r++ {
 			if es.Missing[r] {
 				continue
 			}
-			m := b.tl.MonthOfRound(r)
+			m := int(b.monthOf[r])
 			if !bc.EvalMonths[m] {
 				continue
 			}
@@ -198,12 +253,15 @@ func (b *Builder) buildRegion(rr *regional.RegionResult, cl *regional.Classifier
 			if b.store.Routed(bi, r) {
 				es.BGP[r]++
 			}
-			if b.elig[bi][m] && resp[r] > 0 {
+			if b.elig[base+m] && resp[r] > 0 {
 				es.FBS[r]++
 			}
 		}
 	}
+	region := rr.Region
+	fe.share = func(bi, m int) float32 { return float32(cl.BlockShare(bi, m, region)) }
 	b.fillIPSValidity(es)
+	b.registerFold(fe)
 	return es
 }
 
@@ -225,15 +283,23 @@ func (b *Builder) newSeries(name string) *EntitySeries {
 
 func (b *Builder) fillIPSValidity(es *EntitySeries) {
 	for m := 0; m < b.tl.NumMonths(); m++ {
-		lo, hi := b.tl.MonthRounds(m)
-		sum, n := 0.0, 0
-		for r := lo; r < hi; r++ {
-			if es.Missing[r] {
-				continue
-			}
-			sum += float64(es.IPS[r])
-			n++
-		}
-		es.IPSValidMonth[m] = n > 0 && sum/float64(n) > MinIPSMonthly
+		b.fillIPSValidityMonth(es, m)
 	}
+}
+
+// fillIPSValidityMonth recomputes the IPS validity of a single month — the
+// unit of invalidation the streaming fold pays per round. The mean is always
+// accumulated in ascending round order so batch and streaming builds agree
+// bit for bit.
+func (b *Builder) fillIPSValidityMonth(es *EntitySeries, m int) {
+	lo, hi := b.tl.MonthRounds(m)
+	sum, n := 0.0, 0
+	for r := lo; r < hi; r++ {
+		if es.Missing[r] {
+			continue
+		}
+		sum += float64(es.IPS[r])
+		n++
+	}
+	es.IPSValidMonth[m] = n > 0 && sum/float64(n) > MinIPSMonthly
 }
