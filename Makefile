@@ -4,7 +4,7 @@ GO ?= go
 # baseline default), bump to e.g. 3s for stable timing comparisons.
 BENCHTIME ?= 1x
 
-.PHONY: all build test race vet fmt bench bench-smoke bench-diff bench-gate fuzz-smoke chaos-smoke metrics-lint ci
+.PHONY: all build test race vet fmt bench bench-smoke bench-diff bench-gate fuzz-smoke chaos-smoke metrics-lint scenario-smoke scorecards ci
 
 all: build
 
@@ -91,9 +91,26 @@ fuzz-smoke:
 	$(GO) test ./internal/icmp -fuzz '^FuzzParseICMP$$' -fuzztime 5s -run '^$$'
 	$(GO) test ./internal/dataset -fuzz '^FuzzRLE$$' -fuzztime 5s -run '^$$'
 	$(GO) test ./internal/dataset -fuzz '^FuzzColumnV4$$' -fuzztime 5s -run '^$$'
+	$(GO) test ./internal/scenario -fuzz '^FuzzScenarioParse$$' -fuzztime 5s -run '^$$'
+
+# Run the labeled scenario library through the full detection stack and fail
+# on any divergence from the committed golden scorecards.
+scenario-smoke:
+	$(GO) run ./cmd/scencheck
+
+# Regenerate the golden scorecards after an intended engine change. Refuses
+# to run on a dirty tree so a regeneration can never silently absorb
+# unrelated edits — commit (or stash) first, then regenerate and review the
+# scorecard diff on its own.
+scorecards:
+	@if ! git diff --quiet || ! git diff --cached --quiet; then \
+		echo "scorecards: working tree is dirty; commit or stash first"; exit 1; \
+	fi
+	$(GO) run ./cmd/scencheck -write
 
 # The full gate: formatting, static analysis, the metric-catalogue check,
 # tests, the race detector, the benchmark smoke run, the fuzz smoke, the
-# chaos soak, the fatal headline-metric gate, and the (non-fatal) bench diff.
-ci: fmt vet metrics-lint test race bench-smoke fuzz-smoke chaos-smoke bench-gate
+# chaos soak, the scenario scorecard check, the fatal headline-metric gate,
+# and the (non-fatal) bench diff.
+ci: fmt vet metrics-lint test race bench-smoke fuzz-smoke chaos-smoke scenario-smoke bench-gate
 	-$(MAKE) bench-diff

@@ -1,0 +1,123 @@
+// Command scencheck runs the labeled scenario library through the full
+// detection stack and compares the resulting scorecards against the
+// committed goldens — the regression tripwire behind `make scenario-smoke`.
+//
+//	scencheck                  check every library scenario against testdata/
+//	scencheck -list            list library scenarios
+//	scencheck -f day66.json    score one scenario file (no golden comparison)
+//	scencheck -write           regenerate the goldens (use `make scorecards`)
+//
+// Exit status: 0 all scorecards match, 1 a scorecard diverged from its
+// golden, 2 an execution error.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"countrymon/internal/scenario"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list library scenarios and exit")
+		write  = flag.Bool("write", false, "rewrite the golden scorecards")
+		golden = flag.String("golden", "internal/scenario/testdata", "golden scorecard directory")
+		file   = flag.String("f", "", "score a single scenario file instead of the library")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range scenario.Names() {
+			spec, err := scenario.Load(name)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-20s %3dd %4d rounds  %s\n", name, spec.Days, spec.Rounds(), spec.Description)
+		}
+		return
+	}
+
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err := scenario.Parse(data)
+		if err != nil {
+			fatal(err)
+		}
+		card, err := run(spec)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(card.Encode())
+		return
+	}
+
+	mismatched := false
+	for _, name := range scenario.Names() {
+		spec, err := scenario.Load(name)
+		if err != nil {
+			fatal(err)
+		}
+		card, err := run(spec)
+		if err != nil {
+			fatal(err)
+		}
+		report(card)
+		got := card.Encode()
+		path := filepath.Join(*golden, name+".golden.json")
+		if *write {
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			fatal(fmt.Errorf("missing golden (run `make scorecards`): %w", err))
+		}
+		if !bytes.Equal(got, want) {
+			fmt.Fprintf(os.Stderr, "FAIL %s: scorecard diverged from %s (run `make scorecards` if intended)\n", name, path)
+			mismatched = true
+			continue
+		}
+		fmt.Printf("ok   %s\n", name)
+	}
+	if mismatched {
+		os.Exit(1)
+	}
+}
+
+func run(spec *scenario.Spec) (*scenario.Scorecard, error) {
+	compiled, err := spec.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return compiled.RunScorecard()
+}
+
+// report prints the human-readable scorecard table: the signal pipeline and
+// the Trinocular baseline side by side per entity.
+func report(card *scenario.Scorecard) {
+	fmt.Printf("%s: %d rounds, %d blocks, %d missing, %d degraded, trinocular tracks %d\n",
+		card.Scenario, card.Rounds, card.Blocks, card.MissingRounds, card.DegradedRounds,
+		card.TrinocularTracked)
+	fmt.Printf("  %-22s %28s   %28s\n", "", "signals P/R/latency", "trinocular P/R/latency")
+	for i, s := range card.Signals {
+		t := card.Trinocular[i]
+		fmt.Printf("  %-22s %10.3f /%6.3f /%6.1f   %10.3f /%6.3f /%6.1f\n",
+			s.Entity, s.Precision, s.Recall, s.MeanLatencyRounds,
+			t.Precision, t.Recall, t.MeanLatencyRounds)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scencheck:", err)
+	os.Exit(2)
+}

@@ -126,6 +126,57 @@ func TestRoundLogReopenAppendsAndDuplicateWins(t *testing.T) {
 	}
 }
 
+// TestRoundLogDuplicateCoverageLastWins re-journals the same round with a
+// different salvaged coverage each time: replay's last-wins rule must apply
+// to coverage exactly as it does to block data, so a rescan that achieved a
+// different coverage is what signal derivation gates on after recovery.
+func TestRoundLogDuplicateCoverageLastWins(t *testing.T) {
+	src := roundLogStore(t)
+	path := filepath.Join(t.TempDir(), "rounds.cmrl")
+	l, err := OpenRoundLog(path, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal := func(cov float64) {
+		for bi := 0; bi < src.NumBlocks(); bi++ {
+			src.SetRound(bi, 0, bi%11, true)
+		}
+		src.SetCoverage(0, cov)
+		src.SetDone(0)
+		if err := l.Append(src, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	journal(1.0)
+	journal(0.6)
+	journal(0.35)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := roundLogStore(t)
+	applied, err := ReplayRoundLog(dst, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 3 || applied[0] != 0 || applied[1] != 0 || applied[2] != 0 {
+		t.Fatalf("applied = %v, want [0 0 0]", applied)
+	}
+	// The last record's coverage landed, through the fixed-point encoding.
+	last := 0.35
+	want := float64(uint16(last*65535+0.5)) / 65535
+	if got := dst.Coverage(0); got != want {
+		t.Fatalf("Coverage(0) = %g, want %g", got, want)
+	}
+	// And it is the value the signal pipeline's gate sees.
+	if !dst.EffectiveMissingAt(0, 0.5) {
+		t.Fatal("round with replayed 0.35 coverage passes a 0.5 gate")
+	}
+	if dst.EffectiveMissingAt(0, 0.3) {
+		t.Fatal("round with replayed 0.35 coverage fails a 0.3 gate")
+	}
+}
+
 func TestRoundLogTruncatedTailTolerated(t *testing.T) {
 	src := roundLogStore(t)
 	path := filepath.Join(t.TempDir(), "rounds.cmrl")

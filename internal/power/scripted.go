@@ -1,0 +1,63 @@
+package power
+
+import (
+	"time"
+
+	"countrymon/internal/netmodel"
+)
+
+// Strike scripts one power-grid disruption for Scripted schedules: Hours
+// outage hours on each of Days consecutive days starting at Day, in Regions
+// (every region when empty). Overlapping strikes accumulate, capped at 24
+// hours per day.
+type Strike struct {
+	Day     int
+	Days    int
+	Hours   float64
+	Regions []netmodel.Region
+}
+
+// Scripted builds a schedule directly from scripted strikes, without any of
+// Generate's war history (winter 2022/23 rolling blackouts, the 2024 deficit,
+// the documented attack impulses). Custom scenarios use it so their power
+// ground truth contains exactly what they script — including nothing at all:
+// with no strikes the grid is permanently up. The seed only varies where in
+// the day each outage window rotates to (see OutSince); the hours themselves
+// are exact.
+func Scripted(start time.Time, days int, strikes []Strike, seed uint64) *Schedule {
+	if days < 1 {
+		days = 1
+	}
+	s := &Schedule{start: start.UTC().Truncate(24 * time.Hour), seed: seed}
+	s.hours = make([][]float32, days)
+	for d := range s.hours {
+		s.hours[d] = make([]float32, netmodel.NumRegions+1)
+	}
+	for _, k := range strikes {
+		span := k.Days
+		if span < 1 {
+			span = 1
+		}
+		h := k.Hours
+		if h < 0 {
+			h = 0
+		}
+		regions := k.Regions
+		if len(regions) == 0 {
+			regions = netmodel.Regions()
+		}
+		for d := k.Day; d < k.Day+span; d++ {
+			if d < 0 || d >= days {
+				continue
+			}
+			for _, r := range regions {
+				sum := float64(s.hours[d][r]) + h
+				if sum > 24 {
+					sum = 24
+				}
+				s.hours[d][r] = float32(sum)
+			}
+		}
+	}
+	return s
+}

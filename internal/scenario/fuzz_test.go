@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// FuzzScenarioParse hammers the scenario parser with mutated documents. The
+// invariant is the validation contract: Parse either rejects with an error or
+// returns a Spec whose bounds hold — no panics, no out-of-range worlds, no
+// cyclic or out-of-campaign events surviving into a Spec.
+func FuzzScenarioParse(f *testing.F) {
+	for _, name := range Names() {
+		src, err := Source(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(src)
+	}
+	f.Add([]byte(minimalDoc))
+	f.Add([]byte(`{"name": "x", "days": -1}`))
+	f.Add([]byte(`{"name": "x", "start": "2023-03-01T00:00:00Z", "days": 10,
+	  "ases": [{"asn": 1, "name": "a", "region": "Kyiv", "blocks": 1, "density": 1, "resp_rate": 0.5}],
+	  "events": [{"name": "a", "after": "a.end", "duration": "1d", "effect": "silent", "ases": [1]}],
+	  "score": {"ases": [1]}}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if spec.Name == "" || len(spec.Name) > MaxNameLen {
+			t.Fatalf("accepted bad name %q", spec.Name)
+		}
+		if spec.Days < 1 || spec.Days > MaxDays {
+			t.Fatalf("accepted days = %d", spec.Days)
+		}
+		if spec.Interval < MinInterval || spec.Interval > MaxInterval {
+			t.Fatalf("accepted interval = %v", spec.Interval)
+		}
+		if len(spec.ASes) == 0 || len(spec.ASes) > MaxASes {
+			t.Fatalf("accepted %d ases", len(spec.ASes))
+		}
+		total := 0
+		for _, as := range spec.ASes {
+			total += as.Blocks
+			if as.Blocks < 1 || as.Density < 1 || as.Density > 255 ||
+				as.RespRate <= 0 || as.RespRate > 1 || !as.Region.Valid() {
+				t.Fatalf("accepted AS %+v", as)
+			}
+		}
+		if total > MaxBlocks {
+			t.Fatalf("accepted %d blocks", total)
+		}
+		end := spec.End()
+		for _, ev := range spec.Events {
+			if !ev.From.Before(ev.To) {
+				t.Fatalf("accepted empty event window %+v", ev)
+			}
+			if ev.From.Before(spec.Start) || !ev.From.Before(end) {
+				t.Fatalf("accepted out-of-campaign event %+v", ev)
+			}
+			if ev.BlockPct < 1 || ev.BlockPct > 100 {
+				t.Fatalf("accepted block_pct %d", ev.BlockPct)
+			}
+		}
+		for i, w := range spec.Missing {
+			if !w.From.Before(w.To) || w.Coverage < 0 || w.Coverage >= 1 {
+				t.Fatalf("accepted vantage window %+v", w)
+			}
+			for _, prev := range spec.Missing[:i] {
+				if w.From.Before(prev.To) && prev.From.Before(w.To) {
+					t.Fatalf("accepted overlapping vantage windows")
+				}
+			}
+		}
+		if len(spec.Score.ASes) == 0 && len(spec.Score.Regions) == 0 {
+			t.Fatal("accepted empty score section")
+		}
+	})
+}

@@ -1,0 +1,43 @@
+package scenario
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+//go:embed library/*.json
+var libraryFS embed.FS
+
+// Names lists the embedded library scenarios, sorted.
+func Names() []string {
+	entries, err := libraryFS.ReadDir("library")
+	if err != nil {
+		panic(err) // embedded directory; cannot fail
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Source returns the raw file of an embedded scenario.
+func Source(name string) ([]byte, error) {
+	data, err := libraryFS.ReadFile("library/" + name + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: no library scenario %q", name)
+	}
+	return data, nil
+}
+
+// Load parses an embedded library scenario by name.
+func Load(name string) (*Spec, error) {
+	data, err := Source(name)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}

@@ -1,0 +1,684 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"countrymon/internal/netmodel"
+	"countrymon/internal/power"
+	"countrymon/internal/sim"
+)
+
+// Wire format. Field names are snake_case; unknown fields are rejected so a
+// typo in a scenario file fails loudly instead of silently scripting nothing.
+type fileDoc struct {
+	Name        string      `json:"name"`
+	Description string      `json:"description"`
+	Seed        uint64      `json:"seed"`
+	Start       string      `json:"start"`
+	Interval    string      `json:"interval"`
+	Days        int         `json:"days"`
+	ASes        []asDoc     `json:"ases"`
+	Events      []eventDoc  `json:"events"`
+	Power       *powerDoc   `json:"power"`
+	Missing     []windowDoc `json:"missing"`
+	Score       scoreDoc    `json:"score"`
+}
+
+type asDoc struct {
+	ASN              uint32      `json:"asn"`
+	Name             string      `json:"name"`
+	Region           string      `json:"region"`
+	Blocks           int         `json:"blocks"`
+	Density          int         `json:"density"`
+	RespRate         float64     `json:"resp_rate"`
+	DeclineTo        float64     `json:"decline_to"`
+	DiurnalPct       int         `json:"diurnal_pct"`
+	GridSensitivePct int         `json:"grid_sensitive_pct"`
+	BackupHours      float64     `json:"backup_hours"`
+	DynamicPct       int         `json:"dynamic_pct"`
+	Static           bool        `json:"static"`
+	National         bool        `json:"national"`
+	Migrate          *migrateDoc `json:"migrate"`
+	Drift            *driftDoc   `json:"drift"`
+}
+
+type migrateDoc struct {
+	Month   int    `json:"month"`
+	Region  string `json:"region"`
+	Country string `json:"country"`
+	Pct     int    `json:"pct"`
+}
+
+type driftDoc struct {
+	Region string  `json:"region"`
+	Frac   float64 `json:"frac"`
+	Pct    int     `json:"pct"`
+}
+
+type eventDoc struct {
+	Name       string   `json:"name"`
+	At         string   `json:"at"`
+	After      string   `json:"after"`
+	Duration   string   `json:"duration"`
+	Effect     string   `json:"effect"`
+	Magnitude  float64  `json:"magnitude"`
+	RTTDeltaMS int      `json:"rtt_delta_ms"`
+	ASes       []uint32 `json:"ases"`
+	Regions    []string `json:"regions"`
+	BlockPct   int      `json:"block_pct"`
+	Truth      string   `json:"truth"`
+}
+
+type powerDoc struct {
+	Strikes []strikeDoc `json:"strikes"`
+}
+
+type strikeDoc struct {
+	Day     int      `json:"day"`
+	Days    int      `json:"days"`
+	Hours   float64  `json:"hours"`
+	Regions []string `json:"regions"`
+}
+
+type windowDoc struct {
+	At       string  `json:"at"`
+	Duration string  `json:"duration"`
+	Coverage float64 `json:"coverage"`
+}
+
+type scoreDoc struct {
+	ASes    []uint32 `json:"ases"`
+	Regions []string `json:"regions"`
+	Warmup  string   `json:"warmup"`
+	Slack   string   `json:"slack"`
+}
+
+// parseDuration parses Go durations extended with a leading whole-day
+// component: "36h", "3d", "3d12h30m". Negative and empty durations are
+// rejected.
+func parseDuration(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty duration")
+	}
+	if i := strings.IndexByte(s, 'd'); i >= 0 && !strings.ContainsAny(s[:i], "hmnsu.") {
+		days, err := strconv.Atoi(s[:i])
+		if err != nil || days < 0 {
+			return 0, fmt.Errorf("bad day count in duration %q", s)
+		}
+		var rest time.Duration
+		if i+1 < len(s) {
+			rest, err = time.ParseDuration(s[i+1:])
+			if err != nil || rest < 0 {
+				return 0, fmt.Errorf("bad duration %q", s)
+			}
+		}
+		return time.Duration(days)*24*time.Hour + rest, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	return d, nil
+}
+
+func parseRegion(name string) (netmodel.Region, error) {
+	r, ok := netmodel.RegionByName(name)
+	if !ok {
+		return netmodel.RegionNone, fmt.Errorf("unknown region %q", name)
+	}
+	return r, nil
+}
+
+func parseRegions(names []string) ([]netmodel.Region, error) {
+	out := make([]netmodel.Region, 0, len(names))
+	seen := make(map[netmodel.Region]bool, len(names))
+	for _, n := range names {
+		r, err := parseRegion(n)
+		if err != nil {
+			return nil, err
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("duplicate region %q", n)
+		}
+		seen[r] = true
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+var effectNames = map[string]sim.EffectKind{
+	"bgp_down":     sim.EffectBGPDown,
+	"silent":       sim.EffectSilent,
+	"ips_drop":     sim.EffectIPSDrop,
+	"reroute":      sim.EffectReroute,
+	"diurnal_only": sim.EffectDiurnalOnly,
+}
+
+// defaultLabel is the effect's natural truth label when the file does not
+// say: reachability-destroying effects are outages, path-shape effects are
+// benign.
+func defaultLabel(k sim.EffectKind) Label {
+	if k == sim.EffectReroute {
+		return LabelBenign
+	}
+	return LabelOutage
+}
+
+// Parse decodes and validates a scenario file. Everything that can be wrong
+// statically is wrong here: unknown fields, malformed durations, unresolvable
+// or cyclic event anchors, out-of-bounds sizes, and overlapping same-effect
+// events on intersecting scopes.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var doc fileDoc
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after document")
+	}
+
+	if doc.Name == "" || len(doc.Name) > MaxNameLen {
+		return nil, fmt.Errorf("scenario: name must be 1..%d chars", MaxNameLen)
+	}
+	spec := &Spec{Name: doc.Name, Description: doc.Description, Seed: doc.Seed}
+
+	start, err := time.Parse(time.RFC3339, doc.Start)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: bad start %q: %v", doc.Name, doc.Start, err)
+	}
+	spec.Start = start.UTC()
+	if doc.Days < 1 || doc.Days > MaxDays {
+		return nil, fmt.Errorf("scenario %s: days must be 1..%d", doc.Name, MaxDays)
+	}
+	spec.Days = doc.Days
+	if doc.Interval == "" {
+		doc.Interval = "4h"
+	}
+	iv, err := parseDuration(doc.Interval)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: interval: %v", doc.Name, err)
+	}
+	if iv < MinInterval || iv > MaxInterval || (24*time.Hour)%iv != 0 {
+		return nil, fmt.Errorf("scenario %s: interval %v must divide a day and lie in [%v, %v]",
+			doc.Name, iv, MinInterval, MaxInterval)
+	}
+	spec.Interval = iv
+	end := spec.End()
+
+	if err := parseASes(spec, doc.ASes); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", doc.Name, err)
+	}
+	if err := parseEvents(spec, doc.Events, end); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", doc.Name, err)
+	}
+	if doc.Power != nil {
+		if err := parseStrikes(spec, doc.Power.Strikes); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", doc.Name, err)
+		}
+	}
+	if err := parseMissing(spec, doc.Missing, end); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", doc.Name, err)
+	}
+	if err := parseScore(spec, doc.Score); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", doc.Name, err)
+	}
+	return spec, nil
+}
+
+func pctValid(p int) bool { return p >= 0 && p <= 100 }
+
+func parseASes(spec *Spec, docs []asDoc) error {
+	if len(docs) == 0 || len(docs) > MaxASes {
+		return fmt.Errorf("ases must number 1..%d", MaxASes)
+	}
+	total := 0
+	seen := make(map[netmodel.ASN]bool, len(docs))
+	months := monthsUpperBound(spec)
+	for i, d := range docs {
+		if d.ASN == 0 {
+			return fmt.Errorf("ases[%d]: asn must be non-zero", i)
+		}
+		asn := netmodel.ASN(d.ASN)
+		if seen[asn] {
+			return fmt.Errorf("ases[%d]: duplicate asn %d", i, d.ASN)
+		}
+		seen[asn] = true
+		if d.Name == "" || len(d.Name) > MaxNameLen {
+			return fmt.Errorf("ases[%d]: name must be 1..%d chars", i, MaxNameLen)
+		}
+		region, err := parseRegion(d.Region)
+		if err != nil {
+			return fmt.Errorf("ases[%d]: %v", i, err)
+		}
+		if d.Blocks < 1 || d.Blocks > 256 {
+			return fmt.Errorf("ases[%d]: blocks must be 1..256", i)
+		}
+		total += d.Blocks
+		if d.Density < 1 || d.Density > 255 {
+			return fmt.Errorf("ases[%d]: density must be 1..255", i)
+		}
+		if d.RespRate <= 0 || d.RespRate > 1 {
+			return fmt.Errorf("ases[%d]: resp_rate must be in (0, 1]", i)
+		}
+		if d.DeclineTo < 0 || d.DeclineTo > 1.5 {
+			return fmt.Errorf("ases[%d]: decline_to must be in [0, 1.5]", i)
+		}
+		if !pctValid(d.DiurnalPct) || !pctValid(d.GridSensitivePct) || !pctValid(d.DynamicPct) {
+			return fmt.Errorf("ases[%d]: percent fields must be 0..100", i)
+		}
+		if d.BackupHours < 0 || d.BackupHours > 24 {
+			return fmt.Errorf("ases[%d]: backup_hours must be 0..24", i)
+		}
+		as := ASSpec{
+			ASN: asn, Name: d.Name, Region: region, Blocks: d.Blocks,
+			Density: d.Density, RespRate: d.RespRate, DeclineTo: d.DeclineTo,
+			DiurnalPct: d.DiurnalPct, GridSensitivePct: d.GridSensitivePct,
+			BackupHours: d.BackupHours, DynamicPct: d.DynamicPct,
+			Static: d.Static, National: d.National,
+		}
+		if as.DeclineTo == 0 {
+			as.DeclineTo = 1
+		}
+		if m := d.Migrate; m != nil {
+			if !pctValid(m.Pct) || m.Pct == 0 {
+				return fmt.Errorf("ases[%d]: migrate.pct must be 1..100", i)
+			}
+			if m.Month < 0 || m.Month >= months {
+				return fmt.Errorf("ases[%d]: migrate.month %d outside campaign", i, m.Month)
+			}
+			if (m.Region == "") == (m.Country == "") {
+				return fmt.Errorf("ases[%d]: migrate needs exactly one of region or country", i)
+			}
+			as.MigratePct, as.MigrateMonth, as.MigrateCountry = m.Pct, m.Month, m.Country
+			if m.Region != "" {
+				if as.MigrateRegion, err = parseRegion(m.Region); err != nil {
+					return fmt.Errorf("ases[%d]: migrate: %v", i, err)
+				}
+			}
+		}
+		if dr := d.Drift; dr != nil {
+			if !pctValid(dr.Pct) || dr.Pct == 0 {
+				return fmt.Errorf("ases[%d]: drift.pct must be 1..100", i)
+			}
+			if dr.Frac <= 0 || dr.Frac > 0.5 {
+				return fmt.Errorf("ases[%d]: drift.frac must be in (0, 0.5]", i)
+			}
+			if as.DriftRegion, err = parseRegion(dr.Region); err != nil {
+				return fmt.Errorf("ases[%d]: drift: %v", i, err)
+			}
+			if as.DriftRegion == region {
+				return fmt.Errorf("ases[%d]: drift region equals home region", i)
+			}
+			as.DriftPct, as.DriftFrac = dr.Pct, dr.Frac
+		}
+		spec.ASes = append(spec.ASes, as)
+	}
+	if total > MaxBlocks {
+		return fmt.Errorf("total blocks %d exceeds %d", total, MaxBlocks)
+	}
+	return nil
+}
+
+// monthsUpperBound over-approximates the campaign's dense month count for
+// migrate.month validation (exact counting needs the timeline; one spare
+// month of slack is harmless in a bounds check).
+func monthsUpperBound(spec *Spec) int {
+	return spec.Days/28 + 2
+}
+
+// anchorRef is an unresolved "name.start" / "name.end+dur" event anchor.
+type anchorRef struct {
+	target string
+	atEnd  bool
+	offset time.Duration
+}
+
+func parseAnchor(s string) (anchorRef, error) {
+	var ref anchorRef
+	rest := s
+	if i := strings.IndexByte(s, '+'); i >= 0 {
+		off, err := parseDuration(s[i+1:])
+		if err != nil {
+			return ref, err
+		}
+		ref.offset = off
+		rest = s[:i]
+	}
+	switch {
+	case strings.HasSuffix(rest, ".start"):
+		ref.target = strings.TrimSuffix(rest, ".start")
+	case strings.HasSuffix(rest, ".end"):
+		ref.target, ref.atEnd = strings.TrimSuffix(rest, ".end"), true
+	default:
+		return ref, fmt.Errorf("anchor %q must reference <event>.start or <event>.end", s)
+	}
+	if ref.target == "" {
+		return ref, fmt.Errorf("anchor %q has no event name", s)
+	}
+	return ref, nil
+}
+
+func parseEvents(spec *Spec, docs []eventDoc, end time.Time) error {
+	if len(docs) > MaxEvents {
+		return fmt.Errorf("events must number at most %d", MaxEvents)
+	}
+	known := make(map[netmodel.ASN]netmodel.Region, len(spec.ASes))
+	for _, as := range spec.ASes {
+		known[as.ASN] = as.Region
+	}
+
+	byName := make(map[string]int, len(docs))
+	events := make([]EventSpec, len(docs))
+	anchors := make([]anchorRef, len(docs))
+	durations := make([]time.Duration, len(docs))
+	for i, d := range docs {
+		if d.Name == "" || len(d.Name) > MaxNameLen {
+			return fmt.Errorf("events[%d]: name must be 1..%d chars", i, MaxNameLen)
+		}
+		if _, dup := byName[d.Name]; dup {
+			return fmt.Errorf("events[%d]: duplicate name %q", i, d.Name)
+		}
+		byName[d.Name] = i
+
+		kind, ok := effectNames[d.Effect]
+		if !ok {
+			return fmt.Errorf("event %q: unknown effect %q", d.Name, d.Effect)
+		}
+		ev := EventSpec{Name: d.Name, Effect: kind, Magnitude: d.Magnitude,
+			RTTDeltaMS: d.RTTDeltaMS, BlockPct: d.BlockPct, Label: defaultLabel(kind)}
+		switch d.Truth {
+		case "":
+		case "outage":
+			ev.Label = LabelOutage
+		case "benign":
+			ev.Label = LabelBenign
+		default:
+			return fmt.Errorf("event %q: truth must be \"outage\" or \"benign\"", d.Name)
+		}
+		switch kind {
+		case sim.EffectIPSDrop:
+			if ev.Magnitude <= 0 || ev.Magnitude > 1 {
+				return fmt.Errorf("event %q: ips_drop needs magnitude in (0, 1]", d.Name)
+			}
+		case sim.EffectReroute:
+			if ev.RTTDeltaMS < 0 || ev.RTTDeltaMS > MaxRTTDeltaMS {
+				return fmt.Errorf("event %q: rtt_delta_ms must be 0..%d", d.Name, MaxRTTDeltaMS)
+			}
+		default:
+			if ev.Magnitude != 0 {
+				return fmt.Errorf("event %q: magnitude only applies to ips_drop", d.Name)
+			}
+		}
+		if ev.BlockPct == 0 {
+			ev.BlockPct = 100
+		}
+		if ev.BlockPct < 1 || ev.BlockPct > 100 {
+			return fmt.Errorf("event %q: block_pct must be 1..100", d.Name)
+		}
+		if len(d.ASes) == 0 && len(d.Regions) == 0 {
+			return fmt.Errorf("event %q: needs at least one of ases or regions", d.Name)
+		}
+		seenASN := make(map[netmodel.ASN]bool, len(d.ASes))
+		for _, a := range d.ASes {
+			asn := netmodel.ASN(a)
+			if _, ok := known[asn]; !ok {
+				return fmt.Errorf("event %q: unknown asn %d", d.Name, a)
+			}
+			if seenASN[asn] {
+				return fmt.Errorf("event %q: duplicate asn %d", d.Name, a)
+			}
+			seenASN[asn] = true
+			ev.ASNs = append(ev.ASNs, asn)
+		}
+		var err error
+		if ev.Regions, err = parseRegions(d.Regions); err != nil {
+			return fmt.Errorf("event %q: %v", d.Name, err)
+		}
+
+		if d.Duration == "" {
+			return fmt.Errorf("event %q: duration is required", d.Name)
+		}
+		dur, err := parseDuration(d.Duration)
+		if err != nil || dur <= 0 {
+			return fmt.Errorf("event %q: bad duration %q", d.Name, d.Duration)
+		}
+		durations[i] = dur
+
+		if (d.At == "") == (d.After == "") {
+			return fmt.Errorf("event %q: needs exactly one of at or after", d.Name)
+		}
+		if d.At != "" {
+			from, err := parseAt(d.At, spec.Start)
+			if err != nil {
+				return fmt.Errorf("event %q: at: %v", d.Name, err)
+			}
+			ev.From = from
+		} else {
+			ref, err := parseAnchor(d.After)
+			if err != nil {
+				return fmt.Errorf("event %q: after: %v", d.Name, err)
+			}
+			anchors[i] = ref
+		}
+		events[i] = ev
+	}
+
+	// Resolve "after" anchors, detecting reference cycles.
+	const (
+		unresolved = 0
+		resolving  = 1
+		resolved   = 2
+	)
+	state := make([]int, len(events))
+	var resolve func(i int) error
+	resolve = func(i int) error {
+		switch state[i] {
+		case resolved:
+			return nil
+		case resolving:
+			return fmt.Errorf("event %q: anchor reference cycle", events[i].Name)
+		}
+		state[i] = resolving
+		if events[i].From.IsZero() {
+			ref := anchors[i]
+			j, ok := byName[ref.target]
+			if !ok {
+				return fmt.Errorf("event %q: after references unknown event %q",
+					events[i].Name, ref.target)
+			}
+			if j == i {
+				return fmt.Errorf("event %q: anchor reference cycle", events[i].Name)
+			}
+			if err := resolve(j); err != nil {
+				return err
+			}
+			base := events[j].From
+			if ref.atEnd {
+				base = events[j].To
+			}
+			events[i].From = base.Add(ref.offset)
+		}
+		events[i].To = events[i].From.Add(durations[i])
+		state[i] = resolved
+		return nil
+	}
+	for i := range events {
+		if err := resolve(i); err != nil {
+			return err
+		}
+	}
+	for i := range events {
+		if events[i].From.Before(spec.Start) || !events[i].From.Before(end) {
+			return fmt.Errorf("event %q: starts outside the campaign", events[i].Name)
+		}
+	}
+
+	// Reject same-effect events whose time windows overlap on intersecting
+	// scopes: the compiled effects would stack (two ips_drops multiply, two
+	// reroutes add) in ways scenario authors never mean. Scope intersection
+	// is evaluated at AS granularity — a region scope covers every AS homed
+	// there.
+	scopeOf := func(ev *EventSpec) map[netmodel.ASN]bool {
+		s := make(map[netmodel.ASN]bool, len(ev.ASNs))
+		for _, a := range ev.ASNs {
+			s[a] = true
+		}
+		for _, r := range ev.Regions {
+			for asn, home := range known {
+				if home == r {
+					s[asn] = true
+				}
+			}
+		}
+		return s
+	}
+	scopes := make([]map[netmodel.ASN]bool, len(events))
+	for i := range events {
+		scopes[i] = scopeOf(&events[i])
+	}
+	for i := range events {
+		for j := i + 1; j < len(events); j++ {
+			if events[i].Effect != events[j].Effect {
+				continue
+			}
+			if !events[i].From.Before(events[j].To) || !events[j].From.Before(events[i].To) {
+				continue
+			}
+			for asn := range scopes[i] {
+				if scopes[j][asn] {
+					return fmt.Errorf("events %q and %q: same effect overlaps in time on AS %d",
+						events[i].Name, events[j].Name, asn)
+				}
+			}
+		}
+	}
+	spec.Events = events
+	return nil
+}
+
+// parseAt resolves an event start: an offset duration from campaign start
+// ("12d6h") or an absolute RFC3339 instant.
+func parseAt(s string, start time.Time) (time.Time, error) {
+	if d, err := parseDuration(s); err == nil {
+		return start.Add(d), nil
+	}
+	at, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("%q is neither a duration offset nor RFC3339", s)
+	}
+	return at.UTC(), nil
+}
+
+func parseStrikes(spec *Spec, docs []strikeDoc) error {
+	if len(docs) > MaxStrikes {
+		return fmt.Errorf("power strikes must number at most %d", MaxStrikes)
+	}
+	for i, d := range docs {
+		if d.Day < 0 || d.Day >= spec.Days {
+			return fmt.Errorf("power.strikes[%d]: day %d outside campaign", i, d.Day)
+		}
+		days := d.Days
+		if days == 0 {
+			days = 1
+		}
+		if days < 1 || days > spec.Days {
+			return fmt.Errorf("power.strikes[%d]: days must be 1..%d", i, spec.Days)
+		}
+		if d.Hours <= 0 || d.Hours > 24 {
+			return fmt.Errorf("power.strikes[%d]: hours must be in (0, 24]", i)
+		}
+		regions, err := parseRegions(d.Regions)
+		if err != nil {
+			return fmt.Errorf("power.strikes[%d]: %v", i, err)
+		}
+		if len(regions) == 0 {
+			return fmt.Errorf("power.strikes[%d]: regions are required", i)
+		}
+		spec.Strikes = append(spec.Strikes, power.Strike{
+			Day: d.Day, Days: days, Hours: d.Hours, Regions: regions,
+		})
+	}
+	return nil
+}
+
+func parseMissing(spec *Spec, docs []windowDoc, end time.Time) error {
+	if len(docs) > MaxWindows {
+		return fmt.Errorf("missing windows must number at most %d", MaxWindows)
+	}
+	for i, d := range docs {
+		from, err := parseAt(d.At, spec.Start)
+		if err != nil {
+			return fmt.Errorf("missing[%d]: at: %v", i, err)
+		}
+		dur, err := parseDuration(d.Duration)
+		if err != nil || dur <= 0 {
+			return fmt.Errorf("missing[%d]: bad duration %q", i, d.Duration)
+		}
+		if d.Coverage < 0 || d.Coverage >= 1 {
+			return fmt.Errorf("missing[%d]: coverage must be in [0, 1)", i)
+		}
+		w := VantageWindow{From: from, To: from.Add(dur), Coverage: d.Coverage}
+		if w.From.Before(spec.Start) || !w.From.Before(end) {
+			return fmt.Errorf("missing[%d]: window outside the campaign", i)
+		}
+		for _, prev := range spec.Missing {
+			if w.From.Before(prev.To) && prev.From.Before(w.To) {
+				return fmt.Errorf("missing[%d]: overlaps an earlier window", i)
+			}
+		}
+		spec.Missing = append(spec.Missing, w)
+	}
+	return nil
+}
+
+func parseScore(spec *Spec, doc scoreDoc) error {
+	known := make(map[netmodel.ASN]bool, len(spec.ASes))
+	for _, as := range spec.ASes {
+		known[as.ASN] = true
+	}
+	seen := make(map[netmodel.ASN]bool)
+	for _, a := range doc.ASes {
+		asn := netmodel.ASN(a)
+		if !known[asn] {
+			return fmt.Errorf("score: unknown asn %d", a)
+		}
+		if seen[asn] {
+			return fmt.Errorf("score: duplicate asn %d", a)
+		}
+		seen[asn] = true
+		spec.Score.ASes = append(spec.Score.ASes, asn)
+	}
+	var err error
+	if spec.Score.Regions, err = parseRegions(doc.Regions); err != nil {
+		return fmt.Errorf("score: %v", err)
+	}
+	if len(spec.Score.ASes) == 0 && len(spec.Score.Regions) == 0 {
+		return fmt.Errorf("score: needs at least one AS or region")
+	}
+	spec.Score.Warmup = 14 * 24 * time.Hour
+	if doc.Warmup != "" {
+		if spec.Score.Warmup, err = parseDuration(doc.Warmup); err != nil {
+			return fmt.Errorf("score: warmup: %v", err)
+		}
+	}
+	if spec.Score.Warmup >= time.Duration(spec.Days)*24*time.Hour {
+		return fmt.Errorf("score: warmup swallows the whole campaign")
+	}
+	spec.Score.Slack = 24 * time.Hour
+	if doc.Slack != "" {
+		if spec.Score.Slack, err = parseDuration(doc.Slack); err != nil {
+			return fmt.Errorf("score: slack: %v", err)
+		}
+	}
+	if spec.Score.Slack > MaxSlack {
+		return fmt.Errorf("score: slack exceeds %v", MaxSlack)
+	}
+	return nil
+}

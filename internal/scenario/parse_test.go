@@ -1,0 +1,235 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"countrymon/internal/netmodel"
+	"countrymon/internal/sim"
+)
+
+// minimalDoc is a valid single-AS scenario that rejection tests mutate.
+const minimalDoc = `{
+  "name": "t",
+  "seed": 1,
+  "start": "2023-03-01T00:00:00Z",
+  "interval": "4h",
+  "days": 40,
+  "ases": [
+    {"asn": 64500, "name": "A", "region": "Kyiv", "blocks": 2, "density": 50, "resp_rate": 0.8}
+  ],
+  "events": [
+    {"name": "e1", "at": "30d", "duration": "1d", "effect": "silent", "ases": [64500]}
+  ],
+  "score": {"ases": [64500]}
+}`
+
+func TestParseMinimal(t *testing.T) {
+	spec, err := Parse([]byte(minimalDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "t" || spec.Days != 40 || spec.Interval != 4*time.Hour {
+		t.Fatalf("header mismatch: %+v", spec)
+	}
+	if spec.Rounds() != 40*6 {
+		t.Fatalf("rounds = %d, want 240", spec.Rounds())
+	}
+	as := spec.ASes[0]
+	if as.Region != netmodel.Kyiv || as.DeclineTo != 1 {
+		t.Fatalf("AS defaults: %+v", as)
+	}
+	ev := spec.Events[0]
+	start := time.Date(2023, 3, 31, 0, 0, 0, 0, time.UTC)
+	if !ev.From.Equal(start) || !ev.To.Equal(start.Add(24*time.Hour)) {
+		t.Fatalf("event window [%v, %v)", ev.From, ev.To)
+	}
+	if ev.Label != LabelOutage || ev.BlockPct != 100 || ev.Effect != sim.EffectSilent {
+		t.Fatalf("event defaults: %+v", ev)
+	}
+	if spec.Score.Warmup != 14*24*time.Hour || spec.Score.Slack != 24*time.Hour {
+		t.Fatalf("score defaults: %+v", spec.Score)
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+		bad  bool
+	}{
+		{in: "4h", want: 4 * time.Hour},
+		{in: "3d", want: 72 * time.Hour},
+		{in: "3d12h30m", want: 84*time.Hour + 30*time.Minute},
+		{in: "0d6h", want: 6 * time.Hour},
+		{in: "90m", want: 90 * time.Minute},
+		{in: "", bad: true},
+		{in: "d", bad: true},
+		{in: "-1d", bad: true},
+		{in: "-4h", bad: true},
+		{in: "3d-4h", bad: true},
+		{in: "1.5d", bad: true},  // fractional days: use hours
+		{in: "12h3d", bad: true}, // days must lead
+		{in: "bogus", bad: true},
+	}
+	for _, c := range cases {
+		got, err := parseDuration(c.in)
+		if c.bad {
+			if err == nil {
+				t.Errorf("parseDuration(%q) accepted, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("parseDuration(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+}
+
+func TestParseEventAnchors(t *testing.T) {
+	doc := `{
+  "name": "anchors", "seed": 1, "start": "2023-03-01T00:00:00Z", "interval": "4h", "days": 40,
+  "ases": [{"asn": 64500, "name": "A", "region": "Kyiv", "blocks": 1, "density": 50, "resp_rate": 0.8}],
+  "events": [
+    {"name": "tail", "after": "mid.end+12h", "duration": "1d", "effect": "reroute", "rtt_delta_ms": 10, "ases": [64500]},
+    {"name": "mid", "after": "head.end", "duration": "2d", "effect": "ips_drop", "magnitude": 0.5, "ases": [64500]},
+    {"name": "head", "at": "2023-03-21T00:00:00Z", "duration": "1d", "effect": "silent", "ases": [64500]}
+  ],
+  "score": {"ases": [64500]}
+}`
+	spec, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := time.Date(2023, 3, 21, 0, 0, 0, 0, time.UTC)
+	byName := map[string]EventSpec{}
+	for _, ev := range spec.Events {
+		byName[ev.Name] = ev
+	}
+	if !byName["mid"].From.Equal(head.Add(24 * time.Hour)) {
+		t.Fatalf("mid.From = %v", byName["mid"].From)
+	}
+	if !byName["tail"].From.Equal(head.Add((24 + 48 + 12) * time.Hour)) {
+		t.Fatalf("tail.From = %v", byName["tail"].From)
+	}
+}
+
+// TestParseRejections is the rejection surface FuzzScenarioParse leans on:
+// each mutation must fail with a diagnostic, never a panic or silent accept.
+func TestParseRejections(t *testing.T) {
+	mutate := func(old, new string) string {
+		s := strings.Replace(minimalDoc, old, new, 1)
+		if s == minimalDoc {
+			t.Fatalf("mutation %q not applied", new)
+		}
+		return s
+	}
+	cases := map[string]string{
+		"unknown field":      mutate(`"seed": 1`, `"seed": 1, "surprise": true`),
+		"trailing data":      minimalDoc + `{"name": "again"}`,
+		"empty name":         mutate(`"name": "t"`, `"name": ""`),
+		"bad start":          mutate(`"2023-03-01T00:00:00Z"`, `"yesterday"`),
+		"zero days":          mutate(`"days": 40`, `"days": 0`),
+		"days over cap":      mutate(`"days": 40`, `"days": 100000`),
+		"interval no divide": mutate(`"interval": "4h"`, `"interval": "7h"`),
+		"interval too small": mutate(`"interval": "4h"`, `"interval": "1m"`),
+		"no ases": mutate(`"ases": [
+    {"asn": 64500, "name": "A", "region": "Kyiv", "blocks": 2, "density": 50, "resp_rate": 0.8}
+  ]`, `"ases": []`),
+		"zero asn":       mutate(`"asn": 64500, "name": "A"`, `"asn": 0, "name": "A"`),
+		"unknown region": mutate(`"region": "Kyiv"`, `"region": "Atlantis"`),
+		"zero blocks":    mutate(`"blocks": 2`, `"blocks": 0`),
+		"bad density":    mutate(`"density": 50`, `"density": 300`),
+		"bad resp rate":  mutate(`"resp_rate": 0.8`, `"resp_rate": 1.5`),
+		"unknown effect": mutate(`"effect": "silent"`, `"effect": "quantum"`),
+		"bad truth": mutate(`"ases": [64500]}
+  ]`, `"ases": [64500], "truth": "maybe"}
+  ]`),
+		"zero duration":     mutate(`"duration": "1d"`, `"duration": "0h"`),
+		"negative duration": mutate(`"duration": "1d"`, `"duration": "-4h"`),
+		"event no scope": mutate(`"effect": "silent", "ases": [64500]`,
+			`"effect": "silent"`),
+		"event unknown asn": mutate(`"effect": "silent", "ases": [64500]`,
+			`"effect": "silent", "ases": [64999]`),
+		"event past end":     mutate(`"at": "30d"`, `"at": "41d"`),
+		"event before start": mutate(`"at": "30d"`, `"at": "2023-02-01T00:00:00Z"`),
+		"bad block pct": mutate(`"ases": [64500]}
+  ]`, `"ases": [64500], "block_pct": 150}
+  ]`),
+		"score unknown asn": mutate(`"score": {"ases": [64500]}`, `"score": {"ases": [64999]}`),
+		"score empty":       mutate(`"score": {"ases": [64500]}`, `"score": {}`),
+		"warmup too long":   mutate(`"score": {"ases": [64500]}`, `"score": {"ases": [64500], "warmup": "60d"}`),
+		"slack too long":    mutate(`"score": {"ases": [64500]}`, `"score": {"ases": [64500], "slack": "30d"}`),
+	}
+	for name, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseRejectsAnchorCycles(t *testing.T) {
+	events := map[string]string{
+		"self cycle": `[{"name": "a", "after": "a.end", "duration": "1d", "effect": "silent", "ases": [64500]}]`,
+		"two cycle": `[
+      {"name": "a", "after": "b.end", "duration": "1d", "effect": "silent", "ases": [64500]},
+      {"name": "b", "after": "a.end", "duration": "1d", "effect": "ips_drop", "magnitude": 0.5, "ases": [64500]}
+    ]`,
+		"unknown anchor":       `[{"name": "a", "after": "ghost.start", "duration": "1d", "effect": "silent", "ases": [64500]}]`,
+		"bad anchor form":      `[{"name": "a", "after": "a.middle", "duration": "1d", "effect": "silent", "ases": [64500]}]`,
+		"both at and after":    `[{"name": "a", "at": "30d", "after": "a.end", "duration": "1d", "effect": "silent", "ases": [64500]}]`,
+		"neither at nor after": `[{"name": "a", "duration": "1d", "effect": "silent", "ases": [64500]}]`,
+		"duplicate names": `[
+      {"name": "a", "at": "30d", "duration": "1d", "effect": "silent", "ases": [64500]},
+      {"name": "a", "at": "35d", "duration": "1d", "effect": "silent", "ases": [64500]}
+    ]`,
+	}
+	for name, evs := range events {
+		doc := strings.Replace(minimalDoc,
+			`[
+    {"name": "e1", "at": "30d", "duration": "1d", "effect": "silent", "ases": [64500]}
+  ]`, evs, 1)
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseRejectsOverlaps(t *testing.T) {
+	// Same effect, overlapping time, intersecting scope — via region overlap.
+	doc := `{
+  "name": "overlap", "seed": 1, "start": "2023-03-01T00:00:00Z", "interval": "4h", "days": 40,
+  "ases": [{"asn": 64500, "name": "A", "region": "Kyiv", "blocks": 1, "density": 50, "resp_rate": 0.8}],
+  "events": [
+    {"name": "a", "at": "30d", "duration": "2d", "effect": "silent", "ases": [64500]},
+    {"name": "b", "at": "31d", "duration": "2d", "effect": "silent", "regions": ["Kyiv"]}
+  ],
+  "score": {"ases": [64500]}
+}`
+	if _, err := Parse([]byte(doc)); err == nil {
+		t.Error("overlapping same-effect events accepted")
+	}
+	// Different effects may overlap (an outage during a reroute is a real shape).
+	ok := strings.Replace(doc, `"effect": "silent", "regions": ["Kyiv"]`,
+		`"effect": "reroute", "rtt_delta_ms": 20, "regions": ["Kyiv"]`, 1)
+	if _, err := Parse([]byte(ok)); err != nil {
+		t.Errorf("overlapping different-effect events rejected: %v", err)
+	}
+	// Same effect back-to-back (touching, not overlapping) is fine.
+	ok = strings.Replace(doc, `"at": "31d"`, `"at": "32d"`, 1)
+	if _, err := Parse([]byte(ok)); err != nil {
+		t.Errorf("adjacent same-effect events rejected: %v", err)
+	}
+
+	// Overlapping vantage windows are rejected.
+	doc = strings.Replace(minimalDoc, `"score"`,
+		`"missing": [
+    {"at": "10d", "duration": "2d", "coverage": 0},
+    {"at": "11d", "duration": "1d", "coverage": 0.9}
+  ],
+  "score"`, 1)
+	if _, err := Parse([]byte(doc)); err == nil {
+		t.Error("overlapping vantage windows accepted")
+	}
+}

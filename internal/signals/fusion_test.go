@@ -79,6 +79,58 @@ func TestFuseBlock(t *testing.T) {
 			verdicts: []VantageVerdict{v("v0", 35, 1, true), v("v1", 0, 1, true)},
 			quorum:   2, wantResp: 38, wantOut: FuseAlive,
 		},
+		{
+			name: "dark weight exactly at quorum transitions down",
+			prev: 40, merged: 0,
+			verdicts: []VantageVerdict{v("v0", 0, 1, true), v("v1", 0, 1, true)},
+			quorum:   2, wantResp: 0, wantOut: FuseDown,
+		},
+		{
+			name: "dark weight a hair under quorum holds",
+			prev: 40, merged: 0,
+			verdicts: []VantageVerdict{v("v0", 0, 1, true), v("v1", 0, 0.999, true)},
+			quorum:   2, wantResp: 40, wantOut: FuseHeld,
+		},
+		{
+			name: "all-stalled fleet: dark verdicts with zero weight hold",
+			prev: 40, merged: 0,
+			verdicts: []VantageVerdict{
+				v("v0", 0, 0, false), v("v1", 0, 0, false), v("v2", 0, 0, false),
+			},
+			quorum: 2, wantResp: 40, wantOut: FuseHeld,
+		},
+		{
+			name: "two vantages under quorum 3: effective quorum shrinks to 2",
+			prev: 40, merged: 0,
+			verdicts: []VantageVerdict{v("v0", 0, 1, true), v("v1", 0, 1, true)},
+			quorum:   3, wantResp: 0, wantOut: FuseDown,
+		},
+		{
+			name: "dedup weight tie keeps the first verdict: dark sample first",
+			prev: 40, merged: 25,
+			verdicts: []VantageVerdict{v("v0", 0, 0.8, false), v("v0", 30, 0.8, false)},
+			quorum:   2, wantResp: 40, wantOut: FuseHeld,
+		},
+		{
+			name: "dedup weight tie keeps the first verdict: alive sample first",
+			prev: 40, merged: 25,
+			verdicts: []VantageVerdict{v("v0", 30, 0.8, false), v("v0", 0, 0.8, false)},
+			quorum:   2, wantResp: 25, wantOut: FuseAlive,
+		},
+		{
+			name: "higher-weight sample supersedes the same vantage's sliver",
+			prev: 40, merged: 0,
+			verdicts: []VantageVerdict{
+				v("v0", 3, 0.1, false), v("v0", 0, 1, false), v("v1", 0, 1, true),
+			},
+			quorum: 2, wantResp: 0, wantOut: FuseDown,
+		},
+		{
+			name: "quorum zero is normalized to 1",
+			prev: 40, merged: 0,
+			verdicts: []VantageVerdict{v("v0", 0, 1, true)},
+			quorum:   0, wantResp: 0, wantOut: FuseDown,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

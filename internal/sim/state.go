@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sort"
 	"time"
 
 	"countrymon/internal/dataset"
@@ -317,8 +318,17 @@ func (s *Scenario) ProbeFunc() func(addr netmodel.Addr, at time.Time) bool {
 }
 
 // indexEvents builds the event↔block indices after the scenario's blocks
-// and events are final.
+// and events are final. Events are sorted chronologically first (stable,
+// ties broken by name): downstream consumers — Events() listings, FindEvent
+// precedence, truth-window derivation — assume chronological order, and
+// event sources like Assemble accept events in any order.
 func (s *Scenario) indexEvents() {
+	sort.SliceStable(s.events, func(i, j int) bool {
+		if !s.events[i].From.Equal(s.events[j].From) {
+			return s.events[i].From.Before(s.events[j].From)
+		}
+		return s.events[i].Name < s.events[j].Name
+	})
 	// Per-block AS-traits table: stateAt runs once per (block, round) and a
 	// map lookup there dominates the generator's profile.
 	s.blockAS = make([]*ASTraits, len(s.blocks))
