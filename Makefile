@@ -4,7 +4,7 @@ GO ?= go
 # baseline default), bump to e.g. 3s for stable timing comparisons.
 BENCHTIME ?= 1x
 
-.PHONY: all build test race vet fmt bench bench-smoke bench-diff bench-gate fuzz-smoke chaos-smoke metrics-lint scenario-smoke scorecards ci
+.PHONY: all build test race vet fmt bench bench-smoke bench-diff bench-gate fuzz-smoke chaos-smoke metrics-lint scenario-smoke scorecards load-smoke ci
 
 all: build
 
@@ -62,9 +62,9 @@ bench-diff:
 # committed baseline. Complements bench-diff, which surveys everything but
 # only advises.
 GATE_BENCHTIME ?= 0.5s
-GATE_BENCH_RE = ^(BenchmarkScanRound|BenchmarkFoldRound|BenchmarkStoreWriteTo|BenchmarkStoreReadFrom)$$
-GATE_PKGS = . ./internal/dataset ./internal/signals
-GATE_HEADLINES = probes_per_sec,rounds_per_sec,BenchmarkStoreWriteTo:ns_per_op,BenchmarkStoreReadFrom:ns_per_op
+GATE_BENCH_RE = ^(BenchmarkScanRound|BenchmarkFoldRound|BenchmarkStoreWriteTo|BenchmarkStoreReadFrom|BenchmarkServeCachedQuery)$$
+GATE_PKGS = . ./internal/dataset ./internal/signals ./internal/serve
+GATE_HEADLINES = probes_per_sec,rounds_per_sec,BenchmarkStoreWriteTo:ns_per_op,BenchmarkStoreReadFrom:ns_per_op,BenchmarkServeCachedQuery:ns_per_op,BenchmarkServeCachedQuery:req_per_sec
 bench-gate:
 	$(GO) test -run '^$$' -bench '$(GATE_BENCH_RE)' -benchmem -benchtime=$(GATE_BENCHTIME) -p 1 $(GATE_PKGS) \
 		> /tmp/bench_gate.txt
@@ -93,6 +93,13 @@ fuzz-smoke:
 	$(GO) test ./internal/dataset -fuzz '^FuzzColumnV4$$' -fuzztime 5s -run '^$$'
 	$(GO) test ./internal/scenario -fuzz '^FuzzScenarioParse$$' -fuzztime 5s -run '^$$'
 
+# Scaled-down serving load test: 2k mixed poll/SSE/range clients against an
+# in-process serve stack for a few seconds, failing when the query p99
+# exceeds 5 ms. The full-size run (10k clients, the paper-facing capacity
+# number) is `go run ./cmd/loadgen` with defaults.
+load-smoke:
+	$(GO) run ./cmd/loadgen -clients 2000 -duration 3s -max-p99 5
+
 # Run the labeled scenario library through the full detection stack and fail
 # on any divergence from the committed golden scorecards.
 scenario-smoke:
@@ -110,7 +117,7 @@ scorecards:
 
 # The full gate: formatting, static analysis, the metric-catalogue check,
 # tests, the race detector, the benchmark smoke run, the fuzz smoke, the
-# chaos soak, the scenario scorecard check, the fatal headline-metric gate,
-# and the (non-fatal) bench diff.
-ci: fmt vet metrics-lint test race bench-smoke fuzz-smoke chaos-smoke scenario-smoke bench-gate
+# chaos soak, the scenario scorecard check, the serving load smoke, the
+# fatal headline-metric gate, and the (non-fatal) bench diff.
+ci: fmt vet metrics-lint test race bench-smoke fuzz-smoke chaos-smoke scenario-smoke load-smoke bench-gate
 	-$(MAKE) bench-diff

@@ -73,6 +73,7 @@ import (
 	"countrymon/internal/obs"
 	"countrymon/internal/regional"
 	"countrymon/internal/scanner"
+	"countrymon/internal/serve"
 	"countrymon/internal/signals"
 	"countrymon/internal/timeline"
 )
@@ -257,6 +258,10 @@ type Monitor struct {
 	sigOnce  bool
 	sigBuild *signals.Builder
 	space    *netmodel.Space
+
+	// serveStore, when attached, is the serving read path's timeline store:
+	// every handled round is sealed into it as soon as it folds.
+	serveStore *serve.Store
 
 	// roundLog is the append-only per-round journal (nil without
 	// Options.RoundLogPath).
@@ -747,12 +752,59 @@ func (m *Monitor) invalidate() { m.sigOnce = false }
 // falling back to a full invalidation when streaming is off, no builder is
 // warm yet, or the fold fails.
 func (m *Monitor) foldRound(round int) {
+	defer m.advanceServe(round)
 	if m.opts.StreamSignals && m.sigOnce && m.sigBuild != nil && m.sigBuild.Streaming() {
 		if err := m.sigBuild.Fold(round); err == nil {
 			return
 		}
 	}
 	m.invalidate()
+}
+
+// AttachServe connects a serving read-path store to the monitor. Every round
+// the monitor handles from now on (scanned or marked missing) is sealed into
+// the store right after it folds into the signals builder, so attached
+// queries always see a watermark that trails the campaign by zero rounds.
+// Rounds already handled before the attach are sealed immediately.
+func (m *Monitor) AttachServe(s *serve.Store) {
+	m.serveStore = s
+	if m.round > 0 {
+		_ = s.AdvanceTo(m.round)
+	}
+}
+
+// advanceServe seals a just-folded round into the attached serve store.
+// foldRound is the single chokepoint every handled round passes through
+// (ScanRoundContext, MarkMissing, and resume replay), so the watermark can
+// never skip a round.
+func (m *Monitor) advanceServe(round int) {
+	if m.serveStore != nil {
+		_ = m.serveStore.Advance(round)
+	}
+}
+
+// ServeASSource adapts an AS's signal series for a serve.Store entity. The
+// returned source re-resolves the builder on every sample, so it stays
+// correct across builder invalidations (origin learning, routedness edits):
+// sealed copies in the store were made at fold time, and post-invalidation
+// reads sample the rebuilt series.
+func (m *Monitor) ServeASSource(asn ASN) serve.Source {
+	return serveASSource{m: m, asn: asn}
+}
+
+type serveASSource struct {
+	m   *Monitor
+	asn ASN
+}
+
+func (s serveASSource) Sample(r int) (bgpV, fbs, ips float32, missing bool) {
+	es := s.m.builder().AS(s.asn)
+	return es.BGP[r], es.FBS[r], es.IPS[r], es.Missing[r]
+}
+
+func (s serveASSource) IPSValidMonth(month int) bool {
+	es := s.m.builder().AS(s.asn)
+	return month < len(es.IPSValidMonth) && es.IPSValidMonth[month]
 }
 
 // invalidateFor drops the cached signals builder unless a warm streaming

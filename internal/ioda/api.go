@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"countrymon/internal/netmodel"
+	"countrymon/internal/serve"
 	"countrymon/internal/signals"
 )
 
@@ -44,31 +45,76 @@ type envelope struct {
 	Err  string          `json:"error,omitempty"`
 }
 
-// Server exposes a Platform over HTTP.
+// Server exposes a Platform over HTTP. It does not derive series per
+// request: entities are materialized once, on first touch, into a fully
+// sealed serve.Store (the campaign is finished history from the platform's
+// point of view), detection is memoized there per entity, and rendered
+// response bytes are memoized per query — every repeat request is a map
+// lookup plus a write.
 type Server struct {
 	p   *Platform
 	mux *http.ServeMux
+	// tls is the shared timeline store; every round is sealed at build time.
+	tls  *serve.Store
+	memo *serve.ResponseCache
 }
 
 // NewServer builds the API server.
 func NewServer(p *Platform) *Server {
-	s := &Server{p: p, mux: http.NewServeMux()}
+	tls := serve.NewStore(p.store.Timeline())
+	// A timeline always has at least one round, so sealing cannot fail.
+	_ = tls.AdvanceTo(p.store.Timeline().NumRounds())
+	s := &Server{p: p, mux: http.NewServeMux(), tls: tls, memo: serve.NewResponseCache(0)}
 	s.mux.HandleFunc("/v2/outages/events", s.handleEvents)
 	s.mux.HandleFunc("/v2/signals/raw", s.handleSignals)
 	return s
 }
 
+// asEntity returns (registering on first touch) the timeline-store entity
+// for an AS. Registration builds the platform series once; from then on the
+// store's sealed columns are the only copy anyone reads.
+func (s *Server) asEntity(asn netmodel.ASN) *serve.Entity {
+	code := strconv.FormatUint(uint64(asn), 10)
+	if e := s.tls.Entity(serve.EntityKey("asn", code)); e != nil {
+		return e
+	}
+	src := serve.SeriesSource(s.p.ASSeries(asn))
+	e, _ := s.tls.Register("asn", code, src, serve.DetectWith(Config()))
+	return e
+}
+
+// regionEntity is asEntity for regions, with the platform's fixed-baseline
+// detector instead of the sliding-window one.
+func (s *Server) regionEntity(region netmodel.Region) *serve.Entity {
+	code := region.String()
+	if e := s.tls.Entity(serve.EntityKey("region", code)); e != nil {
+		return e
+	}
+	src := serve.SeriesSource(s.p.RegionSeries(region))
+	e, _ := s.tls.Register("region", code, src, detectRegionSeries)
+	return e
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-func writeJSON(w http.ResponseWriter, status int, typ string, data interface{}, errMsg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
+func renderEnvelope(typ string, data interface{}, errMsg string) []byte {
 	var raw json.RawMessage
 	if data != nil {
 		raw, _ = json.Marshal(data)
 	}
-	_ = json.NewEncoder(w).Encode(envelope{Type: typ, Data: raw, Err: errMsg})
+	body, _ := json.Marshal(envelope{Type: typ, Data: raw, Err: errMsg})
+	return append(body, '\n')
+}
+
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, typ string, data interface{}, errMsg string) {
+	writeRaw(w, status, renderEnvelope(typ, data, errMsg))
 }
 
 // entity resolves entityType/entityCode query params.
@@ -99,6 +145,11 @@ func datasourceOf(k signals.Kind) string {
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	memoKey := "events?" + r.URL.RawQuery
+	if body := s.memo.Get(memoKey); body != nil {
+		writeRaw(w, http.StatusOK, body)
+		return
+	}
 	isAS, asn, region, err := s.entity(r.URL.Query())
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, "outage.events", nil, err.Error())
@@ -106,23 +157,21 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	tl := s.p.store.Timeline()
 	var det *signals.Detection
-	code := ""
+	code, etype := "", "region"
 	if isAS {
-		det = s.p.DetectAS(asn)
-		code = asn.String()
-		if det == nil {
+		code, etype = asn.String(), "asn"
+		if !s.p.Reported(asn) {
 			// Below the reporting floor: empty result, as the real
 			// platform returns for uncovered ASes.
-			writeJSON(w, http.StatusOK, "outage.events", []Event{}, "")
+			body := renderEnvelope("outage.events", []Event{}, "")
+			s.memo.Put(memoKey, body)
+			writeRaw(w, http.StatusOK, body)
 			return
 		}
+		det = s.tls.Detection(s.asEntity(asn))
 	} else {
-		det = s.p.DetectRegion(region)
 		code = region.String()
-	}
-	etype := "region"
-	if isAS {
-		etype = "asn"
+		det = s.tls.Detection(s.regionEntity(region))
 	}
 	events := make([]Event, 0, len(det.Outages))
 	for _, o := range det.Outages {
@@ -135,24 +184,33 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			Ongoing:    o.Ongoing,
 		})
 	}
-	writeJSON(w, http.StatusOK, "outage.events", events, "")
+	body := renderEnvelope("outage.events", events, "")
+	s.memo.Put(memoKey, body)
+	writeRaw(w, http.StatusOK, body)
 }
 
 func (s *Server) handleSignals(w http.ResponseWriter, r *http.Request) {
+	memoKey := "signals?" + r.URL.RawQuery
+	if body := s.memo.Get(memoKey); body != nil {
+		writeRaw(w, http.StatusOK, body)
+		return
+	}
 	isAS, asn, region, err := s.entity(r.URL.Query())
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, "signals.raw", nil, err.Error())
 		return
 	}
-	var es *signals.EntitySeries
+	var ent *serve.Entity
 	if isAS {
 		if !s.p.HasCoverage(asn) {
-			writeJSON(w, http.StatusOK, "signals.raw", []SignalPoint{}, "")
+			body := renderEnvelope("signals.raw", []SignalPoint{}, "")
+			s.memo.Put(memoKey, body)
+			writeRaw(w, http.StatusOK, body)
 			return
 		}
-		es = s.p.ASSeries(asn)
+		ent = s.asEntity(asn)
 	} else {
-		es = s.p.RegionSeries(region)
+		ent = s.regionEntity(region)
 	}
 	tl := s.p.store.Timeline()
 	q := r.URL.Query()
@@ -165,16 +223,18 @@ func (s *Server) handleSignals(w http.ResponseWriter, r *http.Request) {
 	}
 	var pts []SignalPoint
 	for round := 0; round < tl.NumRounds(); round++ {
-		if es.Missing[round] {
+		if ent.Missing(round) {
 			continue
 		}
 		t := tl.Time(round).Unix()
 		if t < from || t > until {
 			continue
 		}
-		pts = append(pts, SignalPoint{Time: t, BGP: float64(es.BGP[round]), TRIN: float64(es.FBS[round])})
+		pts = append(pts, SignalPoint{Time: t, BGP: float64(ent.BGP(round)), TRIN: float64(ent.FBS(round))})
 	}
-	writeJSON(w, http.StatusOK, "signals.raw", pts, "")
+	body := renderEnvelope("signals.raw", pts, "")
+	s.memo.Put(memoKey, body)
+	writeRaw(w, http.StatusOK, body)
 }
 
 // Client consumes the API.

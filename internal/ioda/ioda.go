@@ -184,7 +184,13 @@ func (p *Platform) RegionSeries(region netmodel.Region) *signals.EntitySeries {
 // "reset" the baseline, so they stay in alert for months, inflating IODA's
 // reported downtime hours (§5.1: up to 450 h/month ≈ 63% downtime).
 func (p *Platform) DetectRegion(region netmodel.Region) *signals.Detection {
-	es := p.RegionSeries(region)
+	return detectRegionSeries(p.RegionSeries(region))
+}
+
+// detectRegionSeries is the fixed-baseline detector over an already-built
+// regional series — shared between DetectRegion and the API server's
+// timeline-store entities, which feed it a sealed store view.
+func detectRegionSeries(es *signals.EntitySeries) *signals.Detection {
 	rounds := len(es.BGP)
 	d := &signals.Detection{Flags: make([]signals.Kind, rounds)}
 

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -29,6 +30,11 @@ type Bus struct {
 	filled  bool
 	subs    map[uint64]chan Event
 	nextSub uint64
+	// drops counts events discarded from lagging subscribers' channels
+	// (never from the ring). dropCounter, when set via CountDrops, mirrors
+	// every drop into a registry metric.
+	drops       atomic.Uint64
+	dropCounter atomic.Pointer[Counter]
 }
 
 // DefaultBusCapacity is the ring size when NewBus is called with cap <= 0.
@@ -62,10 +68,32 @@ func (b *Bus) Publish(kind string, fields map[string]any) Event {
 		select {
 		case ch <- ev:
 		default: // subscriber lagging: drop; the ring keeps the event
+			b.drops.Add(1)
+			b.dropCounter.Load().Inc()
 		}
 	}
 	b.mu.Unlock()
 	return ev
+}
+
+// Dropped returns the total number of per-subscriber drops: events a lagging
+// subscriber's channel could not absorb. The events themselves are never
+// lost — the ring retains them and SSE clients re-sync via Since — so this
+// is a congestion signal, not a data-loss count.
+func (b *Bus) Dropped() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.drops.Load()
+}
+
+// CountDrops mirrors every future subscriber drop into c (typically a
+// `bus_dropped_events_total` counter registered by the serving layer).
+func (b *Bus) CountDrops(c *Counter) {
+	if b == nil {
+		return
+	}
+	b.dropCounter.Store(c)
 }
 
 // Seq returns the sequence number of the most recent event.

@@ -198,8 +198,10 @@ func serveEventsSSE(w http.ResponseWriter, r *http.Request, bus *Bus, since uint
 	w.Header().Set("Connection", "keep-alive")
 
 	// Subscribe before replaying the backlog so no event can fall between
-	// the two; the seq guard below drops the overlap.
-	ch, cancel := bus.Subscribe(256)
+	// the two; the seq guard below drops the overlap. The buffer is small —
+	// at 10k SSE clients per-subscriber memory dominates — because a client
+	// that overruns it just re-syncs from the ring via the gap replay below.
+	ch, cancel := bus.Subscribe(64)
 	defer cancel()
 	last := since
 	writeEvent := func(ev Event) bool {
@@ -220,17 +222,49 @@ func serveEventsSSE(w http.ResponseWriter, r *http.Request, bus *Bus, since uint
 			return
 		}
 	}
+	// Drops from this subscriber's channel are only *detected* when a later
+	// event arrives; if the bus goes quiet right after an overrun, the gap
+	// would persist. The re-sync ticker bounds that: at worst one period
+	// after quiescence the client is whole again.
+	resync := time.NewTicker(sseResyncInterval)
+	defer resync.Stop()
 	for {
 		select {
 		case ev := <-ch:
+			if ev.Seq > last+1 {
+				// Events were dropped from this subscriber's channel (slow
+				// consumer); re-sync from the authoritative ring. The replay
+				// includes ev itself, and writeEvent skips anything at or
+				// below last, so nothing is duplicated or lost (unless the
+				// gap outran the ring window — then the stream resumes at
+				// the oldest retained event, like any ?since replay).
+				for _, missed := range bus.Since(last) {
+					if !writeEvent(missed) {
+						return
+					}
+				}
+				continue
+			}
 			if !writeEvent(ev) {
 				return
+			}
+		case <-resync.C:
+			if bus.Seq() > last {
+				for _, missed := range bus.Since(last) {
+					if !writeEvent(missed) {
+						return
+					}
+				}
 			}
 		case <-r.Context().Done():
 			return
 		}
 	}
 }
+
+// sseResyncInterval is how often an idle SSE stream checks the ring for
+// events its subscriber channel dropped.
+const sseResyncInterval = 250 * time.Millisecond
 
 func wantsJSON(r *http.Request) bool {
 	if r.URL.Query().Get("format") == "json" {

@@ -23,6 +23,7 @@ import (
 	"countrymon/internal/dataset"
 	"countrymon/internal/netmodel"
 	"countrymon/internal/obs"
+	"countrymon/internal/serve"
 )
 
 // Portal is the campaign's HTTP front end.
@@ -172,6 +173,25 @@ func (p *Portal) withToken(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// AttachServe mounts the production read path under the portal: the serve
+// query API (series, outages, entities, live events) becomes reachable at
+// /data/v1/... behind the same research-access token as the raw exports.
+func (p *Portal) AttachServe(s *serve.Server) {
+	strip := http.StripPrefix("/data", s)
+	p.mux.Handle("/data/v1/", p.withToken(strip.ServeHTTP))
+}
+
+// Pagination bounds for the /data/blocks export.
+const (
+	// DefaultBlocksLimit is the page size when ?limit is absent. The
+	// export previously returned every qualifying block in one response;
+	// a full campaign month is tens of thousands of rows, so unbounded
+	// responses invited accidental multi-hundred-MB transfers.
+	DefaultBlocksLimit = 1000
+	// MaxBlocksLimit clamps explicit ?limit values.
+	MaxBlocksLimit = 10000
+)
+
 // BlockRecord is one row of the block-level availability export.
 type BlockRecord struct {
 	Block      string  `json:"block"`
@@ -192,10 +212,38 @@ func (p *Portal) handleBlocks(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "month out of range", http.StatusBadRequest)
 		return
 	}
-	recs := make([]BlockRecord, 0, p.store.NumBlocks())
+	limit := DefaultBlocksLimit
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		limit = min(n, MaxBlocksLimit)
+	}
+	offset := 0
+	if v := r.URL.Query().Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "offset must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		offset = n
+	}
+	// The response body stays a bare JSON array (clients predate the
+	// pagination); the page bookkeeping travels in headers. Qualifying
+	// blocks are indexed in stable store order, so walking offset +=
+	// limit reconstructs the exact full export.
+	total := 0
+	recs := make([]BlockRecord, 0, min(limit, p.store.NumBlocks()))
 	for bi, blk := range p.store.Blocks() {
 		st := p.store.MonthStats(bi, month)
 		if st.EverActive == 0 {
+			continue
+		}
+		idx := total
+		total++
+		if idx < offset || len(recs) >= limit {
 			continue
 		}
 		routed := 0.0
@@ -211,6 +259,9 @@ func (p *Portal) handleBlocks(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Total", strconv.Itoa(total))
+	w.Header().Set("X-Limit", strconv.Itoa(limit))
+	w.Header().Set("X-Offset", strconv.Itoa(offset))
 	_ = json.NewEncoder(w).Encode(recs)
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"countrymon/internal/dataset"
 	"countrymon/internal/netmodel"
 	"countrymon/internal/scanner"
+	"countrymon/internal/serve"
 	"countrymon/internal/timeline"
 )
 
@@ -176,5 +178,142 @@ func TestAddToken(t *testing.T) {
 	resp, _ = http.Get(srv.URL + "/data/blocks?month=0&token=late-arrival")
 	if resp.StatusCode != http.StatusOK {
 		t.Error("approved token rejected")
+	}
+}
+
+// paginatedPortal builds a portal over enough active blocks to need several
+// /data/blocks pages.
+func paginatedPortal(t *testing.T, blocks int) (*Portal, *httptest.Server) {
+	t.Helper()
+	start := time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC)
+	tl := timeline.New(start, start.AddDate(0, 1, 0), 12*time.Hour)
+	ids := make([]netmodel.BlockID, blocks)
+	for i := range ids {
+		ids[i] = netmodel.MustParseBlock(net4(i))
+	}
+	store := dataset.NewStore(tl, ids)
+	for bi := 0; bi < blocks; bi++ {
+		for r := 0; r < tl.NumRounds(); r++ {
+			store.SetRound(bi, r, 1+bi%20, true)
+		}
+	}
+	p := New(store, []byte("k"), "tok")
+	srv := httptest.NewServer(p)
+	t.Cleanup(srv.Close)
+	return p, srv
+}
+
+func net4(i int) string {
+	return "10." + strconv.Itoa(i/256) + "." + strconv.Itoa(i%256) + ".0/24"
+}
+
+func TestBlocksPagination(t *testing.T) {
+	_, srv := paginatedPortal(t, 25)
+	fetch := func(q string) ([]BlockRecord, *http.Response) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/data/blocks?month=0&token=tok" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d for %q", resp.StatusCode, q)
+		}
+		var recs []BlockRecord
+		if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+			t.Fatal(err)
+		}
+		return recs, resp
+	}
+
+	full, resp := fetch("") // 25 < default cap: single page
+	if len(full) != 25 || resp.Header.Get("X-Total") != "25" {
+		t.Fatalf("full export: %d records, X-Total=%s", len(full), resp.Header.Get("X-Total"))
+	}
+
+	// Walking limit/offset pages reconstructs the full export exactly.
+	var walked []BlockRecord
+	for off := 0; ; off += 10 {
+		page, resp := fetch("&limit=10&offset=" + strconv.Itoa(off))
+		if resp.Header.Get("X-Limit") != "10" || resp.Header.Get("X-Offset") != strconv.Itoa(off) {
+			t.Fatalf("page headers: limit=%s offset=%s", resp.Header.Get("X-Limit"), resp.Header.Get("X-Offset"))
+		}
+		walked = append(walked, page...)
+		if len(page) < 10 {
+			break
+		}
+	}
+	if len(walked) != len(full) {
+		t.Fatalf("walked %d records, full export has %d", len(walked), len(full))
+	}
+	for i := range full {
+		if walked[i] != full[i] {
+			t.Fatalf("record %d differs between paged and full export", i)
+		}
+	}
+
+	// Rejections.
+	for _, q := range []string{"&limit=0", "&limit=-3", "&limit=x", "&offset=-1", "&offset=x"} {
+		resp, _ := http.Get(srv.URL + "/data/blocks?month=0&token=tok" + q)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("query %q accepted with status %d", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestBlocksDefaultCap(t *testing.T) {
+	_, srv := paginatedPortal(t, DefaultBlocksLimit+40)
+	resp, err := http.Get(srv.URL + "/data/blocks?month=0&token=tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var recs []BlockRecord
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != DefaultBlocksLimit {
+		t.Fatalf("uncapped response: %d records, want %d", len(recs), DefaultBlocksLimit)
+	}
+	if got := resp.Header.Get("X-Total"); got != strconv.Itoa(DefaultBlocksLimit+40) {
+		t.Fatalf("X-Total = %s", got)
+	}
+}
+
+func TestAttachServe(t *testing.T) {
+	p, srv := testPortal(t)
+	tls := serve.NewStore(p.store.Timeline())
+	if _, err := tls.Register("block", "91.198.4.0", serve.BlockSource(p.store, 0, 0.8), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tls.AdvanceTo(p.store.Timeline().NumRounds()); err != nil {
+		t.Fatal(err)
+	}
+	p.AttachServe(serve.NewServer(tls))
+
+	// Token gate applies to the mounted API.
+	resp, _ := http.Get(srv.URL + "/data/v1/series?entity=block/91.198.4.0")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("tokenless serve access status = %d", resp.StatusCode)
+	}
+	resp, err := http.Get(srv.URL + "/data/v1/series?entity=block/91.198.4.0&token=researcher-token")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("serve access status = %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Entity string    `json:"entity"`
+		Count  int       `json:"count"`
+		IPS    []float32 `json:"ips"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Entity != "block/91.198.4.0" || out.Count == 0 || out.IPS[0] != 25 {
+		t.Fatalf("serve payload wrong: %+v", out)
 	}
 }

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+)
+
+// cacheEntry is one rendered response: the exact bytes written to the wire
+// plus the preallocated header value slices assigned on every hit (direct
+// map assignment of a shared []string does not allocate; Header.Set would
+// build a fresh one-element slice per request).
+type cacheEntry struct {
+	body []byte
+	// etag / contentType are 1-element slices assigned directly into the
+	// response header map.
+	etag        []string
+	contentType []string
+	// immutable entries cover only sealed rounds and are valid forever;
+	// mutable entries are valid only while the store epoch matches.
+	immutable bool
+	epoch     uint64
+}
+
+// Cache-Control values for the two tiers. Immutable responses cover only
+// rounds below the watermark at render time, so their bytes can never
+// change; mutable responses include the live edge and must revalidate.
+var (
+	ccImmutable = []string{"public, max-age=31536000, immutable"}
+	ccMutable   = []string{"no-cache"}
+	ctJSON      = []string{"application/json"}
+)
+
+// respCache memoizes rendered responses per endpoint, keyed by the raw
+// query string. Lookups on the hot path are a single string-keyed map read
+// under RLock — allocation-free. The cache is bounded: inserts beyond cap
+// evict in insertion order (misses re-render, correctness never depends on
+// residency).
+type respCache struct {
+	mu      sync.RWMutex
+	entries map[string]*cacheEntry
+	keys    []string // insertion ring for eviction
+	next    int
+	cap     int
+	hits    int64
+	misses  int64
+}
+
+const defaultCacheCap = 4096
+
+func newRespCache(capacity int) *respCache {
+	if capacity <= 0 {
+		capacity = defaultCacheCap
+	}
+	return &respCache{
+		entries: make(map[string]*cacheEntry, capacity),
+		keys:    make([]string, capacity),
+		cap:     capacity,
+	}
+}
+
+// get returns the cached entry for key if still valid at epoch. Immutable
+// entries never expire; mutable entries are valid only for the epoch they
+// were rendered at. Stale entries are left in place (overwritten by the
+// next put for the key) so the read path stays lock-upgrade-free.
+func (c *respCache) get(key string, epoch uint64) *cacheEntry {
+	c.mu.RLock()
+	e := c.entries[key]
+	c.mu.RUnlock()
+	if e == nil || (!e.immutable && e.epoch != epoch) {
+		return nil
+	}
+	return e
+}
+
+func (c *respCache) put(key string, e *cacheEntry) {
+	c.mu.Lock()
+	if _, exists := c.entries[key]; !exists {
+		if old := c.keys[c.next]; old != "" {
+			delete(c.entries, old)
+		}
+		// Copy the key: it usually aliases a request's URL buffer.
+		key = string(append([]byte(nil), key...))
+		c.keys[c.next] = key
+		c.next = (c.next + 1) % c.cap
+	}
+	c.entries[key] = e
+	c.mu.Unlock()
+}
+
+// len returns the number of resident entries.
+func (c *respCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// ResponseCache is the exported face of the response-byte memo for sibling
+// API layers (the IODA-shaped v2 API) whose content is immutable history:
+// entries never expire, the cache is bounded by FIFO eviction, and lookups
+// are allocation-free.
+type ResponseCache struct{ c *respCache }
+
+// NewResponseCache builds a bounded immutable-response memo (capacity <= 0
+// selects the default).
+func NewResponseCache(capacity int) *ResponseCache {
+	return &ResponseCache{c: newRespCache(capacity)}
+}
+
+// Get returns the memoized body for key, or nil.
+func (c *ResponseCache) Get(key string) []byte {
+	e := c.c.get(key, 0)
+	if e == nil {
+		return nil
+	}
+	return e.body
+}
+
+// Put memoizes body under key. The caller must not mutate body afterwards.
+func (c *ResponseCache) Put(key string, body []byte) {
+	c.c.put(key, &cacheEntry{body: body, immutable: true})
+}
+
+// writeEntry emits a cached response, handling conditional revalidation.
+// This is the allocation-free hot path: header values are preassigned
+// slices, the body bytes are written as-is.
+func writeEntry(w http.ResponseWriter, r *http.Request, e *cacheEntry) {
+	h := w.Header()
+	h["Etag"] = e.etag
+	if e.immutable {
+		h["Cache-Control"] = ccImmutable
+	} else {
+		h["Cache-Control"] = ccMutable
+	}
+	if inm := r.Header["If-None-Match"]; len(inm) > 0 && inm[0] == e.etag[0] {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h["Content-Type"] = e.contentType
+	w.Write(e.body)
+}

@@ -1,0 +1,388 @@
+// Package serve is the production read path: an in-memory columnar outage
+// timeline store that is fed incrementally — one round at a time, as a live
+// campaign lands data — and queried by many concurrent readers.
+//
+// The analysis pipeline (internal/signals) derives series on demand; serving
+// millions of readers from it would rebuild or at least re-walk series per
+// request. This package inverts that: each registered entity (country,
+// region, AS or /24 block) owns flat per-round columns (BGP★/FBS■/IPS▲ plus
+// the missing mask) that are copied from their Source exactly once, when the
+// round is published via Advance. Rounds below the store's watermark are
+// sealed: their cells never change again, which is what makes the HTTP
+// layer's aggressive caching sound — responses covering only sealed rounds
+// carry strong ETags and `Cache-Control: immutable`, and their rendered
+// bytes are reused verbatim until evicted.
+//
+// The intended wiring for a live campaign is the streaming signals builder:
+// Monitor folds each round into the warm series (O(blocks)), then
+// Store.Advance copies the new round's values out of them (O(entities)).
+// A finished campaign instead registers its series and seals everything with
+// AdvanceTo. Published values are as-of-publication: a later FBS eligibility
+// backfill refines the *analysis* view of earlier rounds, but a sealed round
+// in the serving store is immutable, like any published time-series feed.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"countrymon/internal/dataset"
+	"countrymon/internal/signals"
+	"countrymon/internal/timeline"
+)
+
+// Source supplies one entity's per-round signal values to the store. Sample
+// is called once per round per entity, at Advance time; it must be able to
+// answer for any round at or below the one being advanced.
+type Source interface {
+	// Sample returns the entity's signal values at round r and whether the
+	// round carries no usable data.
+	Sample(r int) (bgp, fbs, ips float32, missing bool)
+	// IPSValidMonth reports whether the IPS signal is evaluated in dense
+	// month m (re-copied on every Advance: month validity firms up as the
+	// month's rounds land).
+	IPSValidMonth(m int) bool
+}
+
+// Detector turns an entity's sealed series into outage events. The default
+// is signals.Detect with the entity's configured thresholds; the IODA
+// adapter plugs in its fixed-baseline variant.
+type Detector func(es *signals.EntitySeries) *signals.Detection
+
+// Entity is one registered timeline: a country, region, AS or /24 block.
+// Its column cells at rounds below the store watermark are immutable.
+type Entity struct {
+	// Key is the canonical "type/code" identifier, e.g. "asn/6877".
+	Key string
+	// Type and Code are the key's halves.
+	Type, Code string
+
+	src      Source
+	detector Detector
+
+	// Columns, full campaign length; cells < watermark are sealed.
+	bgp, fbs, ips []float32
+	missing       []bool
+	ipsValid      []bool
+
+	// Cached detection over the sealed prefix (detMu; recomputed lazily
+	// when the watermark has moved past detWM).
+	detMu sync.Mutex
+	det   *signals.Detection
+	detWM int
+}
+
+// Store is the in-memory columnar timeline store. Registration and Advance
+// take the write lock; queries take the read lock and only touch sealed
+// cells, so readers never observe a half-published round.
+type Store struct {
+	tl *timeline.Timeline
+
+	mu        sync.RWMutex
+	entities  map[string]*Entity
+	order     []string
+	watermark int
+
+	// epoch increments on every mutation (Advance or Register); the HTTP
+	// layer tags mutable cached responses with it.
+	epoch atomic.Uint64
+}
+
+// NewStore builds an empty store over the campaign timeline.
+func NewStore(tl *timeline.Timeline) *Store {
+	return &Store{tl: tl, entities: make(map[string]*Entity)}
+}
+
+// Timeline returns the campaign timeline.
+func (s *Store) Timeline() *timeline.Timeline { return s.tl }
+
+// EntityKey canonicalizes a type/code pair.
+func EntityKey(typ, code string) string { return typ + "/" + code }
+
+// Register adds an entity fed by src, using detect (nil = signals.Detect
+// with cfg is NOT assumed; pass DetectWith(cfg) or a custom Detector) for
+// the outage endpoint. Rounds already sealed are backfilled from src
+// immediately, so late registration — e.g. an API server materializing
+// entities on first request — serves the same bytes as eager registration.
+// Registering an existing key returns the existing entity unchanged.
+func (s *Store) Register(typ, code string, src Source, detect Detector) (*Entity, error) {
+	if typ == "" || code == "" {
+		return nil, fmt.Errorf("serve: empty entity type or code")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("serve: nil source for %s/%s", typ, code)
+	}
+	key := EntityKey(typ, code)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entities[key]; ok {
+		return e, nil
+	}
+	rounds := s.tl.NumRounds()
+	buf := make([]float32, 3*rounds)
+	e := &Entity{
+		Key: key, Type: typ, Code: code,
+		src:      src,
+		detector: detect,
+		bgp:      buf[:rounds:rounds],
+		fbs:      buf[rounds : 2*rounds : 2*rounds],
+		ips:      buf[2*rounds:],
+		missing:  make([]bool, rounds),
+		ipsValid: make([]bool, s.tl.NumMonths()),
+		detWM:    -1,
+	}
+	for r := 0; r < s.watermark; r++ {
+		e.copyRound(r)
+	}
+	e.copyIPSValidity(s.tl.NumMonths())
+	s.entities[key] = e
+	s.order = append(s.order, key)
+	s.epoch.Add(1)
+	return e, nil
+}
+
+// DetectWith returns the standard Detector: signals.Detect at cfg.
+func DetectWith(cfg signals.Config) Detector {
+	return func(es *signals.EntitySeries) *signals.Detection { return signals.Detect(es, cfg) }
+}
+
+func (e *Entity) copyRound(r int) {
+	bgp, fbs, ips, missing := e.src.Sample(r)
+	e.bgp[r], e.fbs[r], e.ips[r], e.missing[r] = bgp, fbs, ips, missing
+}
+
+func (e *Entity) copyIPSValidity(months int) {
+	for m := 0; m < months; m++ {
+		e.ipsValid[m] = e.src.IPSValidMonth(m)
+	}
+}
+
+// Advance publishes round: every entity's columns gain the round's values
+// from their Source, and the watermark moves to round+1. Rounds between the
+// old watermark and round are published too (a resumed campaign catches the
+// store up in one call); re-advancing the last sealed round re-copies it,
+// so replaying a checkpoint overlap is idempotent. Rounds strictly below
+// watermark-1 are sealed and are not touched.
+func (s *Store) Advance(round int) error {
+	if round < 0 || round >= s.tl.NumRounds() {
+		return fmt.Errorf("serve: Advance round %d out of range [0,%d)", round, s.tl.NumRounds())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if round+1 < s.watermark {
+		return nil // already sealed
+	}
+	lo := s.watermark
+	if round+1 == s.watermark {
+		lo = round // idempotent re-publish of the newest sealed round
+	}
+	months := s.tl.NumMonths()
+	for _, key := range s.order {
+		e := s.entities[key]
+		for r := lo; r <= round; r++ {
+			e.copyRound(r)
+		}
+		e.copyIPSValidity(months)
+	}
+	if round+1 > s.watermark {
+		s.watermark = round + 1
+	}
+	s.epoch.Add(1)
+	return nil
+}
+
+// AdvanceTo seals every round below n — how a completed campaign's store is
+// published in one call.
+func (s *Store) AdvanceTo(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	return s.Advance(n - 1)
+}
+
+// Watermark returns the number of sealed rounds: rounds [0, Watermark())
+// are immutable and safe to cache forever.
+func (s *Store) Watermark() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.watermark
+}
+
+// Epoch returns the mutation counter (bumped by Advance and Register).
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
+// Entity returns the registered entity for key, or nil.
+func (s *Store) Entity(key string) *Entity {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.entities[key]
+}
+
+// Entities returns the registered entities in registration order.
+func (s *Store) Entities() []*Entity {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Entity, len(s.order))
+	for i, key := range s.order {
+		out[i] = s.entities[key]
+	}
+	return out
+}
+
+// NumEntities returns the number of registered entities.
+func (s *Store) NumEntities() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.order)
+}
+
+// Snapshot hands the caller a consistent read view: fn runs under the read
+// lock with the current watermark, so Advance cannot interleave. The
+// entity's sealed columns may be read directly inside fn.
+func (s *Store) Snapshot(fn func(watermark int)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fn(s.watermark)
+}
+
+// view builds the sealed-prefix series view used by detection. Caller must
+// hold the store read lock.
+func (e *Entity) view(tl *timeline.Timeline, wm int) *signals.EntitySeries {
+	return &signals.EntitySeries{
+		Name:          e.Key,
+		TL:            tl,
+		BGP:           e.bgp[:wm:wm],
+		FBS:           e.fbs[:wm:wm],
+		IPS:           e.ips[:wm:wm],
+		IPSValidMonth: e.ipsValid,
+		Missing:       e.missing[:wm:wm],
+	}
+}
+
+// BGP returns the entity's sealed BGP value at round r (r < Watermark()).
+func (e *Entity) BGP(r int) float32 { return e.bgp[r] }
+
+// FBS returns the entity's sealed FBS value at round r.
+func (e *Entity) FBS(r int) float32 { return e.fbs[r] }
+
+// IPS returns the entity's sealed IPS value at round r.
+func (e *Entity) IPS(r int) float32 { return e.ips[r] }
+
+// Missing reports whether sealed round r carries no usable data.
+func (e *Entity) Missing(r int) bool { return e.missing[r] }
+
+// Detection returns the entity's outage detection over the sealed prefix,
+// memoized per watermark: the first query after a round lands pays one
+// O(sealed rounds) detection run, every later query reuses it. Entities
+// registered without a Detector return an empty detection.
+func (s *Store) Detection(e *Entity) *signals.Detection {
+	s.mu.RLock()
+	wm := s.watermark
+	s.mu.RUnlock()
+
+	e.detMu.Lock()
+	defer e.detMu.Unlock()
+	if e.det != nil && e.detWM == wm {
+		return e.det
+	}
+	if e.detector == nil || wm == 0 {
+		e.det, e.detWM = &signals.Detection{Flags: make([]signals.Kind, wm)}, wm
+		return e.det
+	}
+	// Re-acquire the read lock for the compute so Advance cannot rewrite
+	// ipsValid mid-detection. Sealed column cells are stable regardless.
+	s.mu.RLock()
+	es := e.view(s.tl, wm)
+	det := e.detector(es)
+	s.mu.RUnlock()
+	e.det, e.detWM = det, wm
+	return det
+}
+
+// --- Sources ---
+
+// seriesSource adapts a built signals.EntitySeries (batch or warm streaming)
+// into a Source.
+type seriesSource struct{ es *signals.EntitySeries }
+
+// SeriesSource feeds an entity from a derived signal series. With the
+// streaming builder the same series object stays warm across the campaign,
+// so sampling round r after Fold(r) reads the freshly folded values.
+func SeriesSource(es *signals.EntitySeries) Source { return seriesSource{es} }
+
+func (s seriesSource) Sample(r int) (float32, float32, float32, bool) {
+	return s.es.BGP[r], s.es.FBS[r], s.es.IPS[r], s.es.Missing[r]
+}
+
+func (s seriesSource) IPSValidMonth(m int) bool { return s.es.IPSValidMonth[m] }
+
+// sumSource aggregates member sources: the country-level feed is the sum of
+// its AS series. A round is missing only when every member is missing; IPS
+// months are valid when any member's are.
+type sumSource struct{ members []Source }
+
+// SumSource aggregates member sources by summation (country = Σ ASes).
+func SumSource(members ...Source) Source {
+	return sumSource{members: append([]Source(nil), members...)}
+}
+
+func (s sumSource) Sample(r int) (float32, float32, float32, bool) {
+	var bgp, fbs, ips float32
+	allMissing := true
+	for _, m := range s.members {
+		b, f, i, miss := m.Sample(r)
+		if miss {
+			continue
+		}
+		allMissing = false
+		bgp += b
+		fbs += f
+		ips += i
+	}
+	if allMissing {
+		return 0, 0, 0, true
+	}
+	return bgp, fbs, ips, false
+}
+
+func (s sumSource) IPSValidMonth(m int) bool {
+	for _, mem := range s.members {
+		if mem.IPSValidMonth(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockSource feeds an entity straight from the raw dataset store: one /24's
+// routedness (BGP 0/1), full-block activity (FBS 0/1) and responsive count
+// (IPS), coverage-gated like the signal pipeline.
+type blockSource struct {
+	st          *dataset.Store
+	bi          int
+	minCoverage float64
+}
+
+// BlockSource serves a single /24's raw timeline from the dataset store;
+// rounds below minCoverage count as missing, matching signal derivation.
+func BlockSource(st *dataset.Store, bi int, minCoverage float64) Source {
+	return blockSource{st: st, bi: bi, minCoverage: minCoverage}
+}
+
+func (b blockSource) Sample(r int) (float32, float32, float32, bool) {
+	if b.st.EffectiveMissingAt(r, b.minCoverage) {
+		return 0, 0, 0, true
+	}
+	var bgp, fbs float32
+	if b.st.Routed(b.bi, r) {
+		bgp = 1
+	}
+	resp := b.st.Resp(b.bi, r)
+	if resp > 0 {
+		fbs = 1
+	}
+	return bgp, fbs, float32(resp), false
+}
+
+func (b blockSource) IPSValidMonth(m int) bool { return false }

@@ -1,0 +1,474 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"countrymon/internal/obs"
+	"countrymon/internal/signals"
+	"countrymon/internal/timeline"
+)
+
+// Pagination bounds for /v1/series round windows.
+const (
+	// DefaultSeriesLimit is the page size when the client omits ?limit.
+	DefaultSeriesLimit = 2048
+	// MaxSeriesLimit is the hard per-page cap; larger ?limit values clamp.
+	MaxSeriesLimit = 8192
+)
+
+// Server is the HTTP query API over a serve.Store:
+//
+//	/v1/entities               registered entities (?type= filter)
+//	/v1/series                 columnar signal window for one entity
+//	                           (?entity=, ?from=/?until= unix seconds,
+//	                           ?since=N delta mode, ?limit=/?offset=)
+//	/v1/outages                detected outage events for one entity
+//	/v1/events                 live SSE / long-poll fan-out (obs bus)
+//	/metrics                   registry export
+//
+// Every JSON response is rendered once per (query, store state) and cached:
+// responses whose round window is pinned entirely inside sealed history are
+// immutable — strong ETag, `Cache-Control: immutable`, never re-rendered —
+// while live-edge responses are epoch-tagged and invalidate when a round
+// lands. The cached path re-serves bytes without allocating.
+type Server struct {
+	store *Store
+	mux   *http.ServeMux
+	bus   *obs.Bus
+	reg   *obs.Registry
+
+	seriesCache   *respCache
+	outagesCache  *respCache
+	entitiesCache *respCache
+
+	// Pre-resolved metric children: the hot path must not pay CounterVec
+	// label resolution per request. All nil (and nil-safe) until Observe.
+	reqSeries, reqOutages, reqEntities, reqEvents *obs.Counter
+	cacheHits, cacheMisses                        *obs.Counter
+	watermarkG                                    *obs.Gauge
+	liveClients                                   *obs.Gauge
+}
+
+// NewServer builds the query API over store.
+func NewServer(store *Store) *Server {
+	s := &Server{
+		store:         store,
+		mux:           http.NewServeMux(),
+		seriesCache:   newRespCache(0),
+		outagesCache:  newRespCache(0),
+		entitiesCache: newRespCache(0),
+	}
+	s.mux.HandleFunc("/v1/series", s.handleSeries)
+	s.mux.HandleFunc("/v1/outages", s.handleOutages)
+	s.mux.HandleFunc("/v1/entities", s.handleEntities)
+	s.mux.HandleFunc("/v1/events", s.handleEvents)
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		obs.MetricsHandler(s.reg).ServeHTTP(w, r)
+	})
+	s.mux.HandleFunc("/", s.handleIndex)
+	return s
+}
+
+// Store returns the underlying timeline store.
+func (s *Server) Store() *Store { return s.store }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Observe registers the serving metrics and attaches the live event bus:
+// bus drops are mirrored into bus_dropped_events_total so slow-subscriber
+// pressure shows up in /metrics.
+func (s *Server) Observe(reg *obs.Registry, bus *obs.Bus) {
+	s.reg = reg
+	s.bus = bus
+	req := reg.CounterVec("serve_requests_total", "Serve-API requests, by endpoint.", "endpoint")
+	s.reqSeries = req.With("series")
+	s.reqOutages = req.With("outages")
+	s.reqEntities = req.With("entities")
+	s.reqEvents = req.With("events")
+	s.cacheHits = reg.Counter("serve_cache_hits_total", "Serve responses answered from the rendered-bytes cache.")
+	s.cacheMisses = reg.Counter("serve_cache_misses_total", "Serve responses that had to be rendered.")
+	s.watermarkG = reg.Gauge("serve_watermark", "Sealed rounds visible to the serve API.")
+	s.liveClients = reg.Gauge("serve_live_clients", "Currently connected /v1/events clients.")
+	bus.CountDrops(reg.Counter("bus_dropped_events_total", "Events dropped from lagging event-bus subscriber channels (the ring retains them)."))
+	s.watermarkG.Set(int64(s.store.Watermark()))
+}
+
+// --- /v1/series ---
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	s.reqSeries.Inc()
+	key := r.URL.RawQuery
+	epoch := s.store.epoch.Load()
+	if e := s.seriesCache.get(key, epoch); e != nil {
+		s.cacheHits.Inc()
+		writeEntry(w, r, e)
+		return
+	}
+	s.cacheMisses.Inc()
+	e, status, msg := s.renderSeries(key, epoch)
+	if e == nil {
+		writeError(w, status, msg)
+		return
+	}
+	s.seriesCache.put(key, e)
+	writeEntry(w, r, e)
+}
+
+func (s *Server) renderSeries(rawQuery string, epoch uint64) (*cacheEntry, int, string) {
+	q, err := url.ParseQuery(rawQuery)
+	if err != nil {
+		return nil, http.StatusBadRequest, "malformed query"
+	}
+	ent := s.store.Entity(q.Get("entity"))
+	if ent == nil {
+		if q.Get("entity") == "" {
+			return nil, http.StatusBadRequest, "missing entity parameter"
+		}
+		return nil, http.StatusNotFound, "unknown entity " + q.Get("entity")
+	}
+	limit, ok := intParam(q, "limit", DefaultSeriesLimit)
+	if !ok || limit <= 0 {
+		return nil, http.StatusBadRequest, "invalid limit"
+	}
+	if limit > MaxSeriesLimit {
+		limit = MaxSeriesLimit
+	}
+	offset, ok := intParam(q, "offset", 0)
+	if !ok || offset < 0 {
+		return nil, http.StatusBadRequest, "invalid offset"
+	}
+	tl := s.store.tl
+
+	// Window selection, before looking at the watermark: either delta mode
+	// (?since=N → all sealed rounds from N on) or a time range. A ?until
+	// that lands inside sealed history pins the window — only then can the
+	// response be immutable.
+	sinceRound := -1
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return nil, http.StatusBadRequest, "invalid since"
+		}
+		sinceRound = n
+	}
+	fromRound := 0
+	if v := q.Get("from"); v != "" {
+		sec, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, http.StatusBadRequest, "invalid from"
+		}
+		fromRound = tl.Round(time.Unix(sec, 0))
+	}
+	untilRound := -1
+	if v := q.Get("until"); v != "" {
+		sec, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, http.StatusBadRequest, "invalid until"
+		}
+		untilRound = tl.Round(time.Unix(sec, 0))
+	}
+
+	var entry *cacheEntry
+	s.store.Snapshot(func(wm int) {
+		s.watermarkG.Set(int64(wm))
+		lo, hi, pinned := 0, wm, false
+		switch {
+		case sinceRound >= 0:
+			lo = min(sinceRound, wm)
+		default:
+			lo = min(fromRound, wm)
+			if untilRound >= 0 && untilRound+1 <= wm {
+				hi, pinned = untilRound+1, true
+			}
+		}
+		if lo > hi {
+			lo = hi
+		}
+		total := hi - lo
+		start := min(lo+offset, hi)
+		end := min(start+limit, hi)
+
+		// Immutable only when the window is pinned in sealed history AND the
+		// months it touches are complete: IPS month validity still firms up
+		// while a month's rounds are landing.
+		immutable := pinned
+		if end > start {
+			_, mhi := tl.MonthRounds(tl.MonthOfRound(end - 1))
+			immutable = pinned && mhi <= wm
+		}
+		body := appendSeriesJSON(make([]byte, 0, 256+32*(end-start)), ent, tl, wm, total, offset, limit, start, end)
+		entry = newEntry(body, immutable, epoch)
+	})
+	return entry, 0, ""
+}
+
+func appendSeriesJSON(b []byte, e *Entity, tl *timeline.Timeline, wm, total, offset, limit, start, end int) []byte {
+	b = append(b, `{"entity":`...)
+	b = strconv.AppendQuote(b, e.Key)
+	b = append(b, `,"watermark":`...)
+	b = strconv.AppendInt(b, int64(wm), 10)
+	b = append(b, `,"total":`...)
+	b = strconv.AppendInt(b, int64(total), 10)
+	b = append(b, `,"offset":`...)
+	b = strconv.AppendInt(b, int64(offset), 10)
+	b = append(b, `,"limit":`...)
+	b = strconv.AppendInt(b, int64(limit), 10)
+	b = append(b, `,"start_round":`...)
+	b = strconv.AppendInt(b, int64(start), 10)
+	b = append(b, `,"count":`...)
+	b = strconv.AppendInt(b, int64(end-start), 10)
+	b = append(b, `,"time":[`...)
+	for r := start; r < end; r++ {
+		if r > start {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, tl.Time(r).Unix(), 10)
+	}
+	b = append(b, `],"bgp":[`...)
+	b = appendFloatCol(b, e.bgp[start:end])
+	b = append(b, `],"fbs":[`...)
+	b = appendFloatCol(b, e.fbs[start:end])
+	b = append(b, `],"ips":[`...)
+	b = appendFloatCol(b, e.ips[start:end])
+	b = append(b, `],"missing":[`...)
+	for r := start; r < end; r++ {
+		if r > start {
+			b = append(b, ',')
+		}
+		b = strconv.AppendBool(b, e.missing[r])
+	}
+	b = append(b, `],"ips_valid":[`...)
+	for r := start; r < end; r++ {
+		if r > start {
+			b = append(b, ',')
+		}
+		b = strconv.AppendBool(b, e.ipsValid[tl.MonthOfRound(r)])
+	}
+	b = append(b, `]}`...)
+	return b
+}
+
+func appendFloatCol(b []byte, vals []float32) []byte {
+	for i, v := range vals {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendFloat(b, float64(v), 'g', -1, 32)
+	}
+	return b
+}
+
+// --- /v1/outages ---
+
+func (s *Server) handleOutages(w http.ResponseWriter, r *http.Request) {
+	s.reqOutages.Inc()
+	key := r.URL.RawQuery
+	epoch := s.store.epoch.Load()
+	if e := s.outagesCache.get(key, epoch); e != nil {
+		s.cacheHits.Inc()
+		writeEntry(w, r, e)
+		return
+	}
+	s.cacheMisses.Inc()
+	e, status, msg := s.renderOutages(key, epoch)
+	if e == nil {
+		writeError(w, status, msg)
+		return
+	}
+	s.outagesCache.put(key, e)
+	writeEntry(w, r, e)
+}
+
+func (s *Server) renderOutages(rawQuery string, epoch uint64) (*cacheEntry, int, string) {
+	q, err := url.ParseQuery(rawQuery)
+	if err != nil {
+		return nil, http.StatusBadRequest, "malformed query"
+	}
+	ent := s.store.Entity(q.Get("entity"))
+	if ent == nil {
+		if q.Get("entity") == "" {
+			return nil, http.StatusBadRequest, "missing entity parameter"
+		}
+		return nil, http.StatusNotFound, "unknown entity " + q.Get("entity")
+	}
+	det := s.store.Detection(ent)
+	tl := s.store.tl
+	wm := len(det.Flags)
+	b := append([]byte(nil), `{"entity":`...)
+	b = strconv.AppendQuote(b, ent.Key)
+	b = append(b, `,"watermark":`...)
+	b = strconv.AppendInt(b, int64(wm), 10)
+	b = append(b, `,"outages":[`...)
+	for i, o := range det.Outages {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"start_round":`...)
+		b = strconv.AppendInt(b, int64(o.Start), 10)
+		b = append(b, `,"end_round":`...)
+		b = strconv.AppendInt(b, int64(o.End), 10)
+		b = append(b, `,"start":`...)
+		b = strconv.AppendInt(b, tl.Time(o.Start).Unix(), 10)
+		b = append(b, `,"end":`...)
+		b = strconv.AppendInt(b, tl.Time(o.End-1).Add(tl.Interval()).Unix(), 10)
+		b = append(b, `,"signals":`...)
+		b = strconv.AppendQuote(b, kindToken(o.Signals))
+		b = append(b, `,"ongoing":`...)
+		b = strconv.AppendBool(b, o.Ongoing)
+		b = append(b, '}')
+	}
+	b = append(b, `]}`...)
+	// Outage detection spans the whole sealed prefix, so the response always
+	// tracks the watermark: mutable tier.
+	return newEntry(b, false, epoch), 0, ""
+}
+
+// --- /v1/entities ---
+
+func (s *Server) handleEntities(w http.ResponseWriter, r *http.Request) {
+	s.reqEntities.Inc()
+	key := r.URL.RawQuery
+	epoch := s.store.epoch.Load()
+	if e := s.entitiesCache.get(key, epoch); e != nil {
+		s.cacheHits.Inc()
+		writeEntry(w, r, e)
+		return
+	}
+	s.cacheMisses.Inc()
+	e, status, msg := s.renderEntities(key, epoch)
+	if e == nil {
+		writeError(w, status, msg)
+		return
+	}
+	s.entitiesCache.put(key, e)
+	writeEntry(w, r, e)
+}
+
+func (s *Server) renderEntities(rawQuery string, epoch uint64) (*cacheEntry, int, string) {
+	q, err := url.ParseQuery(rawQuery)
+	if err != nil {
+		return nil, http.StatusBadRequest, "malformed query"
+	}
+	typ := q.Get("type")
+	var b []byte
+	s.store.Snapshot(func(wm int) {
+		s.watermarkG.Set(int64(wm))
+		b = append(b, `{"watermark":`...)
+		b = strconv.AppendInt(b, int64(wm), 10)
+		b = append(b, `,"entities":[`...)
+		n := 0
+		for _, key := range s.store.order {
+			e := s.store.entities[key]
+			if typ != "" && e.Type != typ {
+				continue
+			}
+			if n > 0 {
+				b = append(b, ',')
+			}
+			n++
+			b = append(b, `{"key":`...)
+			b = strconv.AppendQuote(b, e.Key)
+			b = append(b, `,"type":`...)
+			b = strconv.AppendQuote(b, e.Type)
+			b = append(b, `,"code":`...)
+			b = strconv.AppendQuote(b, e.Code)
+			b = append(b, '}')
+		}
+		b = append(b, `],"count":`...)
+		b = strconv.AppendInt(b, int64(n), 10)
+		b = append(b, '}')
+	})
+	return newEntry(b, false, epoch), 0, ""
+}
+
+// --- /v1/events ---
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.reqEvents.Inc()
+	s.liveClients.Add(1)
+	defer s.liveClients.Add(-1)
+	obs.EventsHandler(s.bus).ServeHTTP(w, r)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "countrymon serving API")
+	fmt.Fprintln(w, "")
+	fmt.Fprintln(w, "  /v1/entities?type=asn            registered entities")
+	fmt.Fprintln(w, "  /v1/series?entity=asn/6877       columnar signals (&from=&until= unix,")
+	fmt.Fprintln(w, "                                   &since=N delta, &limit=&offset= rounds)")
+	fmt.Fprintln(w, "  /v1/outages?entity=region/Kyiv   detected outage events")
+	fmt.Fprintln(w, "  /v1/events                       live SSE (?since=N replay, ?format=json long-poll)")
+	fmt.Fprintln(w, "  /metrics                         Prometheus text (?format=json)")
+}
+
+// --- shared helpers ---
+
+func newEntry(body []byte, immutable bool, epoch uint64) *cacheEntry {
+	h := fnv.New64a()
+	h.Write(body)
+	return &cacheEntry{
+		body:        body,
+		etag:        []string{`"` + strconv.FormatUint(h.Sum64(), 16) + `"`},
+		contentType: ctJSON,
+		immutable:   immutable,
+		epoch:       epoch,
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b := []byte(`{"error":`)
+	b = strconv.AppendQuote(b, msg)
+	b = append(b, '}')
+	w.Write(b)
+}
+
+func intParam(q url.Values, name string, def int) (int, bool) {
+	v := q.Get(name)
+	if v == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// kindToken renders a signal mask as a compact API token ("bgp+fbs") —
+// ASCII, unlike Kind.String's display glyphs.
+func kindToken(k signals.Kind) string {
+	var parts [3]string
+	n := 0
+	if k.Has(signals.SignalBGP) {
+		parts[n] = "bgp"
+		n++
+	}
+	if k.Has(signals.SignalFBS) {
+		parts[n] = "fbs"
+		n++
+	}
+	if k.Has(signals.SignalIPS) {
+		parts[n] = "ips"
+		n++
+	}
+	if n == 0 {
+		return "none"
+	}
+	return strings.Join(parts[:n], "+")
+}
