@@ -4,7 +4,7 @@ GO ?= go
 # baseline default), bump to e.g. 3s for stable timing comparisons.
 BENCHTIME ?= 1x
 
-.PHONY: all build test race vet fmt bench bench-smoke bench-diff bench-gate fuzz-smoke chaos-smoke metrics-lint scenario-smoke scorecards load-smoke ci
+.PHONY: all build test race vet fmt bench bench-smoke bench-diff bench-gate fuzz-smoke chaos-smoke metrics-lint scenario-smoke scorecards load-smoke campaign-smoke ci
 
 all: build
 
@@ -62,8 +62,8 @@ bench-diff:
 # committed baseline. Complements bench-diff, which surveys everything but
 # only advises.
 GATE_BENCHTIME ?= 0.5s
-GATE_BENCH_RE = ^(BenchmarkScanRound|BenchmarkFoldRound|BenchmarkStoreWriteTo|BenchmarkStoreReadFrom|BenchmarkServeCachedQuery)$$
-GATE_PKGS = . ./internal/dataset ./internal/signals ./internal/serve
+GATE_BENCH_RE = ^(BenchmarkScanRound|BenchmarkFoldRound|BenchmarkStoreWriteTo|BenchmarkStoreReadFrom|BenchmarkServeCachedQuery|BenchmarkCampaignTwoCountry)$$
+GATE_PKGS = . ./internal/dataset ./internal/signals ./internal/serve ./internal/campaign
 GATE_HEADLINES = probes_per_sec,rounds_per_sec,BenchmarkStoreWriteTo:ns_per_op,BenchmarkStoreReadFrom:ns_per_op,BenchmarkServeCachedQuery:ns_per_op,BenchmarkServeCachedQuery:req_per_sec
 bench-gate:
 	$(GO) test -run '^$$' -bench '$(GATE_BENCH_RE)' -benchmem -benchtime=$(GATE_BENCHTIME) -p 1 $(GATE_PKGS) \
@@ -105,6 +105,13 @@ load-smoke:
 scenario-smoke:
 	$(GO) run ./cmd/scencheck
 
+# Multi-country coordinator smoke: the two-country campaign must produce
+# per-country stores byte-identical to solo runs and to itself at
+# COUNTRYMON_WORKERS=1/8, and the legacy /v1/* routes must be byte-for-byte
+# (body and ETag) aliases of /v1/countries/{default}/*.
+campaign-smoke:
+	$(GO) test -run '^TestCampaign' -count=1 -v ./internal/campaign/
+
 # Regenerate the golden scorecards after an intended engine change. Refuses
 # to run on a dirty tree so a regeneration can never silently absorb
 # unrelated edits — commit (or stash) first, then regenerate and review the
@@ -117,7 +124,8 @@ scorecards:
 
 # The full gate: formatting, static analysis, the metric-catalogue check,
 # tests, the race detector, the benchmark smoke run, the fuzz smoke, the
-# chaos soak, the scenario scorecard check, the serving load smoke, the
-# fatal headline-metric gate, and the (non-fatal) bench diff.
-ci: fmt vet metrics-lint test race bench-smoke fuzz-smoke chaos-smoke scenario-smoke load-smoke bench-gate
+# chaos soak, the scenario scorecard check, the multi-country campaign
+# smoke, the serving load smoke, the fatal headline-metric gate, and the
+# (non-fatal) bench diff.
+ci: fmt vet metrics-lint test race bench-smoke fuzz-smoke chaos-smoke scenario-smoke campaign-smoke load-smoke bench-gate
 	-$(MAKE) bench-diff

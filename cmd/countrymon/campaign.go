@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"countrymon/internal/campaign"
+	"countrymon/internal/obs"
+)
+
+// runCoordinated is the multi-country entry point behind -countries and
+// -config: compile the campaign spec into a coordinator over one shared
+// vantage fleet, drive every country's rounds in lockstep, print a
+// per-country summary, and optionally serve the country-scoped API.
+func runCoordinated(countries, config, serveAddr string, reg *obs.Registry, bus *obs.Bus) {
+	var (
+		spec *campaign.Spec
+		err  error
+	)
+	switch {
+	case config != "" && countries != "":
+		log.Fatal("-countries and -config are mutually exclusive")
+	case config != "":
+		spec, err = campaign.Load(config)
+	default:
+		spec, err = campaign.Quick(strings.Split(countries, ","))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	co, err := campaign.New(spec, campaign.Options{Registry: reg, Bus: bus})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer co.Close()
+
+	log.Printf("coordinated campaign: %d countries over %d shared vantages, %d rounds every %v",
+		len(spec.Countries), spec.Vantages, spec.Rounds, spec.Interval)
+	for _, c := range co.Countries() {
+		log.Printf("  %s (%s): share %.2f → %d pps, %d ASes, %d /24 blocks",
+			c.Code, c.Name, c.Share, spec.CountryRate(c.Code),
+			c.World.Space.NumASes(), c.World.Space.NumBlocks())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	for co.NextRound() {
+		if err := co.StepRound(ctx); err != nil {
+			log.Fatalf("campaign: %v", err)
+		}
+	}
+
+	for _, c := range co.Countries() {
+		store := c.Monitor.Store()
+		missing := 0
+		for r := 0; r < spec.Rounds; r++ {
+			if store.Missing(r) {
+				missing++
+			}
+		}
+		outages := 0
+		for _, as := range c.World.Space.ASes() {
+			outages += len(c.Monitor.DetectAS(as.ASN).Outages)
+		}
+		rep := c.FleetReport()
+		log.Printf("%s: %d rounds (%d missing), %d AS outage events, fleet steals %d, quarantined %v",
+			c.Code, spec.Rounds, missing, outages, rep.Steals, rep.Quarantined)
+
+		for _, as := range c.World.Space.ASes() {
+			d := c.Monitor.DetectAS(as.ASN)
+			if len(d.Outages) > 0 {
+				log.Printf("%s: %v (%s) outage events:", c.Code, as.ASN, as.Name)
+				printOutages(d, spec.Interval, store, 5)
+			}
+		}
+	}
+
+	if serveAddr != "" {
+		for _, c := range co.Countries() {
+			if err := c.Store.AdvanceTo(spec.Rounds); err != nil {
+				log.Fatalf("campaign: seal %s: %v", c.Code, err)
+			}
+		}
+		log.Printf("serving /v1/countries and per-country /v1/countries/{cc}/... on http://%s (legacy /v1/* aliases country %s)",
+			serveAddr, co.Countries()[0].Code)
+		if err := http.ListenAndServe(serveAddr, co.Router()); err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+}

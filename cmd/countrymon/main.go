@@ -10,10 +10,19 @@
 //	           [-packet-rounds N] [-vantages N] [-quorum k]
 //	           [-region Kherson] [-as 25482]
 //	           [-metrics :9090]
+//	countrymon -countries UA,RO [-serve :8080] [-metrics :9090]
+//	countrymon -config spec.json [-serve :8080]
 //
 // With -vantages N the packet-level rounds run through a supervised
 // multi-vantage fleet (internal/fleet) instead of a single scanner, with
 // -quorum controlling the k-of-n corroboration of suspect block outages.
+//
+// With -countries (synthetic per-country models, equal budget shares) or
+// -config (a full campaign.Spec document) the command instead runs a
+// coordinated multi-country campaign: per-country Monitors sharing one
+// vantage fleet, and -serve exposes the country-scoped query API
+// (/v1/countries, /v1/countries/{cc}/series|outages|entities|events; the
+// unprefixed legacy /v1/* routes alias the first country).
 //
 // With -metrics, live pipeline instrumentation — scanner counters, signal
 // build/detect timings, outage counts — is served on /metrics (Prometheus
@@ -59,6 +68,9 @@ func main() {
 	minCov := flag.Float64("min-coverage", signals.DefaultMinCoverage,
 		"treat rounds below this probed-target fraction as missing")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /events on this address (e.g. :9090)")
+	countries := flag.String("countries", "", "run a coordinated multi-country campaign over these codes (e.g. UA,RO) on synthetic models")
+	config := flag.String("config", "", "run a coordinated campaign from this campaign.Spec JSON file")
+	serveAddr := flag.String("serve", "", "after a coordinated campaign, serve the country-scoped API on this address (e.g. :8080)")
 	flag.Parse()
 
 	var (
@@ -74,6 +86,14 @@ func main() {
 				log.Printf("metrics server: %v", err)
 			}
 		}()
+	}
+
+	if *countries != "" || *config != "" {
+		runCoordinated(*countries, *config, *serveAddr, reg, bus)
+		return
+	}
+	if *serveAddr != "" {
+		log.Fatal("-serve needs a coordinated campaign (-countries or -config)")
 	}
 
 	cfg := sim.Config{Seed: *seed, Scale: *scale, Interval: time.Duration(*interval) * time.Hour}

@@ -100,6 +100,7 @@ func main() {
 	resume := flag.String("resume", "", "resume a killed campaign from this checkpoint file")
 	roundLog := flag.String("roundlog", "", "append-only per-round journal (replayed over the checkpoint on restart)")
 	streamSignals := flag.Bool("stream-signals", false, "fold each round into warm signal series instead of rebuilding on every query")
+	country := flag.String("country", "", "ISO country code for the campaign's classifier and labels (default: the scenario's)")
 	minCov := flag.Float64("min-coverage", 0.8, "round coverage below this fraction is a failure")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /events on this address (e.g. :9090)")
 	flag.Parse()
@@ -171,11 +172,18 @@ func main() {
 		if *mode != "sim" {
 			log.Fatal("campaign mode (-rounds > 1) requires -mode sim")
 		}
+		cc := *country
+		if cc == "" {
+			cc = sc.Country
+		}
 		runCampaign(sc, prefixes, exclude, at, prof, injecting,
-			*rounds, *interval, *rate, *seed, *checkpoint, *resume, *roundLog,
+			*rounds, *interval, *rate, *seed, cc, *checkpoint, *resume, *roundLog,
 			*streamSignals, *minCov,
 			*parallel, *batch, *pipeline, *vantages, *quorum, *vantageFaults, reg, bus)
 		return
+	}
+	if *country != "" {
+		log.Fatal("-country needs campaign mode (-rounds > 1)")
 	}
 	if *checkpoint != "" || *resume != "" || *roundLog != "" {
 		log.Fatal("-checkpoint/-resume/-roundlog need campaign mode (-rounds > 1)")
@@ -339,7 +347,7 @@ func (c *vclock) Sleep(d time.Duration) {
 // boundary after a final checkpoint.
 func runCampaign(sc *sim.Scenario, prefixes, exclude []netmodel.Prefix, at time.Time,
 	prof faults.Profile, injecting bool, rounds int, interval time.Duration,
-	rate int, seed uint64, checkpoint, resume, roundLog string,
+	rate int, seed uint64, country, checkpoint, resume, roundLog string,
 	streamSignals bool, minCov float64,
 	parallel, batch int, pipeline bool, vantages, quorum int, vantageFaults string,
 	reg *obs.Registry, bus *obs.Bus) {
@@ -348,7 +356,7 @@ func runCampaign(sc *sim.Scenario, prefixes, exclude []netmodel.Prefix, at time.
 	opts := countrymon.Options{
 		Targets: prefixes, Exclude: exclude,
 		Start: at, Rounds: rounds, Interval: interval,
-		Rate: rate, Seed: seed,
+		Rate: rate, Seed: seed, Country: country,
 		CheckpointPath: checkpoint, ResumeFrom: resume,
 		RoundLogPath: roundLog, StreamSignals: streamSignals,
 		MinCoverage: minCov,

@@ -34,6 +34,12 @@
 //
 //	loadgen [-clients 10000] [-duration 10s] [-entities 200] [-rounds 360]
 //	        [-mix 6:3:1] [-advance-every 250ms] [-max-p99 0] [-seed 1]
+//	        [-countries UA,RO,PL]
+//
+// With -countries the stack is a multi-country serve.Router: the entity
+// budget splits across per-country stores and every request goes through the
+// country-scoped /v1/countries/{cc}/... routes, measuring the dispatch
+// overhead a coordinated campaign's API adds.
 package main
 
 import (
@@ -66,6 +72,7 @@ func main() {
 	maxP99 := flag.Float64("max-p99", 0, "fail when non-SSE p99 exceeds this many milliseconds (0 = report only)")
 	seed := flag.Int64("seed", 1, "client behaviour seed")
 	think := flag.Duration("think", 10*time.Millisecond, "pause between a query client's requests (0 = hammer)")
+	countries := flag.String("countries", "", "spread load across these countries' /v1/countries/{cc}/ routes (e.g. UA,RO,PL; empty = single unprefixed store)")
 	flag.Parse()
 
 	wPoll, wRange, wSSE, err := parseMix(*mix)
@@ -74,16 +81,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv, store, bus := buildServer(*entities, *rounds)
-	keys := make([]string, 0, *entities)
-	for _, e := range store.Entities() {
-		keys = append(keys, e.Key)
-	}
+	handler, stores, targets, prefixes, bus := buildStack(parseCountries(*countries), *entities, *rounds)
 
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
 
-	// Background campaign: advance the live edge and publish bus events.
+	// Background campaign: advance every store's live edge and publish bus
+	// events (one shared bus feeds every country's SSE subscribers).
 	var advWG sync.WaitGroup
 	if *advanceEvery > 0 {
 		advWG.Add(1)
@@ -96,10 +100,15 @@ func main() {
 				case <-ctx.Done():
 					return
 				case <-tick.C:
-					if wm := store.Watermark(); wm < *rounds {
-						_ = store.Advance(wm)
-						bus.Publish("round_sealed", map[string]any{"round": wm})
-					} else {
+					sealed := false
+					for _, store := range stores {
+						if wm := store.Watermark(); wm < *rounds {
+							_ = store.Advance(wm)
+							bus.Publish("round_sealed", map[string]any{"round": wm})
+							sealed = true
+						}
+					}
+					if !sealed {
 						bus.Publish("heartbeat", nil)
 					}
 				}
@@ -117,11 +126,11 @@ func main() {
 			rng := rand.New(rand.NewSource(*seed + int64(i)))
 			switch kind {
 			case "sse":
-				results[i] = runSSEClient(ctx, srv)
+				results[i] = runSSEClient(ctx, handler, prefixes[i%len(prefixes)])
 			case "range":
-				results[i] = runQueryClient(ctx, srv, rng, keys, *rounds, true, *think)
+				results[i] = runQueryClient(ctx, handler, rng, targets, *rounds, true, *think)
 			default:
-				results[i] = runQueryClient(ctx, srv, rng, keys, *rounds, false, *think)
+				results[i] = runQueryClient(ctx, handler, rng, targets, *rounds, false, *think)
 			}
 			results[i].kind = kind
 		}(i, kind)
@@ -135,29 +144,94 @@ func main() {
 	report(results, elapsed, *clients, *maxP99)
 }
 
-// buildServer assembles a synthetic serving stack: a store over a 12h-round
-// timeline with deterministic per-entity signal patterns, half the timeline
-// sealed (immutable history) and half left for the live advancer.
-func buildServer(entities, rounds int) (*serve.Server, *serve.Store, *obs.Bus) {
-	start := time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC)
-	tl := timeline.New(start, start.Add(time.Duration(rounds-1)*12*time.Hour), 12*time.Hour)
-	store := serve.NewStore(tl)
-	for i := 0; i < entities; i++ {
-		code := "as" + strconv.Itoa(64512+i)
-		_, err := store.Register("asn", code, synthSource{salt: i}, serve.DetectWith(signals.ASConfig()))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "loadgen: register %s: %v\n", code, err)
-			os.Exit(2)
+// target is one queryable entity plus the route prefix it is mounted under
+// ("" for the legacy unprefixed routes, "/v1/countries/CC" otherwise).
+type target struct{ prefix, key string }
+
+// parseCountries splits the -countries list; nil means the single-store
+// legacy layout.
+func parseCountries(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, c := range strings.Split(s, ",") {
+		if c = strings.ToUpper(strings.TrimSpace(c)); c != "" {
+			out = append(out, c)
 		}
 	}
-	if err := store.AdvanceTo(rounds / 2); err != nil {
-		fmt.Fprintf(os.Stderr, "loadgen: seal: %v\n", err)
-		os.Exit(2)
-	}
+	return out
+}
+
+// buildStack assembles the serving stack under load: per country (or once,
+// with no countries) a store over a 12h-round timeline with deterministic
+// per-entity signal patterns, half sealed (immutable history) and half left
+// for the live advancer. With countries the stores mount on a serve.Router
+// and the entity budget splits across them, so the clients exercise the
+// country-scoped routes exactly as a multi-country dashboard would.
+func buildStack(codes []string, entities, rounds int) (http.Handler, []*serve.Store, []target, []string, *obs.Bus) {
+	start := time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC)
 	bus := obs.NewBus(1024)
-	srv := serve.NewServer(store)
-	srv.Observe(obs.NewRegistry(), bus)
-	return srv, store, bus
+	reg := obs.NewRegistry()
+
+	build := func(n, salt0 int) (*serve.Server, *serve.Store) {
+		tl := timeline.New(start, start.Add(time.Duration(rounds-1)*12*time.Hour), 12*time.Hour)
+		store := serve.NewStore(tl)
+		for i := 0; i < n; i++ {
+			code := "as" + strconv.Itoa(64512+salt0+i)
+			_, err := store.Register("asn", code, synthSource{salt: salt0 + i}, serve.DetectWith(signals.ASConfig()))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: register %s: %v\n", code, err)
+				os.Exit(2)
+			}
+		}
+		if err := store.AdvanceTo(rounds / 2); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: seal: %v\n", err)
+			os.Exit(2)
+		}
+		srv := serve.NewServer(store)
+		srv.Observe(reg, bus)
+		return srv, store
+	}
+
+	if len(codes) == 0 {
+		srv, store := build(entities, 0)
+		var targets []target
+		for _, e := range store.Entities() {
+			targets = append(targets, target{prefix: "/v1", key: e.Key})
+		}
+		return srv, []*serve.Store{store}, targets, []string{"/v1"}, bus
+	}
+
+	router := serve.NewRouter()
+	var (
+		stores   []*serve.Store
+		targets  []target
+		prefixes []string
+		salt     int
+	)
+	for i, code := range codes {
+		n := entities / len(codes)
+		if i < entities%len(codes) {
+			n++
+		}
+		if n == 0 {
+			n = 1
+		}
+		srv, store := build(n, salt)
+		salt += n
+		if err := router.Add(code, code, srv); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: mount %s: %v\n", code, err)
+			os.Exit(2)
+		}
+		prefix := "/v1/countries/" + code
+		prefixes = append(prefixes, prefix)
+		stores = append(stores, store)
+		for _, e := range store.Entities() {
+			targets = append(targets, target{prefix: prefix, key: e.Key})
+		}
+	}
+	return router, stores, targets, prefixes, bus
 }
 
 // synthSource is a deterministic signal generator: stable values per
@@ -190,29 +264,30 @@ type clientResult struct {
 	stalled bool
 }
 
-// runQueryClient loops poll- or range-shaped GETs until ctx expires.
-func runQueryClient(ctx context.Context, srv *serve.Server, rng *rand.Rand, keys []string, rounds int, ranged bool, think time.Duration) clientResult {
+// runQueryClient loops poll- or range-shaped GETs until ctx expires, each
+// against a random target's mount point (legacy or country-prefixed).
+func runQueryClient(ctx context.Context, h http.Handler, rng *rand.Rand, targets []target, rounds int, ranged bool, think time.Duration) clientResult {
 	var res clientResult
 	w := &nullWriter{h: make(http.Header, 4)}
 	for ctx.Err() == nil {
-		key := keys[rng.Intn(len(keys))]
+		tg := targets[rng.Intn(len(targets))]
 		var url string
 		if ranged {
 			lo := rng.Intn(rounds / 2)
 			span := 1 + rng.Intn(rounds/4)
-			url = "/v1/series?entity=" + key +
+			url = tg.prefix + "/series?entity=" + tg.key +
 				"&limit=" + strconv.Itoa(64+rng.Intn(192)) +
 				"&offset=" + strconv.Itoa(rng.Intn(span)) +
 				"&since=" + strconv.Itoa(lo)
 		} else if rng.Intn(8) == 0 {
-			url = "/v1/outages?entity=" + key
+			url = tg.prefix + "/outages?entity=" + tg.key
 		} else {
-			url = "/v1/series?entity=" + key + "&since=" + strconv.Itoa(rounds/2-1)
+			url = tg.prefix + "/series?entity=" + tg.key + "&since=" + strconv.Itoa(rounds/2-1)
 		}
 		req := httptest.NewRequest("GET", url, nil)
 		w.reset()
 		t0 := time.Now()
-		srv.ServeHTTP(w, req)
+		h.ServeHTTP(w, req)
 		res.latencies = append(res.latencies, time.Since(t0))
 		res.requests++
 		if w.status >= 400 {
@@ -230,15 +305,15 @@ func runQueryClient(ctx context.Context, srv *serve.Server, rng *rand.Rand, keys
 // handler blocks until ctx cancels), so each SSE client costs exactly what
 // a real connection costs the server: one goroutine plus one subscriber
 // buffer.
-func runSSEClient(ctx context.Context, srv *serve.Server) clientResult {
+func runSSEClient(ctx context.Context, h http.Handler, prefix string) clientResult {
 	var res clientResult
 	w := newSSEWriter()
-	req := httptest.NewRequest("GET", "/v1/events", nil).WithContext(ctx)
+	req := httptest.NewRequest("GET", prefix+"/events", nil).WithContext(ctx)
 	t0 := time.Now()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		srv.ServeHTTP(w, req)
+		h.ServeHTTP(w, req)
 	}()
 	select {
 	case <-w.first:

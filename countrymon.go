@@ -179,6 +179,19 @@ type Options struct {
 	// min(2, len(Vantages))). Only meaningful with Vantages.
 	Quorum int
 
+	// Fleet attaches the monitor to an already-joined campaign of a shared
+	// fleet supervisor (fleet.NewShared + Join): multi-country coordinators
+	// use this so several monitors draw on one vantage pool with one global
+	// rate budget. The campaign must have been joined with this monitor's
+	// target set. Mutually exclusive with Vantages and ShardTransport; when
+	// set, Transport may be nil and is ignored.
+	Fleet *fleet.Campaign
+
+	// Country is the ISO code of the monitored country — the home country
+	// regional classification counts shares against. Empty means Ukraine
+	// (geodb.CountryUA), the paper's campaign.
+	Country string
+
 	// Origins maps each /24 block's origin AS. When nil, AS-level queries
 	// need ApplyBGPSnapshot to have been called (origins are learned from
 	// routing).
@@ -239,10 +252,12 @@ type Monitor struct {
 	// sinceCkpt counts rounds handled since the last checkpoint write.
 	sinceCkpt int
 
-	// sup supervises the vantage fleet (nil outside fleet mode);
-	// lastDataRound is the most recent round with ingested scan data — the
-	// fleet's previous belief for suspect detection — or -1.
-	sup           *fleet.Supervisor
+	// camp is the fleet campaign the monitor scans through (nil outside
+	// fleet mode): the sole campaign of a supervisor this monitor owns
+	// (Options.Vantages), or a joined handle on a shared supervisor
+	// (Options.Fleet). lastDataRound is the most recent round with ingested
+	// scan data — the fleet's previous belief for suspect detection — or -1.
+	camp          *fleet.Campaign
 	lastDataRound int
 
 	// Observability: bus and hooks receive events, metrics/scanM/sigM are
@@ -274,12 +289,15 @@ type Monitor struct {
 // New validates options and builds the monitor.
 func New(opts Options) (*Monitor, error) {
 	parallel := opts.ScanShards > 1 && opts.ShardTransport != nil
-	fleetMode := len(opts.Vantages) > 0
+	fleetMode := len(opts.Vantages) > 0 || opts.Fleet != nil
 	if opts.Transport == nil && !parallel && !fleetMode {
-		return nil, errors.New("countrymon: Transport is required (or ScanShards > 1 with ShardTransport, or Vantages)")
+		return nil, errors.New("countrymon: Transport is required (or ScanShards > 1 with ShardTransport, or Vantages, or Fleet)")
 	}
 	if fleetMode && opts.ShardTransport != nil {
-		return nil, errors.New("countrymon: Vantages and ShardTransport are mutually exclusive (the fleet shards its own scans)")
+		return nil, errors.New("countrymon: fleet mode and ShardTransport are mutually exclusive (the fleet shards its own scans)")
+	}
+	if len(opts.Vantages) > 0 && opts.Fleet != nil {
+		return nil, errors.New("countrymon: Vantages and Fleet are mutually exclusive (Fleet is already a joined campaign)")
 	}
 	if opts.Interval <= 0 {
 		opts.Interval = timeline.DefaultInterval
@@ -320,7 +338,10 @@ func New(opts Options) (*Monitor, error) {
 		sigM:          signals.NewMetrics(opts.Registry),
 		lastDataRound: -1,
 	}
-	if fleetMode {
+	switch {
+	case opts.Fleet != nil:
+		m.camp = opts.Fleet
+	case len(opts.Vantages) > 0:
 		shards := opts.ScanShards
 		if shards <= 1 {
 			shards = 0 // fleet default: one shard per vantage
@@ -343,7 +364,7 @@ func New(opts Options) (*Monitor, error) {
 		if err != nil {
 			return nil, fmt.Errorf("countrymon: %w", err)
 		}
-		m.sup = sup
+		m.camp = sup.Default()
 	}
 	if opts.ResumeFrom != "" {
 		if err := m.resume(opts.ResumeFrom); err != nil {
@@ -530,9 +551,9 @@ func (m *Monitor) ScanRoundContext(ctx context.Context) (Stats, error) {
 		err error
 	)
 	switch {
-	case m.sup != nil:
+	case m.camp != nil:
 		var rep *fleet.RoundReport
-		rd, rep, err = m.sup.ScanRound(ctx, round, at, m.prevBelief())
+		rd, rep, err = m.camp.ScanRound(ctx, round, at, m.prevBelief())
 		if err != nil {
 			return Stats{}, err
 		}
@@ -672,12 +693,22 @@ func (m *Monitor) prevBelief() fleet.PrevFunc {
 }
 
 // FleetReport returns the fleet campaign report when the monitor runs a
-// vantage fleet (Options.Vantages); ok is false otherwise.
+// vantage fleet (Options.Vantages or Options.Fleet); ok is false otherwise.
+// On a shared fleet the report covers this monitor's campaign only.
 func (m *Monitor) FleetReport() (FleetReport, bool) {
-	if m.sup == nil {
+	if m.camp == nil {
 		return FleetReport{}, false
 	}
-	return m.sup.Report(), true
+	return m.camp.Report(), true
+}
+
+// Country returns the monitored country's ISO code (Options.Country,
+// defaulting to Ukraine).
+func (m *Monitor) Country() string {
+	if m.opts.Country != "" {
+		return m.opts.Country
+	}
+	return geodb.CountryUA
 }
 
 // syncDir fsyncs a directory so a just-renamed entry survives a crash. Some
@@ -887,7 +918,7 @@ func (m *Monitor) ClassifyRegions(db *geodb.DB) error {
 		return errors.New("countrymon: geolocation database required")
 	}
 	m.builder() // materializes (and caches) the Space from learned origins
-	cl := regional.NewClassifier(m.space, db, m.store)
+	cl := regional.NewClassifierCountry(m.space, db, m.store, m.Country())
 	m.classifier = cl
 	m.classification = cl.ClassifyAll(regional.DefaultParams())
 	return nil

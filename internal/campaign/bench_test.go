@@ -1,0 +1,47 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkCampaignTwoCountry is the coordinator's headline number: complete
+// two-country campaigns — world build, fleet join, every round scanned
+// through the shared vantages, signals folded — measured in country-rounds
+// per second. Gated in CI against BENCH_baseline.json via the bare
+// rounds_per_sec headline.
+func BenchmarkCampaignTwoCountry(b *testing.B) {
+	spec := &Spec{
+		Countries: []CountrySpec{
+			{Code: "UA", Name: "Ukraine"},
+			{Code: "RO", Name: "Romania"},
+		},
+		Vantages: 3,
+		Rounds:   24,
+		Interval: 2 * time.Hour,
+		Start:    time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC),
+		Rate:     2000,
+		Seed:     9,
+	}
+	if err := spec.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		co, err := New(spec, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := co.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+		if err := co.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rounds := float64(b.N * spec.Rounds * len(spec.Countries))
+	b.ReportMetric(rounds/b.Elapsed().Seconds(), "rounds_per_sec")
+}

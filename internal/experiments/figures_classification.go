@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"countrymon/internal/analysis"
+	"countrymon/internal/geodb"
 	"countrymon/internal/netmodel"
 	"countrymon/internal/par"
 	"countrymon/internal/regional"
@@ -331,17 +332,17 @@ func figure18(e *Env) *Report {
 	// Appendix B: 12% of prefixes recoded (1/3 to RU); ~7% net decline.
 	base := sc.RIPEBase()
 	final := sc.RIPESnapshot(sc.TL.NumMonths() - 1)
-	d := ripe.DiffCountry(base, final, "UA")
-	r.addf("recoded ranges: %d of %d (%.1f%%); to RU: %d", d.RecodedTotal(), len(base.CountryRecords("UA")),
-		100*float64(d.RecodedTotal())/float64(len(base.CountryRecords("UA"))), d.Recoded["RU"])
-	recodedFrac := float64(d.RecodedTotal()) / float64(len(base.CountryRecords("UA")))
+	d := ripe.DiffCountry(base, final, geodb.CountryUA)
+	r.addf("recoded ranges: %d of %d (%.1f%%); to RU: %d", d.RecodedTotal(), len(base.CountryRecords(geodb.CountryUA)),
+		100*float64(d.RecodedTotal())/float64(len(base.CountryRecords(geodb.CountryUA))), d.Recoded["RU"])
+	recodedFrac := float64(d.RecodedTotal()) / float64(len(base.CountryRecords(geodb.CountryUA)))
 	ruShare := 0.0
 	if d.RecodedTotal() > 0 {
 		ruShare = float64(d.Recoded["RU"]) / float64(d.RecodedTotal())
 	}
 	r.metricVs("recoded_prefix_frac", recodedFrac, 0.12)
 	r.metricVs("recoded_to_ru_share", ruShare, 0.31)
-	declineFrac := 1 - float64(final.CountryAddrCount("UA"))/float64(base.CountryAddrCount("UA"))
+	declineFrac := 1 - float64(final.CountryAddrCount(geodb.CountryUA))/float64(base.CountryAddrCount(geodb.CountryUA))
 	r.metricVs("ua_addr_decline_frac", declineFrac, 0.07)
 	return r
 }

@@ -5,7 +5,6 @@ import (
 	"sort"
 	"time"
 
-	"countrymon/internal/geodb"
 	"countrymon/internal/netmodel"
 	"countrymon/internal/passive"
 	"countrymon/internal/scanner6"
@@ -234,7 +233,6 @@ func headline3(e *Env) *Report {
 	r.metricVs("regional_radius_2022_km", reg2022, 50)
 	r.metricVs("regional_radius_2025_km", reg2025, 200)
 	r.metricVs("nonregional_radius_km", non2025, 500)
-	_ = geodb.CountryUA
 	return r
 }
 

@@ -174,8 +174,8 @@ func table3(e *Env) *Report {
 			a = &classAgg{}
 			national[c] = a
 		}
-		ips := cl.MeanUAIPs(as.ASN)
-		blocks := cl.MeanUABlocks(as.ASN)
+		ips := cl.MeanHomeIPs(as.ASN)
+		blocks := cl.MeanHomeBlocks(as.ASN)
 		a.ases++
 		a.ips += ips
 		a.blocks += blocks

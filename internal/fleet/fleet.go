@@ -13,6 +13,15 @@
 // observation). A single stalled or blacked-out vantage therefore cannot
 // fabricate a country-wide outage.
 //
+// One physical fleet can carry several campaigns (one per monitored
+// country): vantage identity — breakers, health EWMAs, quarantine — is
+// shared, while targets, rate budget, quorum, belief and the accounting of
+// steals/degraded rounds/self-outages are per campaign (Join). A vantage
+// blackout observed during country A's round quarantines the vantage for
+// every campaign, and each campaign's report attributes only the steals and
+// degraded rounds of its own rounds, so two monitors sharing the supervisor
+// never double-count.
+//
 // Determinism: every scan runs over a fresh per-(vantage, round) transport
 // from the vantage's factory, results are slotted by shard index, and all
 // state mutation — breaker transitions, steals, fusion, belief updates —
@@ -35,25 +44,33 @@ import (
 	"countrymon/internal/signals"
 )
 
+// TransportFunc builds a fresh transport (and clock) for one scan in round
+// `round`, scheduled at `at`. It is called once per assigned shard and once
+// per corroboration re-probe, possibly from concurrent goroutines, so it
+// must be safe for concurrent use and must return independent transports.
+// Transports implementing io.Closer are closed when their scan finishes.
+type TransportFunc func(round int, at time.Time) (scanner.Transport, scanner.Clock, error)
+
 // Spec describes one vantage.
 type Spec struct {
 	// Name identifies the vantage in events, metrics and reports.
 	Name string
-	// Transport builds a fresh transport (and clock) for one scan this
-	// vantage runs in round `round`, scheduled at `at`. It is called once
-	// per assigned shard and once per corroboration re-probe, possibly from
-	// concurrent goroutines, so it must be safe for concurrent use and must
-	// return independent transports. Transports implementing io.Closer are
-	// closed when their scan finishes.
-	Transport func(round int, at time.Time) (scanner.Transport, scanner.Clock, error)
+	// Transport is the vantage's default transport factory. Campaigns may
+	// override it per vantage (CampaignConfig.Transports) when the same
+	// physical vantage reaches different measurement worlds per country.
+	Transport TransportFunc
 }
 
 // Config configures a Supervisor.
 type Config struct {
-	// Targets is the shared target set every vantage scans.
+	// Targets is the target set of the default campaign. Optional with
+	// NewShared (campaigns then bring their own targets via Join); required
+	// by New.
 	Targets *scanner.TargetSet
 	// Scan is the base per-scan configuration (rate, seed, batching,
-	// metrics, events); Shard/Shards/Epoch/Clock are overridden per scan.
+	// metrics, events); Shard/Shards/Epoch/Clock are overridden per scan,
+	// and Rate is scaled by each campaign's RateShare so the per-vantage
+	// budget holds across campaigns.
 	Scan scanner.Config
 	// Shards is how many shards a round's primary scan splits into
 	// (default: the number of vantages).
@@ -95,10 +112,11 @@ type RoundReport struct {
 	Suspects, FusedAlive, FusedDown, FusedHeld int
 }
 
-// CampaignReport aggregates across all rounds scanned so far.
+// CampaignReport aggregates one campaign's rounds scanned so far.
 type CampaignReport struct {
-	// Quarantined lists vantages whose breaker ever opened, in vantage
-	// order, each once.
+	// Quarantined lists vantages whose breaker this campaign observed open
+	// (tripped during one of its rounds, or already open when one of its
+	// rounds began), each once, in observation order.
 	Quarantined                                []string
 	DegradedRounds                             int
 	SelfOutages                                int
@@ -112,7 +130,8 @@ func (r CampaignReport) Degraded() bool {
 	return len(r.Quarantined) > 0 || r.DegradedRounds > 0 || r.SelfOutages > 0
 }
 
-// vantage is one fleet member's supervisor-side state.
+// vantage is one fleet member's supervisor-side state, shared by every
+// campaign on the fleet.
 type vantage struct {
 	spec     Spec
 	br       breaker
@@ -122,7 +141,9 @@ type vantage struct {
 }
 
 // Supervisor runs the fleet. It is not safe for concurrent use; drive it
-// from one goroutine (the Monitor does).
+// (and every campaign joined to it) from one goroutine — the Monitor does,
+// and the campaign coordinator interleaves countries deterministically on
+// one goroutine.
 type Supervisor struct {
 	cfg      Config
 	vantages []*vantage
@@ -130,21 +151,89 @@ type Supervisor struct {
 	fuseM    *signals.FusionMetrics
 	bus      *obs.Bus
 
+	campaigns []*Campaign
+	shareUsed float64
+	def       *Campaign // back-compat campaign built from Config.Targets
+}
+
+// Campaign is one country's (or target set's) view of a shared fleet: its
+// own targets, rate budget, quorum, fused belief and accounting, over the
+// supervisor's shared vantages and breakers.
+type Campaign struct {
+	s          *Supervisor
+	name       string
+	targets    *scanner.TargetSet
+	scan       scanner.Config // base Scan with Rate scaled by RateShare
+	shards     int
+	quorum     int
+	minCov     float64
+	transports []TransportFunc // per vantage index; nil entry = spec default
+
 	// lastResp is the fused per-block belief of the most recent usable
 	// round, the fallback prev when ScanRound's caller passes none.
 	lastResp []int
 	haveLast bool
 
-	rep CampaignReport
+	rep      CampaignReport
+	openSeen []bool // per vantage: already listed in rep.Quarantined
+
+	stealsC      *obs.Counter
+	degradedC    *obs.Counter
+	selfOutagesC *obs.Counter
 }
 
-// New validates the configuration and builds a supervisor.
+// CampaignConfig configures one campaign joined to a shared supervisor.
+type CampaignConfig struct {
+	// Name labels the campaign in metrics, events and reports — the country
+	// code in a multi-country fleet. Required and unique per supervisor.
+	Name string
+	// Targets is the campaign's target set. Required.
+	Targets *scanner.TargetSet
+	// RateShare is this campaign's share of the fleet's global scan-rate
+	// budget, in (0, 1]; shares across campaigns may not exceed 1, which is
+	// what enforces the per-vantage budget globally. 0 defaults to 1 (the
+	// whole budget — a solo campaign).
+	RateShare float64
+	// Quorum, Shards and MinShardCoverage default to the supervisor's.
+	Quorum           int
+	Shards           int
+	MinShardCoverage float64
+	// Seed overrides the base scan seed when non-zero, so per-country scans
+	// stay reproducible against their solo equivalents.
+	Seed uint64
+	// Transports overrides the transport factory of named vantages for this
+	// campaign only (the same physical vantage observing another country's
+	// network). Unknown vantage names are an error.
+	Transports map[string]TransportFunc
+}
+
+// New validates the configuration and builds a supervisor with one default
+// campaign over cfg.Targets (the single-country case).
 func New(specs []Spec, cfg Config) (*Supervisor, error) {
-	if len(specs) == 0 {
-		return nil, errors.New("fleet: at least one vantage required")
-	}
 	if cfg.Targets == nil {
 		return nil, errors.New("fleet: Targets required")
+	}
+	s, err := NewShared(specs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	def, err := s.Join(CampaignConfig{
+		Name:    "default",
+		Targets: cfg.Targets,
+		Seed:    cfg.Scan.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.def = def
+	return s, nil
+}
+
+// NewShared builds a supervisor with no campaign attached: a shared fleet
+// that countries join via Join. cfg.Targets is ignored.
+func NewShared(specs []Spec, cfg Config) (*Supervisor, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("fleet: at least one vantage required")
 	}
 	seen := make(map[string]bool, len(specs))
 	for i := range specs {
@@ -175,11 +264,10 @@ func New(specs []Spec, cfg Config) (*Supervisor, error) {
 		cfg.HealthAlpha = 0.3
 	}
 	s := &Supervisor{
-		cfg:      cfg,
-		m:        newMetrics(cfg.Registry),
-		fuseM:    signals.NewFusionMetrics(cfg.Registry),
-		bus:      cfg.Bus,
-		lastResp: make([]int, cfg.Targets.NumBlocks()),
+		cfg:   cfg,
+		m:     newMetrics(cfg.Registry),
+		fuseM: signals.NewFusionMetrics(cfg.Registry),
+		bus:   cfg.Bus,
 	}
 	for _, sp := range specs {
 		v := &vantage{spec: sp, br: newBreaker(cfg.Breaker), health: 1,
@@ -188,6 +276,81 @@ func New(specs []Spec, cfg Config) (*Supervisor, error) {
 		s.vantages = append(s.vantages, v)
 	}
 	return s, nil
+}
+
+// Join attaches a campaign to the fleet. Campaigns share the vantages and
+// their breakers but keep independent targets, rate budgets, beliefs and
+// reports. Join all campaigns before scanning; the set is fixed thereafter.
+func (s *Supervisor) Join(cfg CampaignConfig) (*Campaign, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("fleet: campaign name required")
+	}
+	for _, c := range s.campaigns {
+		if c.name == cfg.Name {
+			return nil, fmt.Errorf("fleet: duplicate campaign %q", cfg.Name)
+		}
+	}
+	if cfg.Targets == nil {
+		return nil, fmt.Errorf("fleet: campaign %q: Targets required", cfg.Name)
+	}
+	if cfg.RateShare == 0 {
+		cfg.RateShare = 1
+	}
+	if cfg.RateShare < 0 || cfg.RateShare > 1 {
+		return nil, fmt.Errorf("fleet: campaign %q: RateShare %v outside (0, 1]", cfg.Name, cfg.RateShare)
+	}
+	if s.shareUsed+cfg.RateShare > 1+1e-9 {
+		return nil, fmt.Errorf("fleet: campaign %q: rate shares exceed the fleet budget (%.3f + %.3f > 1)",
+			cfg.Name, s.shareUsed, cfg.RateShare)
+	}
+	if cfg.Quorum <= 0 {
+		cfg.Quorum = s.cfg.Quorum
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = s.cfg.Shards
+	}
+	if cfg.MinShardCoverage <= 0 {
+		cfg.MinShardCoverage = s.cfg.MinShardCoverage
+	}
+	scan := s.cfg.Scan
+	if scan.Rate > 0 {
+		scan.Rate = int(float64(scan.Rate)*cfg.RateShare + 0.5)
+	}
+	if cfg.Seed != 0 {
+		scan.Seed = cfg.Seed
+	}
+	c := &Campaign{
+		s:          s,
+		name:       cfg.Name,
+		targets:    cfg.Targets,
+		scan:       scan,
+		shards:     cfg.Shards,
+		quorum:     cfg.Quorum,
+		minCov:     cfg.MinShardCoverage,
+		transports: make([]TransportFunc, len(s.vantages)),
+		lastResp:   make([]int, cfg.Targets.NumBlocks()),
+		openSeen:   make([]bool, len(s.vantages)),
+
+		stealsC:      s.m.steals.With(cfg.Name),
+		degradedC:    s.m.degraded.With(cfg.Name),
+		selfOutagesC: s.m.selfOutages.With(cfg.Name),
+	}
+	for name, fn := range cfg.Transports {
+		vi := -1
+		for i, v := range s.vantages {
+			if v.spec.Name == name {
+				vi = i
+				break
+			}
+		}
+		if vi < 0 {
+			return nil, fmt.Errorf("fleet: campaign %q: unknown vantage %q", cfg.Name, name)
+		}
+		c.transports[vi] = fn
+	}
+	s.shareUsed += cfg.RateShare
+	s.campaigns = append(s.campaigns, c)
+	return c, nil
 }
 
 // Vantages returns the vantage names in fleet order.
@@ -199,15 +362,58 @@ func (s *Supervisor) Vantages() []string {
 	return names
 }
 
-// Report returns the campaign-level aggregation so far.
+// Default returns the campaign New built from Config.Targets (nil when the
+// supervisor was built with NewShared).
+func (s *Supervisor) Default() *Campaign { return s.def }
+
+// Campaigns returns the joined campaigns in join order.
+func (s *Supervisor) Campaigns() []*Campaign {
+	return append([]*Campaign(nil), s.campaigns...)
+}
+
+// Report returns the fleet-level aggregation so far: per-campaign tallies
+// summed (each round's steals and degradations are attributed to exactly
+// one campaign, so the sum counts each once), and every vantage whose
+// breaker ever opened listed once, in vantage order.
 func (s *Supervisor) Report() CampaignReport {
-	out := s.rep
-	out.Quarantined = append([]string(nil), s.rep.Quarantined...)
+	var out CampaignReport
+	for _, v := range s.vantages {
+		if v.everOpen {
+			out.Quarantined = append(out.Quarantined, v.spec.Name)
+		}
+	}
+	for _, c := range s.campaigns {
+		out.DegradedRounds += c.rep.DegradedRounds
+		out.SelfOutages += c.rep.SelfOutages
+		out.Steals += c.rep.Steals
+		out.Suspects += c.rep.Suspects
+		out.FusedAlive += c.rep.FusedAlive
+		out.FusedDown += c.rep.FusedDown
+		out.FusedHeld += c.rep.FusedHeld
+	}
 	return out
 }
 
 // State returns a vantage's current breaker state (by fleet order index).
 func (s *Supervisor) State(i int) BreakerState { return s.vantages[i].br.state }
+
+// ScanRound scans the default campaign's round (see Campaign.ScanRound).
+func (s *Supervisor) ScanRound(ctx context.Context, round int, at time.Time, prev PrevFunc) (*scanner.RoundData, *RoundReport, error) {
+	if s.def == nil {
+		return nil, nil, errors.New("fleet: no default campaign (built with NewShared); use Join")
+	}
+	return s.def.ScanRound(ctx, round, at, prev)
+}
+
+// Name returns the campaign's label.
+func (c *Campaign) Name() string { return c.name }
+
+// Report returns this campaign's aggregation so far.
+func (c *Campaign) Report() CampaignReport {
+	out := c.rep
+	out.Quarantined = append([]string(nil), c.rep.Quarantined...)
+	return out
+}
 
 // scanJob is one (shard, vantage) scan assignment within a round.
 type scanJob struct {
@@ -225,35 +431,40 @@ type PrevFunc func(blockIdx int) (resp int, ok bool)
 
 // ScanRound scans round `round` (scheduled at `at`) across the fleet:
 // assignment, failover, merge, corroboration and fusion. prev supplies the
-// previous per-block belief (nil uses the supervisor's internal belief).
+// previous per-block belief (nil uses the campaign's internal belief).
 //
 // The returned RoundData is the merged, fusion-corrected round; it is nil
 // only on a self-outage (rep.SelfOutage) or a hard error. Shards no vantage
 // could scan leave a coverage hole (RoundData.Partial), which the caller
 // gates like any salvaged round.
-func (s *Supervisor) ScanRound(ctx context.Context, round int, at time.Time, prev PrevFunc) (*scanner.RoundData, *RoundReport, error) {
+func (c *Campaign) ScanRound(ctx context.Context, round int, at time.Time, prev PrevFunc) (*scanner.RoundData, *RoundReport, error) {
+	s := c.s
 	rep := &RoundReport{Round: round}
 	n := len(s.vantages)
 
-	// Quarantine expiry: open breakers whose time is up go half-open.
+	// Quarantine expiry: open breakers whose time is up go half-open. A
+	// breaker another campaign's round already tripped is observed (and
+	// attributed) here too.
 	states := make([]BreakerState, n)
 	for i, v := range s.vantages {
 		before := v.br.state
 		states[i] = v.br.beginRound(round)
 		if states[i] != before {
-			s.transition(v, round, states[i])
+			c.transition(v, i, round, states[i])
 		}
 		switch states[i] {
 		case Closed:
 			rep.Healthy++
 			rep.Eligible++
+		case Open:
+			c.noteOpen(i)
 		case HalfOpen:
 			rep.Eligible++
 		}
 	}
 
-	shards := s.cfg.Shards
-	jobs, unassigned := s.assign(states, round, shards)
+	shards := c.shards
+	jobs, unassigned := c.assign(states, round, shards)
 	rep.Uncovered = unassigned
 
 	// Scan waves with same-round failover: failed shards are stolen by the
@@ -272,7 +483,7 @@ func (s *Supervisor) ScanRound(ctx context.Context, round int, at time.Time, pre
 	for len(jobs) > 0 {
 		outs := make([]scanOut, len(jobs))
 		par.ForEach(len(jobs), func(i int) {
-			outs[i] = s.scanShard(ctx, jobs[i].vi, jobs[i].shard, shards, round, at)
+			outs[i] = c.scanShard(ctx, jobs[i].vi, jobs[i].shard, shards, round, at)
 		})
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
@@ -282,7 +493,7 @@ func (s *Supervisor) ScanRound(ctx context.Context, round int, at time.Time, pre
 			out := outs[i]
 			v := s.vantages[j.vi]
 			if out.err == nil && out.rd != nil && !out.rd.RecvDead &&
-				out.rd.Coverage() >= s.cfg.MinShardCoverage {
+				out.rd.Coverage() >= c.minCov {
 				results[j.shard] = out.rd
 				owners[j.shard] = j.vi
 				okScans[j.vi]++
@@ -290,10 +501,11 @@ func (s *Supervisor) ScanRound(ctx context.Context, round int, at time.Time, pre
 			}
 			failScans[j.vi]++
 			if v.br.failure(round) {
-				s.transition(v, round, Open)
+				c.transition(v, j.vi, round, Open)
 			}
 			s.emit("shard_failed", func() map[string]any {
-				f := map[string]any{"round": round, "shard": j.shard, "vantage": v.spec.Name}
+				f := map[string]any{"round": round, "shard": j.shard,
+					"vantage": v.spec.Name, "campaign": c.name}
 				if out.err != nil {
 					f["error"] = out.err.Error()
 				}
@@ -307,9 +519,9 @@ func (s *Supervisor) ScanRound(ctx context.Context, round int, at time.Time, pre
 			tried[j.shard][thief] = true
 			next = append(next, scanJob{shard: j.shard, vi: thief})
 			rep.Steals++
-			s.m.steals.Inc()
+			c.stealsC.Inc()
 			s.emit("shard_steal", func() map[string]any {
-				return map[string]any{"round": round, "shard": j.shard,
+				return map[string]any{"round": round, "shard": j.shard, "campaign": c.name,
 					"from": v.spec.Name, "to": s.vantages[thief].spec.Name}
 			})
 		}
@@ -320,18 +532,18 @@ func (s *Supervisor) ScanRound(ctx context.Context, round int, at time.Time, pre
 	if allNil(results) {
 		rep.SelfOutage = true
 		rep.Degraded = true
-		s.m.selfOutages.Inc()
-		s.m.degraded.Inc()
+		c.selfOutagesC.Inc()
+		c.degradedC.Inc()
 		s.emit("fleet_self_outage", func() map[string]any {
-			return map[string]any{"round": round, "eligible": rep.Eligible}
+			return map[string]any{"round": round, "eligible": rep.Eligible, "campaign": c.name}
 		})
-		s.settleRound(rep, okScans, failScans, poisoned, nil, round)
+		c.settleRound(rep, okScans, failScans, poisoned, nil, round)
 		return nil, rep, nil
 	}
 
-	merged := s.merge(results, shards)
-	s.corroborate(ctx, round, at, prev, merged, results, owners, poisoned, rep)
-	s.settleRound(rep, okScans, failScans, poisoned, merged, round)
+	merged := c.merge(results, shards)
+	c.corroborate(ctx, round, at, prev, merged, results, owners, poisoned, rep)
+	c.settleRound(rep, okScans, failScans, poisoned, merged, round)
 	return merged, rep, nil
 }
 
@@ -339,8 +551,8 @@ func (s *Supervisor) ScanRound(ctx context.Context, round int, at time.Time, pre
 // in fixed vantage order with a rotating per-round offset, half-open
 // vantages capped at one trial shard. Returns the jobs in shard order and
 // how many shards found no vantage at all.
-func (s *Supervisor) assign(states []BreakerState, round, shards int) ([]scanJob, int) {
-	n := len(s.vantages)
+func (c *Campaign) assign(states []BreakerState, round, shards int) ([]scanJob, int) {
+	n := len(c.s.vantages)
 	jobs := make([]scanJob, 0, shards)
 	unassigned := 0
 	trialUsed := make([]bool, n)
@@ -348,11 +560,11 @@ func (s *Supervisor) assign(states []BreakerState, round, shards int) ([]scanJob
 	for sh := 0; sh < shards; sh++ {
 		vi := -1
 		for try := 0; try < n; try++ {
-			c := (cursor + try) % n
-			if states[c] == Open || (states[c] == HalfOpen && trialUsed[c]) {
+			cand := (cursor + try) % n
+			if states[cand] == Open || (states[cand] == HalfOpen && trialUsed[cand]) {
 				continue
 			}
-			vi = c
+			vi = cand
 			break
 		}
 		if vi < 0 {
@@ -382,44 +594,52 @@ func (s *Supervisor) thief(j scanJob, tried []bool) int {
 	return -1
 }
 
+// transport returns the factory this campaign uses for a vantage.
+func (c *Campaign) transport(vi int) TransportFunc {
+	if fn := c.transports[vi]; fn != nil {
+		return fn
+	}
+	return c.s.vantages[vi].spec.Transport
+}
+
 // scanShard runs one vantage's scan of one shard over a fresh transport.
-func (s *Supervisor) scanShard(ctx context.Context, vi, shard, shards, round int, at time.Time) scanOut {
-	tr, clk, err := s.vantages[vi].spec.Transport(round, at)
+func (c *Campaign) scanShard(ctx context.Context, vi, shard, shards, round int, at time.Time) scanOut {
+	tr, clk, err := c.transport(vi)(round, at)
 	if err != nil {
 		return scanOut{err: err}
 	}
-	if c, ok := tr.(io.Closer); ok {
-		defer c.Close()
+	if cl, ok := tr.(io.Closer); ok {
+		defer cl.Close()
 	}
 	if clk == nil {
-		if c, ok := tr.(scanner.Clock); ok {
-			clk = c
+		if cl, ok := tr.(scanner.Clock); ok {
+			clk = cl
 		}
 	}
-	cfg := s.cfg.Scan
+	cfg := c.scan
 	cfg.Shard, cfg.Shards = shard, shards
 	cfg.Epoch = uint32(round + 1)
 	cfg.Clock = clk
-	rd, err := scanner.New(tr, cfg).RunContext(ctx, s.cfg.Targets)
+	rd, err := scanner.New(tr, cfg).RunContext(ctx, c.targets)
 	return scanOut{rd: rd, err: err}
 }
 
 // merge folds the per-shard results (placeholding unscanned shards, so their
 // targets count as a coverage hole) in shard order.
-func (s *Supervisor) merge(results []*scanner.RoundData, shards int) *scanner.RoundData {
+func (c *Campaign) merge(results []*scanner.RoundData, shards int) *scanner.RoundData {
 	rds := make([]*scanner.RoundData, 0, shards)
 	for sh, rd := range results {
 		if rd == nil {
 			rds = append(rds, &scanner.RoundData{
-				Targets:      s.cfg.Targets,
-				ShardTargets: scanner.ShardLen(s.cfg.Targets.Len(), sh, shards),
+				Targets:      c.targets,
+				ShardTargets: scanner.ShardLen(c.targets.Len(), sh, shards),
 				Partial:      true,
 			})
 			continue
 		}
 		rds = append(rds, rd)
 	}
-	return scanner.MergeRounds(s.cfg.Targets, rds)
+	return scanner.MergeRounds(c.targets, rds)
 }
 
 // corroborate finds suspect blocks (believed alive, now reading depressed),
@@ -429,18 +649,19 @@ func (s *Supervisor) merge(results []*scanner.RoundData, shards int) *scanner.Ro
 // of either holds the previous belief. Vantages whose dark samples were
 // overridden on enough blocks are "poisoned" — silently feeding darkness —
 // and charged a missed heartbeat even though their scans looked complete.
-func (s *Supervisor) corroborate(ctx context.Context, round int, at time.Time, prev PrevFunc,
+func (c *Campaign) corroborate(ctx context.Context, round int, at time.Time, prev PrevFunc,
 	merged *scanner.RoundData, results []*scanner.RoundData, owners []int,
 	poisoned []bool, rep *RoundReport) {
+	s := c.s
 
 	prevOf := func(bi int) (int, bool) {
 		if prev != nil {
 			return prev(bi)
 		}
-		if !s.haveLast {
+		if !c.haveLast {
 			return 0, false
 		}
-		return s.lastResp[bi], true
+		return c.lastResp[bi], true
 	}
 
 	var suspects []int
@@ -486,7 +707,7 @@ func (s *Supervisor) corroborate(ctx context.Context, round int, at time.Time, p
 	// Full-block corroboration re-probes from every closed vantage.
 	prefixes := make([]netmodel.Prefix, len(suspects))
 	for i, bi := range suspects {
-		blk := s.cfg.Targets.Blocks()[bi]
+		blk := c.targets.Blocks()[bi]
 		prefixes[i] = netmodel.Prefix{Base: blk.First(), Bits: 24}
 	}
 	suspectTS, err := scanner.NewTargetSet(prefixes, nil)
@@ -501,7 +722,7 @@ func (s *Supervisor) corroborate(ctx context.Context, round int, at time.Time, p
 	}
 	couts := make([]scanOut, len(corr))
 	par.ForEach(len(corr), func(i int) {
-		couts[i] = s.reprobe(ctx, corr[i], round, at, suspectTS)
+		couts[i] = c.reprobe(ctx, corr[i], round, at, suspectTS)
 	})
 
 	// Fuse per suspect block, in block order.
@@ -525,7 +746,7 @@ func (s *Supervisor) corroborate(ctx context.Context, round int, at time.Time, p
 			if out.err != nil || out.rd == nil || out.rd.RecvDead {
 				continue
 			}
-			sbi := suspectTS.BlockIndex(s.cfg.Targets.Blocks()[bi].First())
+			sbi := suspectTS.BlockIndex(c.targets.Blocks()[bi].First())
 			if sbi < 0 {
 				continue
 			}
@@ -536,7 +757,7 @@ func (s *Supervisor) corroborate(ctx context.Context, round int, at time.Time, p
 				Full:    true,
 			})
 		}
-		fused, outcome := signals.FuseBlock(prevResp[bi], int(merged.Blocks[bi].RespCount), verdicts, s.cfg.Quorum)
+		fused, outcome := signals.FuseBlock(prevResp[bi], int(merged.Blocks[bi].RespCount), verdicts, c.quorum)
 		s.fuseM.Observe(outcome)
 		switch outcome {
 		case signals.FuseAlive:
@@ -571,32 +792,32 @@ func (s *Supervisor) corroborate(ctx context.Context, round int, at time.Time, p
 			poisoned[vi] = true
 			s.emit("vantage_poisoned", func() map[string]any {
 				return map[string]any{"round": round, "vantage": v.spec.Name,
-					"overridden": overridden[vi]}
+					"campaign": c.name, "overridden": overridden[vi]}
 			})
 		}
 	}
 
 	s.emit("fleet_fusion", func() map[string]any {
-		return map[string]any{"round": round, "suspects": rep.Suspects,
+		return map[string]any{"round": round, "suspects": rep.Suspects, "campaign": c.name,
 			"alive": rep.FusedAlive, "down": rep.FusedDown, "held": rep.FusedHeld}
 	})
 }
 
 // reprobe runs one vantage's full scan of the suspect blocks.
-func (s *Supervisor) reprobe(ctx context.Context, vi, round int, at time.Time, ts *scanner.TargetSet) scanOut {
-	tr, clk, err := s.vantages[vi].spec.Transport(round, at)
+func (c *Campaign) reprobe(ctx context.Context, vi, round int, at time.Time, ts *scanner.TargetSet) scanOut {
+	tr, clk, err := c.transport(vi)(round, at)
 	if err != nil {
 		return scanOut{err: err}
 	}
-	if c, ok := tr.(io.Closer); ok {
-		defer c.Close()
+	if cl, ok := tr.(io.Closer); ok {
+		defer cl.Close()
 	}
 	if clk == nil {
-		if c, ok := tr.(scanner.Clock); ok {
-			clk = c
+		if cl, ok := tr.(scanner.Clock); ok {
+			clk = cl
 		}
 	}
-	cfg := s.cfg.Scan
+	cfg := c.scan
 	cfg.Shard, cfg.Shards = 0, 1
 	cfg.Epoch = uint32(round + 1)
 	cfg.Clock = clk
@@ -607,7 +828,8 @@ func (s *Supervisor) reprobe(ctx context.Context, vi, round int, at time.Time, t
 // settleRound applies end-of-round heartbeats (including deferred half-open
 // trial verdicts and poisoning), updates health EWMAs and beliefs, and
 // aggregates the campaign report. All in fixed vantage order.
-func (s *Supervisor) settleRound(rep *RoundReport, okScans, failScans []int, poisoned []bool, merged *scanner.RoundData, round int) {
+func (c *Campaign) settleRound(rep *RoundReport, okScans, failScans []int, poisoned []bool, merged *scanner.RoundData, round int) {
+	s := c.s
 	for vi, v := range s.vantages {
 		if okScans[vi] == 0 && failScans[vi] == 0 && !poisoned[vi] {
 			continue // did not participate: no heartbeat either way
@@ -619,13 +841,13 @@ func (s *Supervisor) settleRound(rep *RoundReport, okScans, failScans []int, poi
 			// after it survived the fusion poison check, so a stalled vantage
 			// whose trial scan "completed" (all-dark) stays quarantined.
 			if v.br.success() {
-				s.transition(v, round, Closed)
+				c.transition(v, vi, round, Closed)
 			}
 		case poisoned[vi] && v.br.state != Open:
 			// Shard-scan failures were charged at wave time; poisoning is the
 			// one failure discovered only after fusion.
 			if v.br.failure(round) {
-				s.transition(v, round, Open)
+				c.transition(v, vi, round, Open)
 			}
 		}
 		outcome := 0.0
@@ -636,44 +858,53 @@ func (s *Supervisor) settleRound(rep *RoundReport, okScans, failScans []int, poi
 		v.healthG.Set(int64(v.health*1000 + 0.5))
 	}
 
-	if rep.Healthy < s.cfg.Quorum || rep.Uncovered > 0 {
+	if rep.Healthy < c.quorum || rep.Uncovered > 0 {
 		rep.Degraded = true
 		if !rep.SelfOutage { // self-outage already counted the round
-			s.m.degraded.Inc()
+			c.degradedC.Inc()
 		}
 	}
 
 	if merged != nil && !merged.RecvDead {
 		for bi := range merged.Blocks {
-			s.lastResp[bi] = int(merged.Blocks[bi].RespCount)
+			c.lastResp[bi] = int(merged.Blocks[bi].RespCount)
 		}
-		s.haveLast = true
+		c.haveLast = true
 	}
 
-	s.rep.Steals += rep.Steals
-	s.rep.Suspects += rep.Suspects
-	s.rep.FusedAlive += rep.FusedAlive
-	s.rep.FusedDown += rep.FusedDown
-	s.rep.FusedHeld += rep.FusedHeld
+	c.rep.Steals += rep.Steals
+	c.rep.Suspects += rep.Suspects
+	c.rep.FusedAlive += rep.FusedAlive
+	c.rep.FusedDown += rep.FusedDown
+	c.rep.FusedHeld += rep.FusedHeld
 	if rep.Degraded {
-		s.rep.DegradedRounds++
+		c.rep.DegradedRounds++
 	}
 	if rep.SelfOutage {
-		s.rep.SelfOutages++
+		c.rep.SelfOutages++
 	}
 }
 
-// transition records a breaker state change on metrics, events and the
-// quarantine report.
-func (s *Supervisor) transition(v *vantage, round int, to BreakerState) {
-	s.m.transitions.With(to.String()).Inc()
-	if to == Open && !v.everOpen {
-		v.everOpen = true
-		s.rep.Quarantined = append(s.rep.Quarantined, v.spec.Name)
+// noteOpen records a vantage in this campaign's quarantine list, once.
+func (c *Campaign) noteOpen(vi int) {
+	if c.openSeen[vi] {
+		return
 	}
-	s.emit("breaker_transition", func() map[string]any {
+	c.openSeen[vi] = true
+	c.s.vantages[vi].everOpen = true
+	c.rep.Quarantined = append(c.rep.Quarantined, c.s.vantages[vi].spec.Name)
+}
+
+// transition records a breaker state change on metrics, events and the
+// quarantine report of the campaign whose round observed it.
+func (c *Campaign) transition(v *vantage, vi, round int, to BreakerState) {
+	c.s.m.transitions.With(to.String()).Inc()
+	if to == Open {
+		c.noteOpen(vi)
+	}
+	c.s.emit("breaker_transition", func() map[string]any {
 		return map[string]any{"round": round, "vantage": v.spec.Name,
-			"to": to.String(), "quarantine": v.br.quarantine}
+			"campaign": c.name, "to": to.String(), "quarantine": v.br.quarantine}
 	})
 }
 

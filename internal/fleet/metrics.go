@@ -3,13 +3,16 @@ package fleet
 import "countrymon/internal/obs"
 
 // metrics are the supervisor's instruments. All fields are nil — inert —
-// without a registry.
+// without a registry. The per-round tallies carry a campaign label so two
+// countries sharing the fleet never pool their accounting: each steal,
+// degraded round and self-outage is attributed to the campaign whose round
+// it happened in.
 type metrics struct {
-	health      *obs.GaugeVec // fleet_vantage_health{vantage}, health EWMA in permille
-	transitions *obs.CounterVec
-	steals      *obs.Counter
-	degraded    *obs.Counter
-	selfOutages *obs.Counter
+	health      *obs.GaugeVec   // fleet_vantage_health{vantage}, health EWMA in permille
+	transitions *obs.CounterVec // fleet_breaker_transitions_total{to}
+	steals      *obs.CounterVec // fleet_steals_total{campaign}
+	degraded    *obs.CounterVec // fleet_rounds_degraded_total{campaign}
+	selfOutages *obs.CounterVec // fleet_self_outages_total{campaign}
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -18,11 +21,11 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Per-vantage heartbeat health EWMA, in permille.", "vantage"),
 		transitions: reg.CounterVec("fleet_breaker_transitions_total",
 			"Vantage circuit-breaker transitions, by target state.", "to"),
-		steals: reg.Counter("fleet_steals_total",
-			"Shards reassigned to a healthy vantage after their owner failed mid-round."),
-		degraded: reg.Counter("fleet_rounds_degraded_total",
-			"Rounds that ran below quorum or left a shard uncovered."),
-		selfOutages: reg.Counter("fleet_self_outages_total",
-			"Rounds with no usable vantage at all (self-outage, not target outage)."),
+		steals: reg.CounterVec("fleet_steals_total",
+			"Shards reassigned to a healthy vantage after their owner failed mid-round, by campaign.", "campaign"),
+		degraded: reg.CounterVec("fleet_rounds_degraded_total",
+			"Rounds that ran below quorum or left a shard uncovered, by campaign.", "campaign"),
+		selfOutages: reg.CounterVec("fleet_self_outages_total",
+			"Rounds with no usable vantage at all (self-outage, not target outage), by campaign.", "campaign"),
 	}
 }

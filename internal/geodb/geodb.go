@@ -85,11 +85,11 @@ func (s *Snapshot) Lookup(addr netmodel.Addr) (Entry, bool) {
 }
 
 // BlockShares returns, for one /24 block, how many of its 256 addresses the
-// snapshot locates in each Ukrainian region, plus how many fall outside
-// Ukraine (keyed by country code).
+// snapshot locates in each region of the home country, plus how many fall
+// outside it (keyed by country code).
 type BlockShares struct {
 	PerRegion [netmodel.NumRegions + 1]uint16 // indexed by Region
-	Abroad    map[string]uint16               // country -> count (excl. UA)
+	Abroad    map[string]uint16               // country -> count (excl. home)
 	Located   uint16                          // total addresses covered
 }
 
@@ -111,8 +111,15 @@ func (b *BlockShares) DominantRegion() (netmodel.Region, uint16) {
 	return best, n
 }
 
-// BlockShares computes the per-region address counts of a block.
+// BlockShares computes the per-region address counts of a block with Ukraine
+// as the home country (the original single-country pipeline).
 func (s *Snapshot) BlockShares(block netmodel.BlockID) BlockShares {
+	return s.BlockSharesFor(block, CountryUA)
+}
+
+// BlockSharesFor computes the per-region address counts of a block, counting
+// regions only for entries located in the given home country.
+func (s *Snapshot) BlockSharesFor(block netmodel.BlockID, country string) BlockShares {
 	var out BlockShares
 	// Walk the 256 addresses via entry ranges rather than per-IP lookups:
 	// find all entries overlapping the block.
@@ -153,7 +160,7 @@ func (s *Snapshot) BlockShares(block netmodel.BlockID) BlockShares {
 			continue
 		}
 		out.Located++
-		if best.Country == CountryUA && best.Region.Valid() {
+		if best.Country == country && best.Region.Valid() {
 			out.PerRegion[best.Region]++
 		} else {
 			if out.Abroad == nil {
@@ -165,12 +172,18 @@ func (s *Snapshot) BlockShares(block netmodel.BlockID) BlockShares {
 	return out
 }
 
-// RegionIPCounts sums located addresses per region across the snapshot
-// (Figs 1/19: "IPv4 address counts per oblast").
+// RegionIPCounts sums located addresses per region across the snapshot with
+// Ukraine as the home country (Figs 1/19: "IPv4 address counts per oblast").
 func (s *Snapshot) RegionIPCounts() map[netmodel.Region]int64 {
+	return s.RegionIPCountsFor(CountryUA)
+}
+
+// RegionIPCountsFor sums located addresses per region across the snapshot
+// for entries in the given home country.
+func (s *Snapshot) RegionIPCountsFor(country string) map[netmodel.Region]int64 {
 	out := make(map[netmodel.Region]int64, netmodel.NumRegions)
 	for _, e := range s.entries {
-		if e.Country == CountryUA && e.Region.Valid() {
+		if e.Country == country && e.Region.Valid() {
 			out[e.Region] += int64(e.Prefix.NumAddrs())
 		}
 	}

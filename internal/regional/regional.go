@@ -9,8 +9,10 @@
 //	e ∈ E_reg  ⇔  Σ_t 1(s_t(e) ≥ M) ≥ ⌈T_perc · T_routed⌉
 //
 // with s_t(e) = n_t(e)/N_t(e), n_t the entity's addresses geolocated to R in
-// month t and N_t its maximum (256 for blocks; the AS's Ukrainian addresses
-// for ASes). The paper selects M = T_perc = 0.7.
+// month t and N_t its maximum (256 for blocks; the AS's home-country
+// addresses for ASes — Ukrainian addresses in the paper). The paper selects
+// M = T_perc = 0.7. The classifier is parameterized by the home country so
+// the same machinery serves any country model.
 package regional
 
 import (
@@ -72,9 +74,10 @@ func (c ASClass) String() string {
 // classifications for all 26 regions and arbitrary parameter sweeps (Figs
 // 22/23) are cheap.
 type Classifier struct {
-	space  *netmodel.Space
-	store  *dataset.Store
-	months int
+	space   *netmodel.Space
+	store   *dataset.Store
+	months  int
+	country string
 
 	// shares[bi][m] is the block's address distribution in month m.
 	shares [][]geodb.BlockShares
@@ -82,23 +85,32 @@ type Classifier struct {
 	radius [][]uint16
 	// blockRouted[bi][m] reports BGP coverage during month m.
 	blockRouted [][]bool
-	// uaIPs[asn][m] is the AS's Ukraine-located address count (the N_t(e)
-	// denominator for AS shares).
-	uaIPs map[netmodel.ASN][]int32
+	// homeIPs[asn][m] is the AS's home-country-located address count (the
+	// N_t(e) denominator for AS shares).
+	homeIPs map[netmodel.ASN][]int32
 }
 
 // NewClassifier builds the share tables from the monthly geolocation
-// database and the measurement store (for routed months).
+// database and the measurement store (for routed months), with Ukraine as
+// the home country (the paper's single-country pipeline).
 func NewClassifier(space *netmodel.Space, db *geodb.DB, store *dataset.Store) *Classifier {
+	return NewClassifierCountry(space, db, store, geodb.CountryUA)
+}
+
+// NewClassifierCountry is NewClassifier for an arbitrary home country: shares
+// and AS denominators count only addresses the database locates in that
+// country.
+func NewClassifierCountry(space *netmodel.Space, db *geodb.DB, store *dataset.Store, country string) *Classifier {
 	months := db.Months()
 	c := &Classifier{
 		space:       space,
 		store:       store,
 		months:      months,
+		country:     country,
 		shares:      make([][]geodb.BlockShares, space.NumBlocks()),
 		radius:      make([][]uint16, space.NumBlocks()),
 		blockRouted: make([][]bool, space.NumBlocks()),
-		uaIPs:       make(map[netmodel.ASN][]int32),
+		homeIPs:     make(map[netmodel.ASN][]int32),
 	}
 	// Per-block share tables are independent: shard them across the worker
 	// pool. Each goroutine writes only its own rows.
@@ -110,7 +122,7 @@ func NewClassifier(space *netmodel.Space, db *geodb.DB, store *dataset.Store) *C
 		si := store.BlockIndex(blk)
 		for m := 0; m < months; m++ {
 			snap := db.Month(m)
-			bs := snap.BlockShares(blk)
+			bs := snap.BlockSharesFor(blk, c.country)
 			c.shares[bi][m] = bs
 			if e, ok := snap.Lookup(blk.Addr(128)); ok {
 				c.radius[bi][m] = uint16(min32(e.RadiusKM, 65535))
@@ -123,7 +135,7 @@ func NewClassifier(space *netmodel.Space, db *geodb.DB, store *dataset.Store) *C
 	})
 
 	// AS denominators: group blocks per origin AS sequentially (map writes),
-	// then sum each AS's monthly Ukraine-located addresses in parallel.
+	// then sum each AS's monthly home-country addresses in parallel.
 	// Integer addition is order-independent, so the result is identical to
 	// the sequential accumulation.
 	asBlocks := make(map[netmodel.ASN][]int32)
@@ -132,24 +144,27 @@ func NewClassifier(space *netmodel.Space, db *geodb.DB, store *dataset.Store) *C
 		asn := space.OriginOf(blk)
 		if _, ok := asBlocks[asn]; !ok {
 			asns = append(asns, asn)
-			c.uaIPs[asn] = make([]int32, months)
+			c.homeIPs[asn] = make([]int32, months)
 		}
 		asBlocks[asn] = append(asBlocks[asn], int32(bi))
 	}
 	par.ForEach(len(asns), func(ai int) {
 		asn := asns[ai]
-		ua := c.uaIPs[asn]
+		home := c.homeIPs[asn]
 		for _, bi := range asBlocks[asn] {
 			for m := 0; m < months; m++ {
 				bs := &c.shares[bi][m]
 				for r := netmodel.Region(1); int(r) <= netmodel.NumRegions; r++ {
-					ua[m] += int32(bs.PerRegion[r])
+					home[m] += int32(bs.PerRegion[r])
 				}
 			}
 		}
 	})
 	return c
 }
+
+// Country returns the classifier's home country code.
+func (c *Classifier) Country() string { return c.country }
 
 func min32(a uint32, b uint32) uint32 {
 	if a < b {
@@ -173,7 +188,7 @@ func (c *Classifier) BlockShares(bi, m int) *geodb.BlockShares { return &c.share
 // BlockRadius returns the block's geolocation confidence radius in month m.
 func (c *Classifier) BlockRadius(bi, m int) uint16 { return c.radius[bi][m] }
 
-// ASShare returns the AS's share of its Ukrainian addresses located in
+// ASShare returns the AS's share of its home-country addresses located in
 // region r during month m.
 func (c *Classifier) ASShare(asn netmodel.ASN, m int, r netmodel.Region) float64 {
 	n := 0
@@ -183,25 +198,25 @@ func (c *Classifier) ASShare(asn netmodel.ASN, m int, r netmodel.Region) float64
 		}
 		n += int(c.shares[bi][m].PerRegion[r])
 	}
-	total := c.uaIPs[asn]
+	total := c.homeIPs[asn]
 	if total == nil || total[m] == 0 {
 		return 0
 	}
 	return float64(n) / float64(total[m])
 }
 
-// MeanUAIPs returns the AS's mean monthly count of Ukraine-located
+// MeanHomeIPs returns the AS's mean monthly count of home-country-located
 // addresses (Table 3's "IPS" column denominator).
-func (c *Classifier) MeanUAIPs(asn netmodel.ASN) float64 {
-	ua := c.uaIPs[asn]
-	if ua == nil {
+func (c *Classifier) MeanHomeIPs(asn netmodel.ASN) float64 {
+	home := c.homeIPs[asn]
+	if home == nil {
 		return 0
 	}
 	sum := 0.0
-	for _, v := range ua {
+	for _, v := range home {
 		sum += float64(v)
 	}
-	return sum / float64(len(ua))
+	return sum / float64(len(home))
 }
 
 // MeanRegionIPs returns the AS's mean monthly addresses located in the
@@ -219,9 +234,9 @@ func (c *Classifier) MeanRegionIPs(asn netmodel.ASN, region netmodel.Region) flo
 	return sum / float64(c.months)
 }
 
-// MeanUABlocks returns the AS's mean monthly count of /24s with at least
-// one Ukraine-located address.
-func (c *Classifier) MeanUABlocks(asn netmodel.ASN) float64 {
+// MeanHomeBlocks returns the AS's mean monthly count of /24s with at least
+// one home-country-located address.
+func (c *Classifier) MeanHomeBlocks(asn netmodel.ASN) float64 {
 	sum := 0
 	for bi, blk := range c.space.Blocks() {
 		if c.space.OriginOf(blk) != asn {
@@ -385,7 +400,7 @@ func (c *Classifier) Classify(region netmodel.Region, p Params) *RegionResult {
 		}
 	}
 	for asn, a := range aggs {
-		ua := c.uaIPs[asn]
+		home := c.homeIPs[asn]
 		present := false
 		for m := 0; m < c.months; m++ {
 			n := a.inRegion[m]
@@ -397,8 +412,8 @@ func (c *Classifier) Classify(region netmodel.Region, p Params) *RegionResult {
 				a.maxIPs = n
 			}
 			var share float64
-			if ua[m] > 0 {
-				share = float64(n) / float64(ua[m])
+			if home[m] > 0 {
+				share = float64(n) / float64(home[m])
 			}
 			if share > a.maxShare {
 				a.maxShare = share

@@ -54,6 +54,8 @@ func (s *Spec) Compile() (*Compiled, error) {
 			Start:    s.Start,
 			End:      s.End(),
 		},
+		Country:     s.Country,
+		CountryName: s.CountryName,
 	}
 
 	// Carve the address plan and per-block traits.

@@ -19,6 +19,8 @@ type fileDoc struct {
 	Name        string      `json:"name"`
 	Description string      `json:"description"`
 	Seed        uint64      `json:"seed"`
+	Country     string      `json:"country"`
+	CountryName string      `json:"country_name"`
 	Start       string      `json:"start"`
 	Interval    string      `json:"interval"`
 	Days        int         `json:"days"`
@@ -187,7 +189,11 @@ func Parse(data []byte) (*Spec, error) {
 	if doc.Name == "" || len(doc.Name) > MaxNameLen {
 		return nil, fmt.Errorf("scenario: name must be 1..%d chars", MaxNameLen)
 	}
-	spec := &Spec{Name: doc.Name, Description: doc.Description, Seed: doc.Seed}
+	spec := &Spec{Name: doc.Name, Description: doc.Description, Seed: doc.Seed,
+		Country: doc.Country, CountryName: doc.CountryName}
+	if doc.Country != "" && !validCountryCode(doc.Country) {
+		return nil, fmt.Errorf("scenario %s: country %q is not an ISO alpha-2 code", doc.Name, doc.Country)
+	}
 
 	start, err := time.Parse(time.RFC3339, doc.Start)
 	if err != nil {
@@ -233,6 +239,11 @@ func Parse(data []byte) (*Spec, error) {
 }
 
 func pctValid(p int) bool { return p >= 0 && p <= 100 }
+
+// validCountryCode accepts two uppercase ASCII letters (ISO 3166-1 alpha-2).
+func validCountryCode(s string) bool {
+	return len(s) == 2 && s[0] >= 'A' && s[0] <= 'Z' && s[1] >= 'A' && s[1] <= 'Z'
+}
 
 func parseASes(spec *Spec, docs []asDoc) error {
 	if len(docs) == 0 || len(docs) > MaxASes {

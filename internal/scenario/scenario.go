@@ -47,6 +47,12 @@ type Spec struct {
 	Name        string
 	Description string
 	Seed        uint64
+	// Country is the ISO code the scenario's address space geolocates to,
+	// with CountryName its display name; empty means Ukraine
+	// (sim.DefaultCountry). This is how a scenario file models a country
+	// other than the war script's.
+	Country     string
+	CountryName string
 	Start       time.Time
 	Interval    time.Duration
 	Days        int

@@ -19,6 +19,11 @@ type Spec struct {
 	// Cfg needs Seed, Interval, Start and End; Scale is ignored (the space
 	// is given explicitly).
 	Cfg Config
+	// Country is the ISO code the spec's address space geolocates to;
+	// empty defaults to DefaultCountry (pre-multi-country specs all
+	// describe Ukraine). CountryName is the display name.
+	Country     string
+	CountryName string
 	// ASes carries one traits entry per AS; each entry's AS pointer must be
 	// populated, including its Prefixes.
 	ASes []ASTraits
@@ -100,15 +105,21 @@ func Assemble(spec Spec) (*Scenario, error) {
 			len(missing), tl.NumRounds())
 	}
 
+	country := spec.Country
+	if country == "" {
+		country = DefaultCountry
+	}
 	sc := &Scenario{
-		Cfg:      cfg,
-		TL:       tl,
-		Space:    space,
-		Power:    pow,
-		Missing:  missing,
-		asTraits: traits,
-		events:   append([]Event(nil), spec.Events...),
-		leased:   spec.Leased,
+		Cfg:         cfg,
+		TL:          tl,
+		Space:       space,
+		Power:       pow,
+		Missing:     missing,
+		Country:     country,
+		CountryName: spec.CountryName,
+		asTraits:    traits,
+		events:      append([]Event(nil), spec.Events...),
+		leased:      spec.Leased,
 	}
 	sc.liveOrder.seed = cfg.Seed ^ 0x11fe
 	sc.blocks = make([]BlockTraits, space.NumBlocks())

@@ -128,8 +128,12 @@ type builder struct {
 	leasedCursor    netmodel.BlockID
 }
 
-// Build constructs the full scenario deterministically from the config.
-func Build(cfg Config) (*Scenario, error) {
+// Ukraine returns the bundled Ukraine country model: the paper's scripted
+// war generator, expressed as CountryModel data. The generator emits plain
+// Spec values — regions, ASes, blocks and events — and building the model
+// is nothing but Assemble over them, so Ukraine is one instance of the
+// data-driven country model rather than a special-cased construction path.
+func Ukraine(cfg Config) (CountryModel, error) {
 	cfg = cfg.withDefaults()
 	b := &builder{
 		cfg:             cfg,
@@ -150,32 +154,38 @@ func Build(cfg Config) (*Scenario, error) {
 	b.events = append(b.events, khersonEvents(b.statusBlocks, b.khersonBlocksOf)...)
 	b.generateFrontlineNoise()
 
-	space, err := netmodel.BuildSpace(b.ases)
-	if err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+	spec := Spec{
+		Cfg:         cfg,
+		Country:     "UA",
+		CountryName: "Ukraine",
+		Events:      b.events,
+		Power:       power.Generate(power.Config{Start: cfg.Start, End: cfg.End, Seed: cfg.Seed ^ 0x9041}),
+		Missing:     timeline.MissingRounds(b.tl, timeline.DefaultVantageOutages()),
+		Leased:      b.leased,
 	}
-	sc := &Scenario{
-		Cfg:      cfg,
-		TL:       b.tl,
-		Space:    space,
-		Power:    power.Generate(power.Config{Start: cfg.Start, End: cfg.End, Seed: cfg.Seed ^ 0x9041}),
-		Missing:  timeline.MissingRounds(b.tl, timeline.DefaultVantageOutages()),
-		asTraits: b.traits,
-		events:   b.events,
-		leased:   b.leased,
+	for _, as := range b.ases {
+		spec.ASes = append(spec.ASes, *b.traits[as.ASN])
 	}
-	sc.liveOrder.seed = cfg.Seed ^ 0x11fe
-	// Align block traits with Space.Blocks() ordering.
-	sc.blocks = make([]BlockTraits, space.NumBlocks())
-	for i, blk := range space.Blocks() {
-		t, ok := b.bt[blk]
-		if !ok {
-			return nil, fmt.Errorf("sim: block %v has no traits", blk)
+	for _, as := range b.ases {
+		for _, blk := range as.Blocks() {
+			t, ok := b.bt[blk]
+			if !ok {
+				return CountryModel{}, fmt.Errorf("sim: block %v has no traits", blk)
+			}
+			spec.Blocks = append(spec.Blocks, *t)
 		}
-		sc.blocks[i] = *t
 	}
-	sc.indexEvents()
-	return sc, nil
+	return CountryModel{Code: "UA", Name: "Ukraine", Spec: spec}, nil
+}
+
+// Build constructs the bundled Ukraine scenario deterministically from the
+// config: the Ukraine model assembled like any other country model.
+func Build(cfg Config) (*Scenario, error) {
+	m, err := Ukraine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Build()
 }
 
 // MustBuild is Build that panics on error (scenario scripts are static).

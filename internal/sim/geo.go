@@ -15,7 +15,7 @@ import (
 //   - Block drift: with small per-month probability a slice of a block is
 //     mislocated to a random region for that month only (also the source of
 //     "temporal" AS presence).
-//   - Regional churn: scripted MoveMonth relocations inside Ukraine or
+//   - Regional churn: scripted MoveMonth relocations inside the country or
 //     abroad (BlockTraits.Move*), plus Dynamic blocks of national ISPs that
 //     hop regions every few months.
 
@@ -36,8 +36,8 @@ func (s *Scenario) GeoSnapshot(month int) *geodb.Snapshot {
 		for _, b := range as.Blocks() {
 			entries = append(entries, geodb.Entry{
 				Prefix:   netmodel.Prefix{Base: b.First(), Bits: 24},
-				Country:  geodb.CountryUA,
-				Region:   netmodel.Kherson,
+				Country:  s.Country,
+				Region:   as.HQ,
 				RadiusKM: s.radiusKM(month, true),
 			})
 		}
@@ -49,7 +49,7 @@ func (s *Scenario) blockGeoEntries(bi, month int, entries []geodb.Entry) []geodb
 	bt := &s.blocks[bi]
 	bp := netmodel.Prefix{Base: bt.Block.First(), Bits: 24}
 
-	country := geodb.CountryUA
+	country := s.Country
 	region := bt.HomeRegion
 	if bt.Dynamic {
 		region = s.dynamicRegion(bi, month)
@@ -62,8 +62,8 @@ func (s *Scenario) blockGeoEntries(bi, month int, entries []geodb.Entry) []geodb
 		}
 	}
 
-	radius := s.radiusKM(month, bt.Static && country == geodb.CountryUA)
-	if country != geodb.CountryUA {
+	radius := s.radiusKM(month, bt.Static && country == s.Country)
+	if country != s.Country {
 		radius = 1000
 	}
 
@@ -71,26 +71,26 @@ func (s *Scenario) blockGeoEntries(bi, month int, entries []geodb.Entry) []geodb
 
 	// Persistent IP drift: the top quarter/eighth of the block points to a
 	// neighbouring region.
-	if bt.DriftFrac > 0 && country == geodb.CountryUA && bt.DriftRegion.Valid() {
+	if bt.DriftFrac > 0 && country == s.Country && bt.DriftRegion.Valid() {
 		bits := driftBits(float64(bt.DriftFrac))
 		sub := netmodel.Prefix{
 			Base: bt.Block.First() + netmodel.Addr(256-(256>>(bits-24))),
 			Bits: bits,
 		}
 		entries = append(entries, main, geodb.Entry{
-			Prefix: sub, Country: geodb.CountryUA, Region: bt.DriftRegion, RadiusKM: 500,
+			Prefix: sub, Country: s.Country, Region: bt.DriftRegion, RadiusKM: 500,
 		})
 		return entries
 	}
 
 	// Transient block drift: a /26 slice mislocates for one month.
 	h := hash3(s.Cfg.Seed^0xd41f7, uint64(bt.Block), uint64(int64(month)+7))
-	if country == geodb.CountryUA && !bt.Static && unitFloat(h) < transientDriftProb {
+	if country == s.Country && !bt.Static && unitFloat(h) < transientDriftProb {
 		target := netmodel.Region(1 + h>>32%uint64(netmodel.NumRegions))
 		if target != region {
 			sub := netmodel.Prefix{Base: bt.Block.First() + 128, Bits: 26}
 			entries = append(entries, main, geodb.Entry{
-				Prefix: sub, Country: geodb.CountryUA, Region: target, RadiusKM: 1000,
+				Prefix: sub, Country: s.Country, Region: target, RadiusKM: 1000,
 			})
 			return entries
 		}

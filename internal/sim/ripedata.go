@@ -22,7 +22,7 @@ const (
 )
 
 // RIPEBase returns the 2021-12-14 delegation file used as the scanner's
-// target input: every UA allocation chunk plus the leased foreign-delegated
+// target input: every home-country allocation chunk plus the leased foreign-delegated
 // ranges (which is why the leased Kherson providers are missing from the
 // target set, §4.3).
 func (s *Scenario) RIPEBase() *ripe.File {
@@ -30,7 +30,7 @@ func (s *Scenario) RIPEBase() *ripe.File {
 	for _, as := range s.Space.ASes() {
 		for _, p := range as.Prefixes {
 			f.Records = append(f.Records, ripe.Record{
-				Registry: "ripencc", CC: "UA", Type: "ipv4",
+				Registry: "ripencc", CC: s.Country, Type: "ipv4",
 				Start: p.Base, Count: p.NumAddrs(),
 				Date:   allocDate(s.Cfg.Seed, p.Base),
 				Status: ripe.StatusAllocated,
@@ -100,7 +100,7 @@ func (s *Scenario) RIPESnapshot(month int) *ripe.File {
 	months := s.TL.NumMonths()
 	out := &ripe.File{}
 	for i, rec := range base.Records {
-		if rec.CC == "UA" {
+		if rec.CC == s.Country {
 			h := hash3(s.Cfg.Seed^0x5ec0, uint64(rec.Start), uint64(i))
 			if unitFloat(h) < recodeFraction {
 				at := int(h >> 16 % uint64(months))
@@ -111,7 +111,7 @@ func (s *Scenario) RIPESnapshot(month int) *ripe.File {
 		}
 		out.Records = append(out.Records, rec)
 	}
-	// Additions: new UA ranges appearing over the campaign, carved from a
+	// Additions: new home-country ranges appearing over the campaign, carved from a
 	// reserved pool.
 	added := int(float64(len(base.Records)) * addFraction)
 	for i := 0; i < added; i++ {
@@ -122,7 +122,7 @@ func (s *Scenario) RIPESnapshot(month int) *ripe.File {
 		}
 		start := netmodel.MustParseAddr("45.128.0.0") + netmodel.Addr(i*1024)
 		out.Records = append(out.Records, ripe.Record{
-			Registry: "ripencc", CC: "UA", Type: "ipv4",
+			Registry: "ripencc", CC: s.Country, Type: "ipv4",
 			Start: start, Count: 1024,
 			Date:   s.TL.MonthStart(at),
 			Status: ripe.StatusAllocated,
@@ -131,7 +131,8 @@ func (s *Scenario) RIPESnapshot(month int) *ripe.File {
 	return out
 }
 
-// RIPEYearlySeries returns total addresses delegated to UA at the start of
+// RIPEYearlySeries returns total addresses delegated to the scenario's
+// country at the start of
 // each year in [fromYear, toYear], reconstructing Fig 18's curve: history
 // before the campaign from allocation dates, afterwards from snapshots.
 func (s *Scenario) RIPEYearlySeries(fromYear, toYear int) ([]int, []uint64) {
@@ -143,13 +144,13 @@ func (s *Scenario) RIPEYearlySeries(fromYear, toYear int) ([]int, []uint64) {
 		var total uint64
 		if cut.Before(ripeSnapshotDate) {
 			for _, rec := range base.Records {
-				if rec.CC == "UA" && rec.Date.Before(cut) {
+				if rec.CC == s.Country && rec.Date.Before(cut) {
 					total += rec.Count
 				}
 			}
 		} else {
 			snap := s.RIPESnapshot(s.TL.MonthIndex(cut))
-			total = snap.CountryAddrCount("UA")
+			total = snap.CountryAddrCount(s.Country)
 		}
 		years = append(years, y)
 		addrs = append(addrs, total)

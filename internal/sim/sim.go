@@ -172,6 +172,14 @@ type Scenario struct {
 	Power   *power.Schedule
 	Missing []bool // vantage outages per round
 
+	// Country is the ISO code the scenario's address space geolocates to
+	// (the country model's Code; DefaultCountry when the spec named none),
+	// and CountryName its display name. Everything country-specific in the
+	// scenario — geo snapshots, RIPE delegations, leased-space handling —
+	// keys off this value.
+	Country     string
+	CountryName string
+
 	blocks   []BlockTraits // aligned with Space.Blocks()
 	asTraits map[netmodel.ASN]*ASTraits
 	// blockAS[bi] is the AS traits of block bi (nil if unknown), hoisted out

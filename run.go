@@ -42,30 +42,42 @@ type RunConfig struct {
 // Run replaces the hand-rolled `for mon.NextRound() { mon.ScanRound() }`
 // loop, which remains supported.
 func (m *Monitor) Run(ctx context.Context, rc RunConfig) error {
-	m.hooks = rc.Hooks
-	defer func() { m.hooks = Hooks{} }()
 	for m.NextRound() {
-		if ctx.Err() != nil {
-			return m.checkpointBeforeReturn(ctx.Err())
-		}
-		if rc.PreRound != nil {
-			if err := rc.PreRound(m.round); err != nil {
-				return m.checkpointBeforeReturn(err)
-			}
-		}
-		round := m.round
-		st, err := m.ScanRoundContext(ctx)
-		if err != nil {
-			if ctx.Err() != nil {
-				return m.checkpointBeforeReturn(ctx.Err())
-			}
+		if _, err := m.Step(ctx, rc); err != nil {
 			return err
-		}
-		if rc.Hooks.OnRound != nil {
-			rc.Hooks.OnRound(round, st)
 		}
 	}
 	return nil
+}
+
+// Step handles exactly one round under Run's semantics — ctx check, PreRound,
+// scan, OnRound — and returns the round's scan statistics. It is the unit Run
+// loops over; campaign coordinators (internal/campaign) call it directly to
+// interleave rounds of several monitors on one goroutine. Like Run, a ctx
+// cancellation or PreRound error checkpoints before returning.
+func (m *Monitor) Step(ctx context.Context, rc RunConfig) (Stats, error) {
+	m.hooks = rc.Hooks
+	defer func() { m.hooks = Hooks{} }()
+	if ctx.Err() != nil {
+		return Stats{}, m.checkpointBeforeReturn(ctx.Err())
+	}
+	if rc.PreRound != nil {
+		if err := rc.PreRound(m.round); err != nil {
+			return Stats{}, m.checkpointBeforeReturn(err)
+		}
+	}
+	round := m.round
+	st, err := m.ScanRoundContext(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			return Stats{}, m.checkpointBeforeReturn(ctx.Err())
+		}
+		return Stats{}, err
+	}
+	if rc.Hooks.OnRound != nil {
+		rc.Hooks.OnRound(round, st)
+	}
+	return st, nil
 }
 
 // checkpointBeforeReturn persists progress before surfacing cause, so an
